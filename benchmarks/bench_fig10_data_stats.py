@@ -1,0 +1,25 @@
+"""Bench E12 — regenerate Table 18 / Figure 10: descriptive stats by class."""
+
+from conftest import emit
+
+from repro.benchmark.datastats import render_table18, run_datastats
+from repro.types import FeatureType
+
+
+def test_table18_figure10_data_stats(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_datastats(context), rounds=1, iterations=1
+    )
+    emit("Table 18 / Figure 10 — descriptive statistics by class",
+         render_table18(result))
+
+    # paper shapes: Sentence/List values are long; Numeric single-token;
+    # Not-Generalizable columns have the highest missingness
+    sentence = result.summary(FeatureType.SENTENCE, "mean_char_count")["avg"]
+    numeric = result.summary(FeatureType.NUMERIC, "mean_char_count")["avg"]
+    assert sentence > 3 * numeric
+    ng_nans = result.summary(FeatureType.NOT_GENERALIZABLE, "pct_nans")["avg"]
+    dt_nans = result.summary(FeatureType.DATETIME, "pct_nans")["avg"]
+    assert ng_nans > dt_nans
+    numeric_words = result.summary(FeatureType.NUMERIC, "mean_word_count")["avg"]
+    assert numeric_words < 1.1  # all Numeric samples are single tokens

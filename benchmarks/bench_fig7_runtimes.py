@@ -1,0 +1,19 @@
+"""Bench E13 — regenerate Figure 7: per-column prediction runtime breakdown."""
+
+from conftest import emit
+
+from repro.benchmark.runtime import render_figure7, run_runtimes
+
+
+def test_figure7_prediction_runtimes(benchmark, context):
+    for name in ("logreg", "svm", "rf", "cnn", "knn"):
+        context.model(name)  # fit outside the timed region
+    breakdowns = benchmark.pedantic(
+        lambda: run_runtimes(context, max_columns=100), rounds=1, iterations=1
+    )
+    emit("Figure 7 — online prediction runtime per column",
+         render_figure7(breakdowns))
+
+    # paper shape: every model predicts in well under 0.2 s per column
+    for b in breakdowns:
+        assert b.total < 0.2, b.model

@@ -1,0 +1,25 @@
+"""Bench E14 — regenerate Figure 8: CDFs of downstream drops vs truth."""
+
+import numpy as np
+from conftest import emit
+
+from repro.benchmark.downstream_exp import render_figure8
+
+
+def test_figure8_delta_cdfs(benchmark, downstream_result):
+    result = benchmark.pedantic(
+        lambda: downstream_result, rounds=1, iterations=1
+    )
+    emit("Figure 8 — CDFs of downstream performance drop vs truth",
+         render_figure8(result))
+
+    # paper shape: OurRF's drop distribution dominates the tools' (its median
+    # drop is no larger than the worst tool's median drop)
+    ourrf = np.median(
+        np.maximum(0.0, -result.deltas_vs_truth("ourrf", "linear"))
+    )
+    worst_tool = max(
+        np.median(np.maximum(0.0, -result.deltas_vs_truth(t, "linear")))
+        for t in ("pandas", "tfdv", "autogluon")
+    )
+    assert ourrf <= worst_tool + 1e-9

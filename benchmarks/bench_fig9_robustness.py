@@ -1,0 +1,24 @@
+"""Bench E10 — regenerate Figure 9 / Table 16: perturbation robustness."""
+
+import numpy as np
+from conftest import emit
+
+from repro.benchmark.robustness import render_table16, run_robustness
+
+
+def test_figure9_table16_robustness(benchmark, context):
+    context.model("rf")
+    context.model("logreg")
+    result = benchmark.pedantic(
+        lambda: run_robustness(
+            context, models=("logreg", "rf"), n_runs=25, max_columns=150
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 16 / Figure 9 — prediction stability under resampling",
+         render_table16(result))
+
+    # paper shape: both models are very robust (median stability 100%)
+    for model in ("logreg", "rf"):
+        assert float(np.median(result.stability[model])) >= 90.0

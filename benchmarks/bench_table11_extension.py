@@ -1,0 +1,24 @@
+"""Bench E7 — regenerate Table 11: extending the vocabulary (Country/State)."""
+
+from conftest import emit
+
+from repro.benchmark.table11 import render_table11, run_table11
+
+
+def test_table11_vocabulary_extension(benchmark, context):
+    rows = benchmark.pedantic(
+        lambda: run_table11(context, extra_train_counts=(100, 200),
+                            extra_test=100),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 11 — 10-class vocabulary extension", render_table11(rows))
+
+    # paper shape: high precision/recall with only ~100 extra labels, and
+    # recall improves (or holds) when doubling the labels
+    by_key = {(r.extended_type.value, r.n_extra_train): r for r in rows}
+    for name in ("Country", "State"):
+        small = by_key[(name, 100)]
+        large = by_key[(name, 200)]
+        assert small.precision > 0.6
+        assert large.recall >= small.recall - 0.05

@@ -1,0 +1,21 @@
+"""Bench E8 — regenerate Table 12: ablation of type-specific stats features."""
+
+from conftest import emit
+
+from repro.benchmark.table12 import render_table12, run_table12
+
+
+def test_table12_feature_ablation(benchmark, context):
+    rows = benchmark.pedantic(
+        lambda: run_table12(context), rounds=1, iterations=1
+    )
+    emit("Table 12 — dropping list/url/datetime probes one at a time",
+         render_table12(rows))
+
+    # paper shape: dropping a single probe moves 9-class accuracy marginally
+    by_key = {(r.model, r.ablation): r for r in rows}
+    for model in ("logreg", "rf"):
+        full = by_key[(model, "full")].nine_class_accuracy
+        for ablation in ("minus list feature", "minus url feature",
+                         "minus datetime feature"):
+            assert abs(full - by_key[(model, ablation)].nine_class_accuracy) < 0.1

@@ -1,0 +1,21 @@
+"""Bench — regenerate Table 14: Sherlock complementarity with OurRF."""
+
+from conftest import emit
+
+from repro.benchmark.table14 import render_table14, run_table14
+
+
+def test_table14_sherlock_complementarity(benchmark, context):
+    context.model("rf")
+    _ = context.sherlock
+    rows = benchmark.pedantic(
+        lambda: run_table14(context), rounds=1, iterations=1
+    )
+    emit("Table 14 — Sherlock on top of OurRF's Categorical predictions",
+         render_table14(rows))
+
+    # paper shape: gating Sherlock behind OurRF's Categorical predictions
+    # does not reduce its semantic-type recall (they are complementary)
+    for row in rows:
+        assert row.gated_recall >= row.standalone_recall - 0.25
+        assert row.ourrf_categorical >= row.n_examples * 0.5

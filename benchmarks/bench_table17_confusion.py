@@ -1,0 +1,23 @@
+"""Bench E11 — regenerate Table 17: confusion matrices (rules/RF/Sherlock)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.benchmark.table17 import render_table17, run_table17
+
+
+def test_table17_confusion_matrices(benchmark, context):
+    context.model("rf")
+    _ = context.sherlock
+    result = benchmark.pedantic(
+        lambda: run_table17(context), rounds=1, iterations=1
+    )
+    emit("Table 17 — confusion matrices", render_table17(result))
+
+    n = int(result.matrix("rf").sum())
+    diag = {
+        name: float(np.trace(result.matrix(name))) / n
+        for name in ("rules", "rf", "sherlock")
+    }
+    # paper shape: RF most diagonal; Sherlock weakest (vocabulary mismatch)
+    assert diag["rf"] > diag["rules"] > diag["sherlock"] - 0.15

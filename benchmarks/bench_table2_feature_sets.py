@@ -1,0 +1,18 @@
+"""Bench E2 — regenerate Tables 2 and 9: feature-set sweep of the models."""
+
+from conftest import emit
+
+from repro.benchmark.table2 import render_table2, run_table2
+
+
+def test_table2_feature_sets(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_table2(context), rounds=1, iterations=1
+    )
+    for split in ("train", "validation", "test"):
+        emit(f"Table 2 / Table 9 — {split} accuracy", render_table2(result, split))
+
+    # paper shape: stats+name is the strongest single pairing for RF
+    label, best = result.best_feature_set("rf")
+    assert best > 0.85
+    assert "X_stats" in label or "X2_name" in label

@@ -1,0 +1,14 @@
+"""Bench E3 — regenerate Table 3: error analysis of the best Random Forest."""
+
+from conftest import emit
+
+from repro.benchmark.table3 import render_table3, run_table3
+
+
+def test_table3_error_analysis(benchmark, context):
+    context.model("rf")
+    result = benchmark.pedantic(
+        lambda: run_table3(context, max_examples=15), rounds=1, iterations=1
+    )
+    emit("Table 3 — errors made by RandomForest", render_table3(result))
+    assert result.error_rate < 0.2  # RF is the best model; errors are the tail

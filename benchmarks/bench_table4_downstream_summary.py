@@ -1,0 +1,23 @@
+"""Bench E4 — regenerate Table 4: downstream type-inference summaries."""
+
+from conftest import emit
+
+from repro.benchmark.downstream_exp import render_table4
+
+
+def test_table4_downstream_summary(benchmark, downstream_result):
+    result = benchmark.pedantic(
+        lambda: downstream_result, rounds=1, iterations=1
+    )
+    emit("Table 4 — downstream type inference summary", render_table4(result))
+
+    rows = {row.approach: row for row in result.inference}
+    # paper shape: pandas has much lower column coverage; OurRF covers all
+    assert rows["pandas"].covered < rows["autogluon"].covered
+    assert rows["ourrf"].covered == rows["ourrf"].total
+    # OurRF underperforms truth on the fewest datasets (linear model)
+    comparison = {c.approach: c for c in result.comparisons["linear"]}
+    assert (
+        comparison["ourrf"].underperform
+        <= min(comparison[t].underperform for t in ("pandas", "tfdv", "autogluon"))
+    )

@@ -1,0 +1,22 @@
+"""Bench E5 — regenerate Table 5: per-dataset downstream deltas vs truth."""
+
+from conftest import emit
+
+from repro.benchmark.downstream_exp import render_table5
+
+
+def test_table5_downstream_deltas(benchmark, downstream_result):
+    result = benchmark.pedantic(
+        lambda: downstream_result, rounds=1, iterations=1
+    )
+    emit("Table 5 — downstream models under inferred vs true types",
+         render_table5(result))
+
+    # paper shape: on integer-categorical datasets the tools hurt the
+    # downstream linear model while OurRF stays close to truth
+    suite = result.suite
+    if "Hayes" in suite.scores["truth"]["linear"]:
+        assert (
+            suite.delta_vs_truth("ourrf", "linear", "Hayes")
+            >= suite.delta_vs_truth("tfdv", "linear", "Hayes")
+        )

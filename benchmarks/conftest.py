@@ -1,0 +1,69 @@
+"""Shared state for the benchmark suite.
+
+The benchmarks regenerate the paper's tables/figures at a laptop-friendly
+scale (REPRO_SCALE columns, default 1500; the paper's full scale is 9921 —
+set REPRO_SCALE=9921 to match it).  The corpus and fitted models are shared
+across bench files through a session-scoped context.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchmark.context import BenchmarkContext
+
+SCALE = int(os.environ.get("REPRO_SCALE", "1200"))
+SEED = int(os.environ.get("REPRO_SEED", "0"))
+
+#: Downstream datasets exercised by default (REPRO_FULL=1 runs all 30).
+DOWNSTREAM_SUBSET = (
+    "Cancer", "Nursery", "Hayes", "Supreme", "Boxing", "Auto-MPG",
+    "BBC", "Zoo", "IOT", "MBA", "Vineyard", "Accident",
+)
+
+
+def downstream_names() -> tuple[str, ...] | None:
+    if os.environ.get("REPRO_FULL"):
+        return None  # all 30
+    return DOWNSTREAM_SUBSET
+
+
+@pytest.fixture(scope="session")
+def context() -> BenchmarkContext:
+    return BenchmarkContext(
+        n_examples=SCALE, seed=SEED, rf_estimators=40, cnn_epochs=8
+    )
+
+
+@pytest.fixture(scope="session")
+def downstream_result(context):
+    """The (expensive) downstream suite run, shared by Tables 4/5 + Figure 8."""
+    from repro.benchmark.downstream_exp import run_downstream_experiment
+
+    return run_downstream_experiment(
+        context, dataset_names=downstream_names(), seed=SEED
+    )
+
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/artifacts/.
+
+    pytest captures stdout by default, so every regenerated table is also
+    written to disk — that is the paper-vs-measured record EXPERIMENTS.md
+    links to.
+    """
+    text = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}"
+    print(text)
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    slug = "".join(
+        ch if ch.isalnum() else "_" for ch in title.split("—")[0].strip()
+    ).strip("_").lower()
+    with open(
+        os.path.join(ARTIFACT_DIR, f"{slug}.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(text.lstrip("\n") + "\n")

@@ -1,0 +1,90 @@
+"""Scenario: compare all five model families + every baseline tool.
+
+Reproduces the core of the paper's Section 4 at a small scale: train
+Logistic Regression, RBF-SVM, Random Forest, k-NN (weighted edit+euclidean
+distance), and the char-CNN on the labeled corpus, evaluate them against
+TFDV / Pandas / TransmogrifAI / AutoGluon / the rule baseline on a held-out
+test set, and print a mini leaderboard.
+
+Run:  python examples/compare_models.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    CNNModel,
+    KNNModel,
+    LogRegModel,
+    RandomForestModel,
+    SVMModel,
+)
+from repro.datagen import generate_corpus
+from repro.ml import accuracy_score, train_test_split
+from repro.tools import (
+    AutoGluonTool,
+    PandasTool,
+    RuleBaselineTool,
+    TFDVTool,
+    TransmogrifAITool,
+)
+
+
+def main() -> None:
+    print("Generating labeled corpus...")
+    corpus = generate_corpus(n_examples=1200, seed=0)
+    labels = [label.value for label in corpus.dataset.labels]
+    index = np.arange(len(corpus.dataset))
+    train_idx, test_idx = train_test_split(
+        index, test_size=0.2, random_state=0, stratify=labels
+    )
+    train = corpus.dataset.subset(train_idx)
+    test = corpus.dataset.subset(test_idx)
+    truth = [label.value for label in test.labels]
+    results: list[tuple[str, float, float]] = []
+
+    print("Scoring the rule/syntax-based tools...")
+    columns = {(t.name, c.name): c for t in corpus.files for c in t}
+    test_columns = [columns[(p.source_file, p.name)] for p in test.profiles]
+    for tool in (TFDVTool(), PandasTool(), TransmogrifAITool(),
+                 AutoGluonTool(), RuleBaselineTool()):
+        start = time.perf_counter()
+        preds = [tool.infer_column(c).value for c in test_columns]
+        results.append(
+            (tool.name, accuracy_score(truth, preds), time.perf_counter() - start)
+        )
+
+    print("Training the five ML model families (this takes a minute)...")
+    models = {
+        "logreg": LogRegModel(),
+        "rbf-svm": SVMModel(max_landmarks=600),
+        "random-forest": RandomForestModel(n_estimators=50, random_state=0),
+        "knn": KNNModel(n_neighbors=5, gamma=1.0),
+        "char-cnn": CNNModel(epochs=8, random_state=0),
+    }
+    for name, model in models.items():
+        start = time.perf_counter()
+        model.fit(train)
+        preds = [p.value for p in model.predict(test.profiles)]
+        results.append(
+            (name, accuracy_score(truth, preds), time.perf_counter() - start)
+        )
+
+    results.sort(key=lambda row: -row[1])
+    print(f"\n{'approach':<16} {'9-class accuracy':<18} seconds")
+    print(f"{'-' * 16} {'-' * 18} {'-' * 7}")
+    for name, accuracy, seconds in results:
+        print(f"{name:<16} {accuracy:<18.3f} {seconds:.1f}")
+    print(
+        "\nExpected shape (paper Table 1/2): the trained models cluster at "
+        "the top,\nRandom Forest first; the syntax-reading tools trail far "
+        "behind because\ninteger-coded categoricals and integer keys read as "
+        "Numeric to them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Scenario: extend the 9-class vocabulary with a new semantic type.
+
+Walks the paper's Appendix I.4 experiment: add *Country* as a tenth class by
+(1) relabeling matching Categorical examples, (2) pulling weakly-labeled
+Country columns from the (simulated) Sherlock data repository, and
+(3) retraining the Random Forest — then verify the new class is learnable
+with only ~100 extra labels while the original nine classes keep working.
+
+Run:  python examples/extend_vocabulary.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.table11 import (
+    ExtendedType,
+    render_table11,
+    run_table11,
+)
+
+
+def main() -> None:
+    print("Building the benchmark context (corpus + split)...")
+    context = BenchmarkContext(n_examples=1200, seed=0, rf_estimators=40)
+
+    print("Extending the vocabulary with Country and State "
+          "(N=100 and N=200 extra labels)...\n")
+    rows = run_table11(context, extra_train_counts=(100, 200), extra_test=100)
+    print(render_table11(rows))
+
+    print("\nTakeaways (paper Appendix I.4):")
+    print(" - programming cost: zero — the same training script covers "
+          "10 classes;")
+    print(" - labeling cost: ~100 weakly-supervised examples already give "
+          "high precision;")
+    print(" - feature engineering cost: zero — the 25 descriptive stats and "
+          "bigram features carry signal for the new classes unchanged.")
+
+    country_rows = [r for r in rows if r.extended_type is ExtendedType.COUNTRY]
+    best = max(country_rows, key=lambda r: r.f1)
+    print(
+        f"\nBest Country run: N={best.n_extra_train}, "
+        f"precision={best.precision:.3f}, recall={best.recall:.3f}, "
+        f"10-class accuracy={best.ten_class_accuracy:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

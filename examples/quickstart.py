@@ -1,0 +1,72 @@
+"""Quickstart: infer ML feature types for a raw CSV file.
+
+This walks the paper's Figure 1 workflow end-to-end:
+
+1. train the benchmark's best model (a Random Forest over descriptive stats
+   + column-name bigrams) on the labeled corpus;
+2. point the pipeline at a raw CSV file;
+3. read off a feature type + confidence per column, plus the human-review
+   queue an AutoML platform would surface.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RandomForestModel, TypeInferencePipeline
+from repro.datagen import generate_corpus
+
+# The paper's running example (Figure 2): a customer-churn table whose
+# attribute types lie about their feature types.
+CHURN_CSV = """CustID,Gender,Salary,ZipCode,XYZ,Income,HireDate,Churn
+1501,F,1500,92092,005,USD 15000,05/01/1992,Yes
+1704,M,3400,78712,003,USD 25384,12/09/2008,No
+1932,F,2700,10001,004,USD 41200,03/15/2015,No
+2045,M,5100,60601,001,USD 18750,07/22/2001,Yes
+2111,F,4200,94105,002,USD 30300,11/02/2011,No
+2239,M,3900,92092,005,USD 27000,01/19/2006,Yes
+2307,F,2200,78712,003,USD 22100,09/08/1999,No
+2450,M,4700,10001,002,USD 35900,04/27/2018,Yes
+2513,F,3100,60601,001,USD 24800,06/13/2004,No
+2688,M,2900,94105,004,USD 19600,08/30/2013,Yes
+2755,F,5300,92092,002,USD 44100,02/11/1996,No
+2891,M,3600,78712,001,USD 28700,10/05/2009,Yes
+3005,F,4400,10001,003,USD 39800,05/17/2012,No
+3120,M,2600,60601,005,USD 21500,12/01/1998,Yes
+3246,F,4900,94105,004,USD 33600,03/09/2017,No
+3371,M,3300,92092,002,USD 26200,07/25/2003,Yes
+"""
+
+
+def main() -> None:
+    print("1. Generating the labeled benchmark corpus (synthetic stand-in for")
+    print("   the 9,921-column ML Data Prep Zoo dataset)...")
+    corpus = generate_corpus(n_examples=1500, seed=0)
+
+    print("2. Training the paper's best model (Random Forest, stats+name)...")
+    model = RandomForestModel(n_estimators=50, random_state=0)
+    model.fit(corpus.dataset)
+
+    print("3. Inferring feature types for the churn table:\n")
+    pipeline = TypeInferencePipeline(model)
+    predictions = pipeline.predict_csv_text(CHURN_CSV)
+
+    print(f"   {'column':<10} {'feature type':<20} {'confidence':<11} review?")
+    print(f"   {'-' * 10} {'-' * 20} {'-' * 11} {'-' * 7}")
+    for prediction in predictions:
+        flag = "YES" if prediction.needs_review else ""
+        print(
+            f"   {prediction.column:<10} {prediction.feature_type.value:<20} "
+            f"{prediction.confidence:<11.2f} {flag}"
+        )
+
+    print(
+        "\nNote how ZipCode (stored as integers) comes out Categorical, "
+        "Income (a string with a currency prefix) comes out Embedded Number, "
+        "and CustID (also integers) comes out Not-Generalizable — exactly "
+        "the semantic-gap calls a syntax-reading tool gets wrong."
+    )
+
+
+if __name__ == "__main__":
+    main()

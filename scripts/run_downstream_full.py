@@ -1,0 +1,133 @@
+"""Run the full 30-dataset downstream experiment, optionally in chunks.
+
+Usage:
+    python scripts/run_downstream_full.py --chunk 0 --of 3 --out out0.json
+
+Each chunk writes a JSON file with per-dataset scores; merge_results() (or
+running with --merge file1 file2 ...) combines chunks into the Table 4/5
+summaries.  Chunking keeps each invocation inside batch-job time limits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.downstream_exp import run_downstream_experiment
+from repro.datagen.downstream import DOWNSTREAM_SPECS
+
+
+def run_chunk(chunk: int, of: int, scale: int, seed: int) -> dict:
+    names = tuple(
+        spec.name for i, spec in enumerate(DOWNSTREAM_SPECS) if i % of == chunk
+    )
+    context = BenchmarkContext(n_examples=scale, seed=seed, rf_estimators=40)
+    result = run_downstream_experiment(context, dataset_names=names, seed=seed)
+    payload: dict = {"datasets": list(names), "scores": {}, "inference": {}}
+    for approach, kinds in result.suite.scores.items():
+        payload["scores"][approach] = {
+            kind: {name: s.value for name, s in per_ds.items()}
+            for kind, per_ds in kinds.items()
+        }
+    payload["tasks"] = {
+        ds.name: ds.task for ds in result.datasets
+    }
+    for row in result.inference:
+        payload["inference"][row.approach] = {
+            "covered": row.covered,
+            "total": row.total,
+            "correct": row.correct_given_coverage,
+        }
+    return payload
+
+
+def merge_results(paths: list[str]) -> str:
+    """Combine chunk JSONs into Table 4-style summaries."""
+    scores: dict = {}
+    tasks: dict = {}
+    inference: dict = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        tasks.update(payload["tasks"])
+        for approach, kinds in payload["scores"].items():
+            for kind, per_ds in kinds.items():
+                scores.setdefault(approach, {}).setdefault(kind, {}).update(
+                    per_ds
+                )
+        for approach, row in payload["inference"].items():
+            agg = inference.setdefault(
+                approach, {"covered": 0, "total": 0, "correct": 0}
+            )
+            for key in agg:
+                agg[key] += row[key]
+
+    lines = ["== Table 4(A): coverage & accuracy given coverage =="]
+    for approach, agg in inference.items():
+        acc = agg["correct"] / agg["covered"] if agg["covered"] else 0.0
+        lines.append(
+            f"{approach:<10} covered={agg['covered']}/{agg['total']} "
+            f"accuracy={100 * acc:.1f}%"
+        )
+
+    approaches = [a for a in scores if a != "truth"]
+    for kind in ("linear", "forest"):
+        lines.append(f"\n== Table 4(B): vs truth, downstream {kind} ==")
+        truth = scores["truth"][kind]
+        for approach in approaches:
+            under = match = over = best = 0
+            for name, truth_value in truth.items():
+                value = scores[approach][kind][name]
+                higher_better = tasks[name] == "classification"
+                delta = (value - truth_value) if higher_better else (
+                    truth_value - value
+                )
+                tolerance = 0.5 if higher_better else 0.02 * abs(truth_value)
+                if abs(value - truth_value) <= tolerance:
+                    match += 1
+                elif delta > 0:
+                    over += 1
+                else:
+                    under += 1
+                rivals = []
+                for other in approaches:
+                    other_value = scores[other][kind][name]
+                    rivals.append(
+                        (other_value - truth_value)
+                        if higher_better
+                        else (truth_value - other_value)
+                    )
+                if delta >= max(rivals) - 1e-12:
+                    best += 1
+            lines.append(
+                f"{approach:<10} underperform={under:<3} match={match:<3} "
+                f"outperform={over:<3} best_tool={best}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--chunk", type=int, default=0)
+    parser.add_argument("--of", type=int, default=1)
+    parser.add_argument("--scale", type=int, default=2400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--merge", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    if args.merge:
+        print(merge_results(args.merge))
+        return 0
+    payload = run_chunk(args.chunk, args.of, args.scale, args.seed)
+    out = args.out or f"downstream_chunk_{args.chunk}_of_{args.of}.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+    print(f"wrote {out} ({len(payload['datasets'])} datasets)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

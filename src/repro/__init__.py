@@ -1,0 +1,24 @@
+"""repro — reproduction of "Towards Benchmarking Feature Type Inference for
+AutoML Platforms" (SIGMOD 2021).
+
+Public API highlights:
+
+- :class:`repro.types.FeatureType` — the 9-class label vocabulary.
+- :func:`repro.core.featurize.profile_column` — base featurization.
+- :class:`repro.core.pipeline.TypeInferencePipeline` — CSV → feature types.
+- :mod:`repro.tools` — TFDV/Pandas/TransmogrifAI/AutoGluon/rules/Sherlock baselines.
+- :mod:`repro.datagen` — synthetic benchmark corpora.
+- :mod:`repro.downstream` — the 30-task downstream benchmark suite.
+- :mod:`repro.benchmark` — experiment harness regenerating every paper table/figure.
+"""
+
+from repro.types import ALL_FEATURE_TYPES, FeatureType, PAPER_CLASS_DISTRIBUTION
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_FEATURE_TYPES",
+    "FeatureType",
+    "PAPER_CLASS_DISTRIBUTION",
+    "__version__",
+]

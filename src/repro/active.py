@@ -1,0 +1,124 @@
+"""User-in-the-loop labeling: confidence-driven annotation prioritization.
+
+Section 3.3 argues an ML-based approach "allows users to intervene to
+prioritize their effort towards Context-Specific types or columns with low
+confidence scores"; Section 6.2 leaves user-in-the-loop interface design
+open.  This module simulates the annotation loop so strategies can be
+compared: start from a small seed, repeatedly pick a batch of unlabeled
+columns by a strategy, reveal their labels, retrain, and track held-out
+accuracy versus labels spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.featurize import LabeledDataset
+from repro.core.models import RandomForestModel
+
+STRATEGIES = ("random", "least_confidence", "margin", "context_specific_first")
+
+
+@dataclass
+class ActiveLearningCurve:
+    """Accuracy after each annotation round."""
+
+    strategy: str
+    labels_spent: list[int] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+    def final_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+def _pick(
+    strategy: str,
+    probabilities: np.ndarray,
+    classes,
+    pool: list[int],
+    batch: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    if strategy == "random":
+        chosen = rng.choice(len(pool), size=min(batch, len(pool)), replace=False)
+        return [pool[int(i)] for i in chosen]
+    if strategy == "least_confidence":
+        order = np.argsort(probabilities.max(axis=1))
+        return [pool[int(i)] for i in order[:batch]]
+    if strategy == "margin":
+        sorted_probs = np.sort(probabilities, axis=1)
+        margin = sorted_probs[:, -1] - sorted_probs[:, -2]
+        order = np.argsort(margin)
+        return [pool[int(i)] for i in order[:batch]]
+    if strategy == "context_specific_first":
+        from repro.types import FeatureType
+
+        cs_index = None
+        for i, label in enumerate(classes):
+            if label is FeatureType.CONTEXT_SPECIFIC:
+                cs_index = i
+                break
+        scores = (
+            probabilities[:, cs_index]
+            if cs_index is not None
+            else 1.0 - probabilities.max(axis=1)
+        )
+        order = np.argsort(-scores)
+        return [pool[int(i)] for i in order[:batch]]
+    raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+
+
+def run_active_learning(
+    dataset: LabeledDataset,
+    test: LabeledDataset,
+    strategy: str = "least_confidence",
+    seed_size: int = 60,
+    batch_size: int = 40,
+    n_rounds: int = 4,
+    n_estimators: int = 20,
+    random_state: int = 0,
+) -> ActiveLearningCurve:
+    """Simulate one annotation campaign and return its learning curve."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    if seed_size >= len(dataset):
+        raise ValueError("seed_size must be smaller than the dataset")
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(len(dataset))
+    labeled = list(order[:seed_size])
+    pool = list(order[seed_size:])
+
+    curve = ActiveLearningCurve(strategy=strategy)
+    for _round in range(n_rounds + 1):
+        model = RandomForestModel(
+            n_estimators=n_estimators, random_state=random_state
+        )
+        model.fit(dataset.subset(labeled))
+        curve.labels_spent.append(len(labeled))
+        curve.test_accuracy.append(model.score(test))
+        if _round == n_rounds or not pool:
+            break
+        pool_profiles = [dataset.profiles[i] for i in pool]
+        probabilities = model.predict_proba(pool_profiles)
+        picked = _pick(
+            strategy, probabilities, model.classes_, pool, batch_size, rng
+        )
+        picked_set = set(picked)
+        labeled.extend(picked)
+        pool = [i for i in pool if i not in picked_set]
+    return curve
+
+
+def compare_strategies(
+    dataset: LabeledDataset,
+    test: LabeledDataset,
+    strategies: tuple[str, ...] = ("random", "least_confidence"),
+    **kwargs,
+) -> dict[str, ActiveLearningCurve]:
+    """Run several strategies with identical seeds/budgets."""
+    return {
+        strategy: run_active_learning(dataset, test, strategy=strategy, **kwargs)
+        for strategy in strategies
+    }

@@ -1,0 +1,11 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.benchmark.context import BenchmarkContext, DEFAULT_N_EXAMPLES
+from repro.benchmark.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "BenchmarkContext",
+    "DEFAULT_N_EXAMPLES",
+    "EXPERIMENTS",
+    "run_experiment",
+]

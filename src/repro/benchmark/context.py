@@ -1,0 +1,168 @@
+"""Shared benchmark context: corpus, splits, raw columns, fitted models.
+
+Experiments share one corpus and one 80:20 split (the paper's methodology,
+Section 4.1).  Heavy artifacts (the corpus, fitted models, the Sherlock
+simulator) are built lazily and cached on the context so a benchmark session
+that regenerates several tables pays each cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.featurize import LabeledDataset
+from repro.core.models import (
+    CNNModel,
+    KNNModel,
+    LogRegModel,
+    RandomForestModel,
+    SVMModel,
+    TypeInferenceModel,
+)
+from repro.datagen.corpus import LabeledCorpus, generate_corpus
+from repro.ml.model_selection import train_test_split
+from repro.tabular.column import Column
+from repro.tools import (
+    AutoGluonTool,
+    PandasTool,
+    RuleBaselineTool,
+    SherlockTool,
+    TFDVTool,
+    TransmogrifAITool,
+)
+from repro.types import FeatureType
+
+#: Default corpus size for benchmarks; pass scale="paper" for all 9,921.
+DEFAULT_N_EXAMPLES = 2400
+
+
+class BenchmarkContext:
+    """Lazily-built shared state for the experiment suite."""
+
+    def __init__(
+        self,
+        n_examples: int = DEFAULT_N_EXAMPLES,
+        seed: int = 0,
+        rf_estimators: int = 50,
+        cnn_epochs: int = 10,
+    ):
+        self.n_examples = n_examples
+        self.seed = seed
+        self.rf_estimators = rf_estimators
+        self.cnn_epochs = cnn_epochs
+        self._corpus: LabeledCorpus | None = None
+        self._split: tuple[LabeledDataset, LabeledDataset] | None = None
+        self._models: dict[str, TypeInferenceModel] = {}
+        self._sherlock: SherlockTool | None = None
+
+    # -- data ------------------------------------------------------------------
+    @property
+    def corpus(self) -> LabeledCorpus:
+        if self._corpus is None:
+            self._corpus = generate_corpus(
+                n_examples=self.n_examples, seed=self.seed
+            )
+        return self._corpus
+
+    @property
+    def dataset(self) -> LabeledDataset:
+        return self.corpus.dataset
+
+    def _ensure_split(self) -> tuple[LabeledDataset, LabeledDataset]:
+        if self._split is None:
+            labels = [label.value for label in self.dataset.labels]
+            index = np.arange(len(self.dataset))
+            train_idx, test_idx = train_test_split(
+                index, test_size=0.2, random_state=self.seed, stratify=labels
+            )
+            self._split = (
+                self.dataset.subset(train_idx),
+                self.dataset.subset(test_idx),
+            )
+        return self._split
+
+    @property
+    def train(self) -> LabeledDataset:
+        return self._ensure_split()[0]
+
+    @property
+    def test(self) -> LabeledDataset:
+        return self._ensure_split()[1]
+
+    def raw_column(self, profile) -> Column:
+        """The raw column a profile was featurized from."""
+        for table in self.corpus.files:
+            if table.name == profile.source_file and profile.name in table:
+                return table[profile.name]
+        raise KeyError(f"no raw column for {profile.source_file}/{profile.name}")
+
+    def raw_columns(self, dataset: LabeledDataset) -> list[Column]:
+        by_key = {
+            (table.name, column.name): column
+            for table in self.corpus.files
+            for column in table
+        }
+        return [by_key[(p.source_file, p.name)] for p in dataset.profiles]
+
+    # -- models ------------------------------------------------------------------
+    def model(self, name: str, feature_set=("stats", "name")) -> TypeInferenceModel:
+        """A fitted type-inference model, cached by (name, feature set)."""
+        key = f"{name}:{','.join(feature_set)}"
+        if key not in self._models:
+            model = self._build_model(name, feature_set)
+            model.fit(self.train)
+            self._models[key] = model
+        return self._models[key]
+
+    def _build_model(self, name: str, feature_set) -> TypeInferenceModel:
+        if name == "rf":
+            return RandomForestModel(
+                n_estimators=self.rf_estimators, feature_set=feature_set,
+                random_state=self.seed,
+            )
+        if name == "logreg":
+            return LogRegModel(feature_set=feature_set)
+        if name == "svm":
+            return SVMModel(feature_set=feature_set)
+        if name == "cnn":
+            return CNNModel(
+                feature_set=feature_set, epochs=self.cnn_epochs,
+                random_state=self.seed,
+            )
+        if name == "knn":
+            return KNNModel()
+        raise ValueError(f"unknown model name: {name!r}")
+
+    @property
+    def our_rf(self) -> TypeInferenceModel:
+        """The paper's best model ("OurRF"): RF on stats + name bigrams."""
+        return self.model("rf", ("stats", "name"))
+
+    # -- tools ------------------------------------------------------------------
+    def tools(self) -> dict[str, object]:
+        """Fresh instances of the four industrial tools + rule baseline."""
+        return {
+            "tfdv": TFDVTool(),
+            "pandas": PandasTool(),
+            "transmogrifai": TransmogrifAITool(),
+            "autogluon": AutoGluonTool(),
+            "rules": RuleBaselineTool(),
+        }
+
+    @property
+    def sherlock(self) -> SherlockTool:
+        if self._sherlock is None:
+            self._sherlock = SherlockTool()
+        return self._sherlock
+
+    # -- predictions ---------------------------------------------------------
+    def tool_predictions(
+        self, dataset: LabeledDataset
+    ) -> dict[str, list[FeatureType]]:
+        """Predictions of every rule/syntax tool + Sherlock on a dataset."""
+        columns = self.raw_columns(dataset)
+        out: dict[str, list[FeatureType]] = {}
+        for name, tool in self.tools().items():
+            out[name] = [tool.infer_column(column) for column in columns]
+        out["sherlock"] = self.sherlock.infer_profiles(dataset.profiles)
+        return out

@@ -1,0 +1,181 @@
+"""Experiments E4/E5/E14 — Tables 4, 5 and Figure 8: the downstream suite.
+
+Builds the 30 downstream datasets, infers types with Pandas / TFDV /
+AutoGluon / OurRF, trains linear and forest downstream models under each
+assignment, and reports per-dataset deltas vs the true types (Table 5),
+the coverage/accuracy and under/match/outperform summaries (Table 4), and
+the CDFs of performance deltas (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.formatting import format_table
+from repro.datagen.downstream import DOWNSTREAM_SPECS, DownstreamDataset, make_dataset
+from repro.downstream.suite import (
+    InferenceAccuracy,
+    SuiteResult,
+    TruthComparison,
+    compare_to_truth,
+    inference_accuracy_on_suite,
+    model_assignments,
+    run_suite,
+    tool_assignments,
+    truth_assignments,
+)
+from repro.tools import AutoGluonTool, PandasTool, TFDVTool
+
+#: Table 4/5 approaches, in paper order (plus truth).
+DOWNSTREAM_APPROACHES = ("pandas", "tfdv", "autogluon", "ourrf")
+
+
+@dataclass
+class DownstreamExperimentResult:
+    suite: SuiteResult
+    inference: list[InferenceAccuracy]
+    comparisons: dict[str, list[TruthComparison]]  # by model kind
+    datasets: list[DownstreamDataset] = field(default_factory=list)
+
+    def deltas_vs_truth(self, approach: str, model_kind: str) -> np.ndarray:
+        """Signed deltas vs truth across datasets (Figure 8's raw series)."""
+        truth_scores = self.suite.scores["truth"][model_kind]
+        return np.array(
+            [
+                self.suite.delta_vs_truth(approach, model_kind, name)
+                for name in truth_scores
+            ]
+        )
+
+    def delta_cdf(
+        self, approach: str, model_kind: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted drop magnitudes, cumulative fraction) — Figure 8."""
+        drops = np.maximum(0.0, -self.deltas_vs_truth(approach, model_kind))
+        xs = np.sort(drops)
+        ys = np.arange(1, len(xs) + 1) / len(xs)
+        return xs, ys
+
+
+def run_downstream_experiment(
+    context: BenchmarkContext,
+    dataset_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> DownstreamExperimentResult:
+    """Run the full downstream comparison (or a named subset of datasets)."""
+    specs = DOWNSTREAM_SPECS
+    if dataset_names is not None:
+        wanted = set(dataset_names)
+        specs = tuple(s for s in specs if s.name in wanted)
+    datasets = [make_dataset(spec, seed=seed + i) for i, spec in enumerate(specs)]
+
+    our_rf = context.our_rf
+    tools = {"pandas": PandasTool(), "tfdv": TFDVTool(), "autogluon": AutoGluonTool()}
+    approaches = {
+        "truth": truth_assignments,
+        "pandas": lambda ds: tool_assignments(ds, tools["pandas"]),
+        "tfdv": lambda ds: tool_assignments(ds, tools["tfdv"]),
+        "autogluon": lambda ds: tool_assignments(ds, tools["autogluon"]),
+        "ourrf": lambda ds: model_assignments(ds, our_rf),
+    }
+
+    suite = run_suite(datasets, approaches, seed=seed)
+
+    inference = [
+        inference_accuracy_on_suite(
+            datasets,
+            name,
+            approaches[name],
+            coverage_fn=(
+                (lambda ds, col, t=tools[name]: t.covers_column(ds.table[col]))
+                if name in tools
+                else None
+            ),
+        )
+        for name in DOWNSTREAM_APPROACHES
+    ]
+    comparisons = {
+        kind: compare_to_truth(suite, list(DOWNSTREAM_APPROACHES), kind)
+        for kind in ("linear", "forest")
+    }
+    return DownstreamExperimentResult(
+        suite=suite, inference=inference, comparisons=comparisons, datasets=datasets
+    )
+
+
+def render_table4(result: DownstreamExperimentResult) -> str:
+    coverage_rows = [
+        [row.approach, row.covered, row.total, f"{100 * row.accuracy:.1f}%"]
+        for row in result.inference
+    ]
+    blocks = [
+        format_table(
+            ["approach", "column coverage", "total columns",
+             "accuracy given coverage"],
+            coverage_rows,
+            title="\n== Table 4(A): type inference on the downstream suite ==",
+        )
+    ]
+    for kind, rows in result.comparisons.items():
+        body = [
+            [r.approach, r.underperform, r.match, r.outperform, r.best_tool_count]
+            for r in rows
+        ]
+        blocks.append(
+            format_table(
+                ["approach", "underperform truth", "match truth",
+                 "outperform truth", "best tool count"],
+                body,
+                title=f"\n== Table 4(B): vs truth, downstream {kind} model ==",
+            )
+        )
+    return "\n".join(blocks)
+
+
+def render_table5(result: DownstreamExperimentResult) -> str:
+    blocks = []
+    for kind in ("linear", "forest"):
+        rows = []
+        truth_scores = result.suite.scores["truth"][kind]
+        for name, truth in truth_scores.items():
+            row: list[object] = [name, f"{truth.value:.2f}"]
+            for approach in DOWNSTREAM_APPROACHES:
+                delta = result.suite.delta_vs_truth(approach, kind, name)
+                row.append(f"{delta:+.2f}")
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["dataset", "truth", *DOWNSTREAM_APPROACHES],
+                rows,
+                title=(
+                    f"\n== Table 5: downstream {kind} model "
+                    "(deltas vs truth; classification in accuracy points, "
+                    "regression deltas sign-flipped so negative = worse) =="
+                ),
+            )
+        )
+    return "\n".join(blocks)
+
+
+def render_figure8(result: DownstreamExperimentResult) -> str:
+    """Figure 8 as quantile series of the drop-vs-truth CDFs."""
+    quantiles = (0.25, 0.5, 0.75, 0.9)
+    blocks = []
+    for kind in ("linear", "forest"):
+        rows = []
+        for approach in DOWNSTREAM_APPROACHES:
+            xs, _ys = result.delta_cdf(approach, kind)
+            row: list[object] = [approach]
+            row.extend(float(np.quantile(xs, q)) for q in quantiles)
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["approach", *[f"p{int(100 * q)} drop" for q in quantiles]],
+                rows,
+                title=f"\n== Figure 8: CDF of drop vs truth ({kind} model) ==",
+            )
+        )
+    return "\n".join(blocks)

@@ -1,0 +1,85 @@
+"""Export the paper's figure series as CSV data files.
+
+The benches render ASCII summaries; users who want to re-plot Figures 8, 9,
+and 10 with their own tooling can dump the exact (x, y) CDF series here.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from repro.benchmark.datastats import DataStatsResult
+from repro.benchmark.downstream_exp import (
+    DOWNSTREAM_APPROACHES,
+    DownstreamExperimentResult,
+)
+from repro.benchmark.robustness import RobustnessResult
+from repro.types import ALL_FEATURE_TYPES
+
+
+def _write_series(path: Path, header: list[str], rows) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figure8(
+    result: DownstreamExperimentResult, directory: str | os.PathLike
+) -> list[Path]:
+    """One CSV per (approach, model kind): drop-vs-truth CDF points."""
+    root = Path(directory)
+    written = []
+    for kind in ("linear", "forest"):
+        for approach in DOWNSTREAM_APPROACHES:
+            xs, ys = result.delta_cdf(approach, kind)
+            path = root / f"figure8_{kind}_{approach}.csv"
+            _write_series(
+                path,
+                ["drop_vs_truth", "cumulative_fraction"],
+                zip(xs.tolist(), ys.tolist()),
+            )
+            written.append(path)
+    return written
+
+
+def export_figure9(
+    result: RobustnessResult, directory: str | os.PathLike
+) -> list[Path]:
+    """One CSV per model: prediction-stability CDF points."""
+    root = Path(directory)
+    written = []
+    for model in result.stability:
+        xs, ys = result.cdf(model)
+        path = root / f"figure9_{model}.csv"
+        _write_series(
+            path,
+            ["pct_predictions_unchanged", "cumulative_fraction"],
+            zip(xs.tolist(), ys.tolist()),
+        )
+        written.append(path)
+    return written
+
+
+def export_figure10(
+    result: DataStatsResult, directory: str | os.PathLike
+) -> list[Path]:
+    """One CSV per descriptive stat: per-class CDF curves, long format."""
+    root = Path(directory)
+    written = []
+    stats = next(iter(result.values.values())).keys()
+    for stat in stats:
+        rows = []
+        for feature_type in ALL_FEATURE_TYPES:
+            xs, ys = result.cdf(feature_type, stat)
+            rows.extend(
+                (feature_type.value, float(x), float(y))
+                for x, y in zip(xs, ys)
+            )
+        path = root / f"figure10_{stat}.csv"
+        _write_series(path, ["class", stat, "cumulative_fraction"], rows)
+        written.append(path)
+    return written

@@ -1,0 +1,68 @@
+"""Leaderboard (paper Section 6.1): 9-class accuracy + per-class metrics.
+
+The public repository hosts a competition leaderboard over the labeled
+dataset; this module produces the same artifact as a JSON-serializable
+structure, ranked by 9-class test accuracy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.table1 import run_table1
+from repro.core.vocabulary import TABLE1_CLASSES
+
+
+@dataclass
+class LeaderboardEntry:
+    approach: str
+    nine_class_accuracy: float
+    per_class: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+@dataclass
+class Leaderboard:
+    entries: list[LeaderboardEntry] = field(default_factory=list)
+
+    def ranked(self) -> list[LeaderboardEntry]:
+        return sorted(
+            self.entries, key=lambda e: e.nine_class_accuracy, reverse=True
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [asdict(entry) for entry in self.ranked()], indent=2
+        )
+
+    def winner(self) -> LeaderboardEntry:
+        if not self.entries:
+            raise ValueError("leaderboard is empty")
+        return self.ranked()[0]
+
+
+def build_leaderboard(context: BenchmarkContext) -> Leaderboard:
+    """Score every approach on the held-out test set and rank them."""
+    table1 = run_table1(context)
+    board = Leaderboard()
+    for approach, accuracy in table1.nine_class.items():
+        per_class = {}
+        for feature_type in TABLE1_CLASSES:
+            cell = table1.cell(approach, feature_type)
+            if cell is None:
+                continue
+            per_class[feature_type.value] = {
+                "precision": cell.precision,
+                "recall": cell.recall,
+                "f1": cell.f1,
+                "binarized_accuracy": cell.accuracy,
+            }
+        board.entries.append(
+            LeaderboardEntry(
+                approach=approach,
+                nine_class_accuracy=accuracy,
+                per_class=per_class,
+            )
+        )
+    return board

@@ -1,0 +1,202 @@
+"""Experiment registry and CLI: ``repro-bench <experiment> [--scale N]``.
+
+Each experiment regenerates one of the paper's tables or figures and prints
+the same rows/series.  ``repro-bench all`` runs everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.benchmark.context import BenchmarkContext
+
+
+def _table1(context: BenchmarkContext) -> str:
+    from repro.benchmark.table1 import render_table1, run_table1
+
+    return render_table1(run_table1(context))
+
+
+def _table2(context: BenchmarkContext) -> str:
+    from repro.benchmark.table2 import render_table2, run_table2
+
+    result = run_table2(context)
+    return "\n".join(
+        render_table2(result, split) for split in ("train", "validation", "test")
+    )
+
+
+def _table3(context: BenchmarkContext) -> str:
+    from repro.benchmark.table3 import (
+        render_datatype_confusion,
+        render_table3,
+        run_datatype_confusion,
+        run_table3,
+    )
+
+    parts = [
+        render_table3(run_table3(context, max_examples=20)),
+        render_datatype_confusion(run_datatype_confusion(context)),
+    ]
+    return "\n".join(parts)
+
+
+def _downstream(context: BenchmarkContext) -> str:
+    from repro.benchmark.downstream_exp import (
+        render_figure8,
+        render_table4,
+        render_table5,
+        run_downstream_experiment,
+    )
+
+    result = run_downstream_experiment(context)
+    return "\n".join(
+        [render_table4(result), render_table5(result), render_figure8(result)]
+    )
+
+
+def _table7(context: BenchmarkContext) -> str:
+    from repro.benchmark.table7 import render_table7, run_table7
+
+    return render_table7(run_table7(context))
+
+
+def _table11(context: BenchmarkContext) -> str:
+    from repro.benchmark.table11 import render_table11, run_table11
+
+    return render_table11(run_table11(context))
+
+
+def _table12(context: BenchmarkContext) -> str:
+    from repro.benchmark.table12 import render_table12, run_table12
+
+    return render_table12(run_table12(context))
+
+
+def _table15(context: BenchmarkContext) -> str:
+    from repro.benchmark.table15 import render_table15, run_table15
+
+    return render_table15(run_table15(context))
+
+
+def _table14(context: BenchmarkContext) -> str:
+    from repro.benchmark.table14 import render_table14, run_table14
+
+    return render_table14(run_table14(context))
+
+
+def _figure9(context: BenchmarkContext) -> str:
+    from repro.benchmark.robustness import render_table16, run_robustness
+
+    return render_table16(run_robustness(context, n_runs=25, max_columns=100))
+
+
+def _table17(context: BenchmarkContext) -> str:
+    from repro.benchmark.table17 import render_table17, run_table17
+
+    return render_table17(run_table17(context))
+
+
+def _table18(context: BenchmarkContext) -> str:
+    from repro.benchmark.datastats import render_table18, run_datastats
+
+    return render_table18(run_datastats(context))
+
+
+def _figure7(context: BenchmarkContext) -> str:
+    from repro.benchmark.runtime import render_figure7, run_runtimes
+
+    return render_figure7(run_runtimes(context))
+
+
+def _labeling(context: BenchmarkContext) -> str:
+    from repro.benchmark.labeling import (
+        run_crowdsourcing_simulation,
+        run_labeling_bootstrap,
+    )
+
+    bootstrap = run_labeling_bootstrap(context)
+    crowd = run_crowdsourcing_simulation(context)
+    return (
+        f"labeling bootstrap: seed={bootstrap.seed_size} "
+        f"5-fold CV accuracy={bootstrap.cv_accuracy:.3f}\n"
+        f"predicted-class group sizes: {bootstrap.group_sizes}\n"
+        f"crowdsourcing sim: worker acc={crowd.worker_accuracy:.2f} -> "
+        f"majority vote acc={crowd.majority_vote_accuracy:.3f}, "
+        f"{100 * crowd.pct_examples_with_3plus_labels:.0f}% of examples got "
+        "3+ distinct labels"
+    )
+
+
+def _leaderboard(context: BenchmarkContext) -> str:
+    from repro.benchmark.leaderboard import build_leaderboard
+
+    return build_leaderboard(context).to_json()
+
+
+EXPERIMENTS: dict[str, Callable[[BenchmarkContext], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "downstream": _downstream,  # tables 4 & 5 + figure 8
+    "table7": _table7,
+    "table11": _table11,
+    "table12": _table12,
+    "table14": _table14,
+    "table15": _table15,
+    "figure9": _figure9,  # + table 16
+    "table17": _table17,
+    "table18": _table18,  # + figure 10
+    "figure7": _figure7,
+    "labeling": _labeling,
+    "leaderboard": _leaderboard,
+}
+
+
+def run_experiment(name: str, context: BenchmarkContext) -> str:
+    try:
+        experiment = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return experiment(context)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="labeled-corpus size (default 2400; paper scale is 9921)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["n_examples"] = args.scale
+    context = BenchmarkContext(**kwargs)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = run_experiment(name, context)
+        elapsed = time.perf_counter() - start
+        print(f"\n######## {name} ({elapsed:.1f}s) ########")
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Experiment E9 — Table 15: double representation of integer columns.
+
+Routes integer columns to BOTH numeric and one-hot representations — for
+the tools unconditionally, for NewRF only when the type-inference confidence
+falls below the 0.4 threshold — and compares against truth and the
+exclusive-representation baselines on the classification datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.formatting import format_table
+from repro.core.featurize import profile_table
+from repro.core.newrf import NewRF, Representation
+from repro.datagen.downstream import DOWNSTREAM_SPECS, make_dataset
+from repro.downstream.featurize import TypeAssignment
+from repro.downstream.harness import evaluate_assignment
+from repro.downstream.suite import tool_assignments, truth_assignments
+from repro.tabular.dtypes import is_integer_literal
+from repro.tools import AutoGluonTool, PandasTool, TFDVTool
+from repro.types import FeatureType
+
+
+def _is_integer_column(column) -> bool:
+    sample = column.head_distinct(5)
+    return bool(sample) and all(is_integer_literal(s) for s in sample)
+
+
+def doubled_tool_assignments(dataset, tool) -> TypeAssignment:
+    """Tool assignment with every integer column double-represented."""
+    base = tool_assignments(dataset, tool)
+    out: TypeAssignment = {}
+    for name, feature_type in base.items():
+        if feature_type in (
+            FeatureType.NUMERIC,
+            FeatureType.CATEGORICAL,
+        ) and _is_integer_column(dataset.table[name]):
+            out[name] = Representation(feature_type, double=True)
+        else:
+            out[name] = feature_type
+    return out
+
+
+def newrf_assignments(dataset, newrf: NewRF) -> TypeAssignment:
+    profiles = profile_table(dataset.table)
+    representations = newrf.predict(profiles)
+    return {p.name: rep for p, rep in zip(profiles, representations)}
+
+
+@dataclass(frozen=True)
+class Table15Row:
+    approach: str
+    model_kind: str
+    underperform_truth: int
+    underperform_exclusive_baseline: int
+    outperform_exclusive_baseline: int
+    best_tool_count: int
+
+
+def run_table15(
+    context: BenchmarkContext,
+    dataset_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> list[Table15Row]:
+    specs = [s for s in DOWNSTREAM_SPECS if s.task == "classification"]
+    if dataset_names is not None:
+        wanted = set(dataset_names)
+        specs = [s for s in specs if s.name in wanted]
+    datasets = [make_dataset(spec, seed=seed + i) for i, spec in enumerate(specs)]
+
+    tools = {"pandas": PandasTool(), "tfdv": TFDVTool(), "autogluon": AutoGluonTool()}
+    newrf = NewRF(context.our_rf)
+
+    rows = []
+    for model_kind in ("linear", "forest"):
+        scores: dict[str, dict[str, float]] = {}
+        for dataset in datasets:
+            truth_score = evaluate_assignment(
+                dataset, truth_assignments(dataset), model_kind, seed=seed
+            )
+            scores.setdefault("truth", {})[dataset.name] = truth_score.value
+            for name, tool in tools.items():
+                exclusive = evaluate_assignment(
+                    dataset, tool_assignments(dataset, tool), model_kind, seed=seed
+                )
+                doubled = evaluate_assignment(
+                    dataset, doubled_tool_assignments(dataset, tool),
+                    model_kind, seed=seed,
+                )
+                scores.setdefault(f"{name}:exclusive", {})[dataset.name] = (
+                    exclusive.value
+                )
+                scores.setdefault(f"{name}:double", {})[dataset.name] = doubled.value
+            newrf_score = evaluate_assignment(
+                dataset, newrf_assignments(dataset, newrf), model_kind, seed=seed
+            )
+            scores.setdefault("newrf", {})[dataset.name] = newrf_score.value
+
+        approaches = [f"{name}:double" for name in tools] + ["newrf"]
+        for approach in approaches:
+            under_truth = under_base = over_base = best = 0
+            baseline_key = (
+                approach.replace(":double", ":exclusive")
+                if approach != "newrf"
+                else None
+            )
+            for dataset in datasets:
+                value = scores[approach][dataset.name]
+                truth_value = scores["truth"][dataset.name]
+                if value < truth_value - 0.5:
+                    under_truth += 1
+                if baseline_key is not None:
+                    baseline_value = scores[baseline_key][dataset.name]
+                    if value < baseline_value - 0.5:
+                        under_base += 1
+                    elif value > baseline_value + 0.5:
+                        over_base += 1
+                rivals = [scores[a][dataset.name] for a in approaches]
+                if value >= max(rivals) - 1e-12:
+                    best += 1
+            rows.append(
+                Table15Row(
+                    approach=approach,
+                    model_kind=model_kind,
+                    underperform_truth=under_truth,
+                    underperform_exclusive_baseline=under_base,
+                    outperform_exclusive_baseline=over_base,
+                    best_tool_count=best,
+                )
+            )
+    return rows
+
+
+def render_table15(rows: list[Table15Row]) -> str:
+    body = [
+        [
+            row.model_kind,
+            row.approach,
+            row.underperform_truth,
+            row.underperform_exclusive_baseline,
+            row.outperform_exclusive_baseline,
+            row.best_tool_count,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["downstream model", "approach", "under truth", "under own baseline",
+         "over own baseline", "best tool"],
+        body,
+        title="\n== Table 15: double representation of integer columns ==",
+    )

@@ -1,0 +1,83 @@
+"""The paper's primary contribution: benchmark + ML-based type inference."""
+
+from repro.core.feature_sets import (
+    TABLE2_FEATURE_SETS,
+    FeatureSetBuilder,
+    feature_set_label,
+)
+from repro.core.featurize import (
+    ColumnProfile,
+    LabeledDataset,
+    N_SAMPLE_VALUES,
+    profile_column,
+    profile_table,
+)
+from repro.core.models import (
+    CNNModel,
+    KNNModel,
+    LogRegModel,
+    PAPER_GRIDS,
+    RandomForestModel,
+    SVMModel,
+    TypeInferenceModel,
+    default_models,
+)
+from repro.core.newrf import NewRF, Representation
+from repro.core.persistence import ModelPersistenceError, load_model, save_model
+from repro.core.pipeline import ColumnPrediction, TypeInferencePipeline
+from repro.core.stats import (
+    DATETIME_FEATURE_INDEX,
+    LIST_FEATURE_INDEX,
+    N_STATS,
+    STAT_NAMES,
+    URL_FEATURE_INDEX,
+    DescriptiveStats,
+    compress_stats,
+    compute_stats,
+)
+from repro.core.vocabulary import (
+    TABLE1_CLASSES,
+    TOOL_VOCABULARY,
+    binarize,
+    coverage_classes,
+    tool_covers,
+)
+
+__all__ = [
+    "CNNModel",
+    "ColumnPrediction",
+    "ColumnProfile",
+    "DATETIME_FEATURE_INDEX",
+    "DescriptiveStats",
+    "FeatureSetBuilder",
+    "KNNModel",
+    "LIST_FEATURE_INDEX",
+    "LabeledDataset",
+    "LogRegModel",
+    "ModelPersistenceError",
+    "N_SAMPLE_VALUES",
+    "N_STATS",
+    "NewRF",
+    "PAPER_GRIDS",
+    "RandomForestModel",
+    "Representation",
+    "STAT_NAMES",
+    "SVMModel",
+    "TABLE1_CLASSES",
+    "TABLE2_FEATURE_SETS",
+    "TOOL_VOCABULARY",
+    "TypeInferenceModel",
+    "TypeInferencePipeline",
+    "URL_FEATURE_INDEX",
+    "binarize",
+    "compress_stats",
+    "compute_stats",
+    "coverage_classes",
+    "default_models",
+    "feature_set_label",
+    "load_model",
+    "profile_column",
+    "save_model",
+    "profile_table",
+    "tool_covers",
+]

@@ -1,0 +1,101 @@
+"""Feature-set assembly for the type-inference models (paper Table 2).
+
+The paper evaluates nine combinations of X_stats (25 descriptive stats),
+X2_name (bigrams of the attribute name), and X2_sample1/X2_sample2 (bigrams
+of the first/second sample value).  Classical models consume hashed bigram
+vectors; the CNN and k-NN consume raw characters (handled by their wrappers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.featurize import ColumnProfile
+from repro.core.stats import N_STATS, compress_stats
+from repro.ml.text import HashingVectorizer
+
+#: The nine feature-set combinations of Table 2, by canonical key.
+TABLE2_FEATURE_SETS: tuple[tuple[str, ...], ...] = (
+    ("stats",),
+    ("name",),
+    ("sample1",),
+    ("stats", "name"),
+    ("stats", "sample1"),
+    ("name", "sample1"),
+    ("sample1", "sample2"),
+    ("stats", "name", "sample1"),
+    ("stats", "name", "sample1", "sample2"),
+)
+
+VALID_PARTS = ("stats", "name", "sample1", "sample2")
+
+
+def feature_set_label(parts: tuple[str, ...]) -> str:
+    """Human-readable label matching the paper's column headers."""
+    rendered = {
+        "stats": "X_stats",
+        "name": "X2_name",
+        "sample1": "X2_sample1",
+        "sample2": "X2_sample2",
+    }
+    return ", ".join(rendered[p] for p in parts)
+
+
+@dataclass
+class FeatureSetBuilder:
+    """Builds fixed-width numeric features from column profiles.
+
+    ``parts`` selects which signals go in; bigrams are feature-hashed so the
+    space is identical across train/test (no vocabulary leakage), and stats
+    are log-compressed (see :func:`repro.core.stats.compress_stats`).
+    ``drop_stat_indices`` removes individual descriptive stats — used by the
+    Table 12 ablation.
+    """
+
+    parts: tuple[str, ...] = ("stats", "name")
+    ngram: int = 2
+    hash_dim: int = 192
+    drop_stat_indices: tuple[int, ...] = ()
+    _vectorizer: HashingVectorizer = field(init=False, repr=False)
+
+    def __post_init__(self):
+        unknown = [p for p in self.parts if p not in VALID_PARTS]
+        if unknown:
+            raise ValueError(f"unknown feature parts: {unknown}")
+        if not self.parts:
+            raise ValueError("feature set cannot be empty")
+        self._vectorizer = HashingVectorizer(
+            analyzer="char", ngram=self.ngram, n_features=self.hash_dim
+        )
+
+    @property
+    def n_features(self) -> int:
+        width = 0
+        if "stats" in self.parts:
+            width += N_STATS - len(self.drop_stat_indices)
+        for part in ("name", "sample1", "sample2"):
+            if part in self.parts:
+                width += self.hash_dim
+        return width
+
+    def transform(self, profiles: list[ColumnProfile]) -> np.ndarray:
+        """Profiles → (n, n_features) matrix."""
+        blocks: list[np.ndarray] = []
+        if "stats" in self.parts:
+            stats = np.stack([p.stats_vector for p in profiles])
+            stats = compress_stats(stats)
+            if self.drop_stat_indices:
+                keep = [
+                    i for i in range(N_STATS) if i not in set(self.drop_stat_indices)
+                ]
+                stats = stats[:, keep]
+            blocks.append(stats)
+        if "name" in self.parts:
+            blocks.append(self._vectorizer.transform([p.name for p in profiles]))
+        if "sample1" in self.parts:
+            blocks.append(self._vectorizer.transform([p.sample(0) for p in profiles]))
+        if "sample2" in self.parts:
+            blocks.append(self._vectorizer.transform([p.sample(1) for p in profiles]))
+        return np.hstack(blocks)

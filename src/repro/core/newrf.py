@@ -1,0 +1,75 @@
+"""NewRF: confidence-thresholded double representation (Appendix I.5.2).
+
+For integer columns, instead of routing to an exclusive Numeric or
+Categorical representation, the adapted model routes *low-confidence*
+predictions to both representations at once.  The paper sets the threshold
+to 0.4 — twice random-guessing confidence on the Numeric/Categorical
+dichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.featurize import ColumnProfile
+from repro.core.models import TypeInferenceModel
+from repro.types import FeatureType
+
+DEFAULT_THRESHOLD = 0.4
+
+
+@dataclass(frozen=True)
+class Representation:
+    """How a column should be represented for the downstream model."""
+
+    feature_type: FeatureType
+    double: bool  # when True: route to BOTH numeric and one-hot encodings
+
+    @property
+    def as_numeric(self) -> bool:
+        return self.double or self.feature_type is FeatureType.NUMERIC
+
+    @property
+    def as_categorical(self) -> bool:
+        return self.double or self.feature_type is FeatureType.CATEGORICAL
+
+
+class NewRF:
+    """Wraps a fitted model to emit double representations when unsure."""
+
+    def __init__(self, model: TypeInferenceModel, threshold: float = DEFAULT_THRESHOLD):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.model = model
+        self.threshold = threshold
+
+    def predict(self, profiles: list[ColumnProfile]) -> list[Representation]:
+        probs = self.model.predict_proba(profiles)
+        classes = self.model.classes_
+        out = []
+        for profile, row in zip(profiles, probs):
+            best = int(np.argmax(row))
+            feature_type = classes[best]
+            confidence = float(row[best])
+            integer_dichotomy = feature_type in (
+                FeatureType.NUMERIC,
+                FeatureType.CATEGORICAL,
+            )
+            is_integer_column = _is_integer_profile(profile)
+            double = (
+                integer_dichotomy
+                and is_integer_column
+                and confidence < self.threshold
+            )
+            out.append(Representation(feature_type=feature_type, double=double))
+        return out
+
+
+def _is_integer_profile(profile: ColumnProfile) -> bool:
+    """True when the profiled column's sampled values are integers."""
+    from repro.tabular.dtypes import is_integer_literal
+
+    samples = [s for s in profile.samples if s]
+    return bool(samples) and all(is_integer_literal(s) for s in samples)

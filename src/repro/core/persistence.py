@@ -1,0 +1,59 @@
+"""Save/load trained type-inference models.
+
+The paper's public repository ships pre-trained models (k-NN, logistic
+regression, RBF-SVM, Random Forest, CNN) so platforms can integrate type
+inference without retraining.  This module provides the same artifact:
+a versioned pickle with an integrity header.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+
+from repro.core.models import TypeInferenceModel
+
+_MAGIC = b"REPRO-SORTINGHAT-MODEL\x00"
+_FORMAT_VERSION = 1
+
+
+class ModelPersistenceError(RuntimeError):
+    """Raised when a model artifact cannot be read."""
+
+
+def save_model(model: TypeInferenceModel, path: str | os.PathLike) -> None:
+    """Serialize a fitted model to ``path``."""
+    buffer = io.BytesIO()
+    pickle.dump(
+        {"format_version": _FORMAT_VERSION, "model": model},
+        buffer,
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(buffer.getvalue())
+
+
+def load_model(path: str | os.PathLike) -> TypeInferenceModel:
+    """Load a model previously written by :func:`save_model`.
+
+    Only load artifacts you produced yourself — this uses pickle.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(len(_MAGIC))
+        if header != _MAGIC:
+            raise ModelPersistenceError(
+                f"{os.fspath(path)!r} is not a repro model artifact"
+            )
+        payload = pickle.load(handle)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ModelPersistenceError(
+            f"unsupported model format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    model = payload["model"]
+    if not isinstance(model, TypeInferenceModel):
+        raise ModelPersistenceError("artifact does not contain a model")
+    return model

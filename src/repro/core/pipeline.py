@@ -1,0 +1,79 @@
+"""End-to-end type inference: raw CSV file → per-column feature types.
+
+This is the user-facing entry point an AutoML platform would call: load a
+file, base-featurize every column, and run a trained model to get a feature
+type and a confidence score per column (Section 3.3 / Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.featurize import ColumnProfile, profile_table
+from repro.core.models import TypeInferenceModel
+from repro.tabular.csv_io import read_csv, read_csv_text
+from repro.tabular.table import Table
+from repro.types import FeatureType
+
+
+@dataclass(frozen=True)
+class ColumnPrediction:
+    """Predicted feature type of one column, with its confidence."""
+
+    column: str
+    feature_type: FeatureType
+    confidence: float
+
+    @property
+    def needs_review(self) -> bool:
+        """Columns an AutoML platform should surface for human review.
+
+        The paper (Section 3.3) recommends prioritizing intervention on
+        Context-Specific predictions and low-confidence predictions.
+        """
+        return (
+            self.feature_type is FeatureType.CONTEXT_SPECIFIC
+            or self.confidence < 0.5
+        )
+
+
+class TypeInferencePipeline:
+    """Wraps a fitted :class:`TypeInferenceModel` behind file-level helpers."""
+
+    def __init__(self, model: TypeInferenceModel):
+        self.model = model
+
+    def predict_profiles(
+        self, profiles: list[ColumnProfile]
+    ) -> list[ColumnPrediction]:
+        probs = self.model.predict_proba(profiles)
+        classes = self.model.classes_
+        out = []
+        for profile, row in zip(profiles, probs):
+            best = int(np.argmax(row))
+            out.append(
+                ColumnPrediction(
+                    column=profile.name,
+                    feature_type=classes[best],
+                    confidence=float(row[best]),
+                )
+            )
+        return out
+
+    def predict_table(self, table: Table) -> list[ColumnPrediction]:
+        """Infer feature types for every column of an in-memory table."""
+        return self.predict_profiles(profile_table(table))
+
+    def predict_csv(self, path) -> list[ColumnPrediction]:
+        """Infer feature types for every column of a CSV file on disk."""
+        return self.predict_table(read_csv(path))
+
+    def predict_csv_text(self, text: str) -> list[ColumnPrediction]:
+        """Infer feature types for CSV content provided as a string."""
+        return self.predict_table(read_csv_text(text))
+
+    def review_queue(self, table: Table) -> list[ColumnPrediction]:
+        """Only the predictions that warrant human attention."""
+        return [p for p in self.predict_table(table) if p.needs_review]

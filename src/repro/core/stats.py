@@ -1,0 +1,228 @@
+"""The 25 descriptive statistics of base featurization (paper Appendix E).
+
+For every raw column we compute aggregate signals a data scientist would
+glance at: counts of values/NaNs/distincts, moments of the values and of
+string shape measures (word/stop-word/char/whitespace/delimiter counts),
+min/max, and boolean regex probes (URL, e-mail, delimiter sequence, list)
+plus a timestamp check over the five sample values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tabular.column import Column
+from repro.tabular.dtypes import (
+    looks_like_datetime,
+    looks_like_email,
+    looks_like_list,
+    looks_like_url,
+    try_parse_float,
+)
+
+#: Small English stop-word list (enough to separate prose from codes).
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on or that the
+    this to was were will with not but they you i we she his her them our
+    their there then than so if about into over after before all any each
+    out up down no yes do does did have had can could would should may
+    """.split()
+)
+
+_DELIMITERS = ",;|:"
+
+#: Names of the 25 features, in vector order.
+STAT_NAMES: tuple[str, ...] = (
+    "total_values",
+    "num_nans",
+    "pct_nans",
+    "num_distinct",
+    "pct_distinct",
+    "mean_value",
+    "std_value",
+    "min_value",
+    "max_value",
+    "mean_word_count",
+    "std_word_count",
+    "mean_stopword_count",
+    "std_stopword_count",
+    "mean_char_count",
+    "std_char_count",
+    "mean_whitespace_count",
+    "std_whitespace_count",
+    "mean_delimiter_count",
+    "std_delimiter_count",
+    "numeric_fraction",
+    "sample_has_url",
+    "sample_has_email",
+    "sample_has_delimiter_seq",
+    "sample_has_list",
+    "sample_has_date",
+)
+
+N_STATS = len(STAT_NAMES)
+
+#: Indices of the three type-specific boolean probes ablated in Table 12.
+URL_FEATURE_INDEX = STAT_NAMES.index("sample_has_url")
+LIST_FEATURE_INDEX = STAT_NAMES.index("sample_has_list")
+DATETIME_FEATURE_INDEX = STAT_NAMES.index("sample_has_date")
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """The 25 descriptive statistics, both named and as a vector."""
+
+    values: np.ndarray
+
+    def __post_init__(self):
+        if self.values.shape != (N_STATS,):
+            raise ValueError(f"expected {N_STATS} stats, got {self.values.shape}")
+
+    def __getitem__(self, name: str) -> float:
+        return float(self.values[STAT_NAMES.index(name)])
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: float(v) for name, v in zip(STAT_NAMES, self.values)}
+
+
+_FLOAT_CAP = 1e18  # larger magnitudes are clamped (squares overflow float64)
+
+
+def _finite(value) -> float:
+    """Clamp to a finite, capped float (guards against 1e300-scale outliers)."""
+    value = float(value)
+    if not np.isfinite(value):
+        return 0.0
+    return float(np.clip(value, -_FLOAT_CAP, _FLOAT_CAP))
+
+
+def _moments(counts: list[float]) -> tuple[float, float]:
+    if not counts:
+        return 0.0, 0.0
+    arr = np.asarray(counts, dtype=float)
+    return float(arr.mean()), float(arr.std())
+
+
+def _word_count(text: str) -> int:
+    return len(text.split())
+
+
+def _stopword_count(text: str) -> int:
+    return sum(1 for token in text.lower().split() if token in STOPWORDS)
+
+
+def _whitespace_count(text: str) -> int:
+    return sum(1 for ch in text if ch.isspace())
+
+
+def _delimiter_count(text: str) -> int:
+    return sum(1 for ch in text if ch in _DELIMITERS)
+
+
+def compute_stats(column: Column, samples: list[str] | None = None) -> DescriptiveStats:
+    """Compute the 25 descriptive statistics for one raw column.
+
+    ``samples`` are the (up to five) sampled distinct values the regex/date
+    probes run over; when omitted the first five distinct values are used.
+    """
+    present = column.non_missing()
+    total = len(column)
+    n_nans = column.n_missing()
+    distinct = column.distinct()
+    if samples is None:
+        samples = distinct[:5]
+
+    numeric = [try_parse_float(cell) for cell in present]
+    numeric = [v for v in numeric if v is not None]
+    if numeric:
+        arr = np.asarray(numeric, dtype=float)
+        with np.errstate(over="ignore", invalid="ignore"):
+            mean_value = _finite(arr.mean())
+            std_value = _finite(arr.std())
+        min_value = _finite(arr.min())
+        max_value = _finite(arr.max())
+    else:
+        mean_value = std_value = min_value = max_value = 0.0
+
+    mean_word, std_word = _moments([_word_count(c) for c in present])
+    mean_stop, std_stop = _moments([_stopword_count(c) for c in present])
+    mean_char, std_char = _moments([len(c) for c in present])
+    mean_ws, std_ws = _moments([_whitespace_count(c) for c in present])
+    mean_delim, std_delim = _moments([_delimiter_count(c) for c in present])
+
+    numeric_fraction = len(numeric) / len(present) if present else 0.0
+
+    has_url = float(any(looks_like_url(s) for s in samples))
+    has_email = float(any(looks_like_email(s) for s in samples))
+    has_delim_seq = float(any(_delimiter_count(s) >= 2 for s in samples))
+    has_list = float(any(looks_like_list(s) for s in samples))
+    has_date = float(any(looks_like_datetime(s) for s in samples))
+
+    vector = np.array(
+        [
+            float(total),
+            float(n_nans),
+            n_nans / total if total else 0.0,
+            float(len(distinct)),
+            len(distinct) / total if total else 0.0,
+            mean_value,
+            std_value,
+            min_value,
+            max_value,
+            mean_word,
+            std_word,
+            mean_stop,
+            std_stop,
+            mean_char,
+            std_char,
+            mean_ws,
+            std_ws,
+            mean_delim,
+            std_delim,
+            numeric_fraction,
+            has_url,
+            has_email,
+            has_delim_seq,
+            has_list,
+            has_date,
+        ]
+    )
+    return DescriptiveStats(vector)
+
+
+def compress_stats(matrix: np.ndarray) -> np.ndarray:
+    """Signed log compression of the unbounded stats columns.
+
+    Raw columns like ``mean_value`` span 18 orders of magnitude (paper
+    Table 18 reports means up to 8.8e17), which destabilizes scale-sensitive
+    models.  ``sign(x) * log1p(|x|)`` preserves ordering while bounding scale;
+    bounded columns (fractions, booleans) pass through unchanged.
+    """
+    matrix = np.asarray(matrix, dtype=float).copy()
+    unbounded = [
+        STAT_NAMES.index(name)
+        for name in (
+            "total_values",
+            "num_nans",
+            "num_distinct",
+            "mean_value",
+            "std_value",
+            "min_value",
+            "max_value",
+            "mean_char_count",
+            "std_char_count",
+            "mean_word_count",
+            "std_word_count",
+            "mean_stopword_count",
+            "std_stopword_count",
+            "mean_whitespace_count",
+            "std_whitespace_count",
+            "mean_delimiter_count",
+            "std_delimiter_count",
+        )
+    ]
+    cols = matrix[:, unbounded]
+    matrix[:, unbounded] = np.sign(cols) * np.log1p(np.abs(cols))
+    return matrix

@@ -1,0 +1,152 @@
+"""Hyper-parameter tuning per the paper's methodology (Section 4.1).
+
+"We perform 5-fold nested cross-validation of the train set, with a random
+fourth of the examples in a training fold being used for validation during
+hyper-parameter tuning.  We use a standard grid search" — over the grids of
+Appendix B (:data:`repro.core.models.PAPER_GRIDS`).
+
+Classical models are tuned on a pre-built feature matrix; the k-NN is tuned
+over (n_neighbors, gamma) with its name/stats distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.feature_sets import FeatureSetBuilder
+from repro.core.featurize import LabeledDataset
+from repro.core.models import (
+    KNNModel,
+    PAPER_GRIDS,
+    TypeInferenceModel,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.model_selection import GridSearchCV, StratifiedKFold
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import RBFSVM
+
+_ESTIMATORS = {
+    "logreg": (LogisticRegression, True),
+    "svm": (RBFSVM, True),
+    "rf": (RandomForestClassifier, False),
+}
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one nested-CV tuning run."""
+
+    model_name: str
+    best_params: dict
+    fold_scores: list[float]
+
+    @property
+    def mean_score(self) -> float:
+        return float(np.mean(self.fold_scores))
+
+
+def tune_classical_model(
+    model_name: str,
+    dataset: LabeledDataset,
+    feature_set: tuple[str, ...] = ("stats", "name"),
+    param_grid: dict | None = None,
+    n_folds: int = 5,
+    random_state: int = 0,
+) -> TuningResult:
+    """Nested CV + grid search for logreg / svm / rf.
+
+    Outer folds estimate generalization; within each outer training fold a
+    random fourth validates the grid candidates (the paper's protocol).
+    ``param_grid`` defaults to the Appendix B grid for the model (pass a
+    smaller grid to keep runs fast).
+    """
+    if model_name not in _ESTIMATORS:
+        raise ValueError(
+            f"unknown classical model {model_name!r}; "
+            f"choose from {sorted(_ESTIMATORS)}"
+        )
+    estimator_cls, needs_scaling = _ESTIMATORS[model_name]
+    grid = param_grid if param_grid is not None else PAPER_GRIDS[model_name]
+
+    builder = FeatureSetBuilder(parts=feature_set)
+    X = builder.transform(dataset.profiles)
+    y = [label.value for label in dataset.labels]
+    if needs_scaling:
+        X = StandardScaler().fit_transform(X)
+
+    splitter = StratifiedKFold(n_splits=n_folds, random_state=random_state)
+    fold_scores: list[float] = []
+    best_params: dict = {}
+    best_score = -np.inf
+    for train_idx, test_idx in splitter.split(y):
+        search = GridSearchCV(
+            estimator_cls(),
+            grid,
+            validation_fraction=0.25,
+            random_state=random_state,
+        )
+        search.fit(X[train_idx], [y[i] for i in train_idx])
+        score = search.score(X[test_idx], [y[i] for i in test_idx])
+        fold_scores.append(float(score))
+        if search.best_score_ > best_score:
+            best_score = search.best_score_
+            best_params = dict(search.best_params_)
+    return TuningResult(model_name, best_params, fold_scores)
+
+
+def tune_knn(
+    dataset: LabeledDataset,
+    n_neighbors_grid: tuple[int, ...] = (1, 3, 5, 7, 9),
+    gamma_grid: tuple[float, ...] = (0.01, 0.1, 1.0, 10.0),
+    validation_fraction: float = 0.25,
+    random_state: int = 0,
+) -> TuningResult:
+    """Grid-search the k-NN's (k, gamma) on a held-out validation slice."""
+    rng = np.random.default_rng(random_state)
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_val = max(1, int(validation_fraction * n))
+    val_idx, fit_idx = order[:n_val], order[n_val:]
+    fit_split = dataset.subset(fit_idx)
+    val_split = dataset.subset(val_idx)
+
+    best = (-np.inf, {})
+    for k in n_neighbors_grid:
+        for gamma in gamma_grid:
+            model = KNNModel(n_neighbors=k, gamma=gamma).fit(fit_split)
+            score = model.score(val_split)
+            if score > best[0]:
+                best = (score, {"n_neighbors": k, "gamma": gamma})
+    return TuningResult("knn", best[1], [best[0]])
+
+
+def fit_tuned(
+    result: TuningResult,
+    dataset: LabeledDataset,
+    feature_set: tuple[str, ...] = ("stats", "name"),
+) -> TypeInferenceModel:
+    """Fit a fresh wrapper model on the whole dataset with the tuned params."""
+    from repro.core.models import LogRegModel, RandomForestModel, SVMModel
+
+    if result.model_name == "logreg":
+        model = LogRegModel(C=result.best_params["C"], feature_set=feature_set)
+    elif result.model_name == "svm":
+        model = SVMModel(
+            C=result.best_params["C"],
+            gamma=result.best_params["gamma"],
+            feature_set=feature_set,
+        )
+    elif result.model_name == "rf":
+        model = RandomForestModel(
+            n_estimators=result.best_params["n_estimators"],
+            max_depth=result.best_params["max_depth"],
+            feature_set=feature_set,
+        )
+    elif result.model_name == "knn":
+        model = KNNModel(**result.best_params)
+    else:
+        raise ValueError(f"unknown model {result.model_name!r}")
+    return model.fit(dataset)

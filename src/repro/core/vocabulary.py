@@ -1,0 +1,77 @@
+"""Label-vocabulary utilities: binarization and tool coverage (Figure 3).
+
+The paper's Table 1 reports *binarized* per-class metrics because no prior
+tool supports the full 9-class vocabulary.  Figure 3 maps each tool's native
+vocabulary onto ours; classes a tool cannot express are "uncovered" — the
+tool can never predict them, and Table 1 leaves those cells blank.
+"""
+
+from __future__ import annotations
+
+from repro.types import ALL_FEATURE_TYPES, FeatureType
+
+#: Which of our nine classes each existing tool's vocabulary covers
+#: (paper Figure 3).  Uncovered classes are unreachable predictions.
+TOOL_VOCABULARY: dict[str, frozenset[FeatureType]] = {
+    "tfdv": frozenset(
+        {
+            FeatureType.NUMERIC,
+            FeatureType.CATEGORICAL,
+            FeatureType.DATETIME,
+            FeatureType.SENTENCE,
+        }
+    ),
+    "pandas": frozenset(
+        {
+            FeatureType.NUMERIC,
+            FeatureType.DATETIME,
+            FeatureType.CONTEXT_SPECIFIC,  # "object" maps to a catch-all
+        }
+    ),
+    "transmogrifai": frozenset(
+        {
+            FeatureType.NUMERIC,
+            FeatureType.DATETIME,
+            FeatureType.CONTEXT_SPECIFIC,  # Text primitive
+        }
+    ),
+    "autogluon": frozenset(
+        {
+            FeatureType.NUMERIC,
+            FeatureType.CATEGORICAL,
+            FeatureType.DATETIME,
+            FeatureType.SENTENCE,
+            FeatureType.NOT_GENERALIZABLE,  # "discard" bucket
+        }
+    ),
+}
+
+#: The classes each tool's row reports in Table 1 (blank cells elsewhere).
+TABLE1_CLASSES: tuple[FeatureType, ...] = (
+    FeatureType.NUMERIC,
+    FeatureType.CATEGORICAL,
+    FeatureType.DATETIME,
+    FeatureType.SENTENCE,
+    FeatureType.NOT_GENERALIZABLE,
+    FeatureType.CONTEXT_SPECIFIC,
+)
+
+
+def binarize(labels, positive: FeatureType) -> list[bool]:
+    """One-vs-rest view of a label sequence."""
+    return [label == positive for label in labels]
+
+
+def tool_covers(tool: str, feature_type: FeatureType) -> bool:
+    """True when ``tool``'s native vocabulary can express ``feature_type``."""
+    try:
+        return feature_type in TOOL_VOCABULARY[tool]
+    except KeyError:
+        raise ValueError(
+            f"unknown tool {tool!r}; known: {sorted(TOOL_VOCABULARY)}"
+        ) from None
+
+
+def coverage_classes(tool: str) -> list[FeatureType]:
+    """Our classes covered by ``tool``, in canonical order."""
+    return [ft for ft in ALL_FEATURE_TYPES if tool_covers(tool, ft)]

@@ -1,0 +1,37 @@
+"""Synthetic corpora: the labeled benchmark dataset, downstream tasks, and
+Sherlock-style semantic-type data (substitutions documented in DESIGN.md)."""
+
+from repro.datagen.corpus import (
+    LabeledCorpus,
+    PAPER_N_EXAMPLES,
+    generate_corpus,
+    paper_scale_corpus,
+    sample_class_sequence,
+)
+from repro.datagen.downstream import (
+    DOWNSTREAM_SPECS,
+    DownstreamDataset,
+    SPEC_BY_NAME,
+    make_dataset,
+    make_suite,
+)
+from repro.datagen.export import export_corpus, load_corpus
+from repro.datagen.values import CLASS_GENERATORS, GeneratedColumn, generate_column
+
+__all__ = [
+    "CLASS_GENERATORS",
+    "DOWNSTREAM_SPECS",
+    "DownstreamDataset",
+    "GeneratedColumn",
+    "LabeledCorpus",
+    "PAPER_N_EXAMPLES",
+    "SPEC_BY_NAME",
+    "export_corpus",
+    "generate_column",
+    "generate_corpus",
+    "load_corpus",
+    "make_dataset",
+    "make_suite",
+    "paper_scale_corpus",
+    "sample_class_sequence",
+]

@@ -1,0 +1,64 @@
+"""Column-name rendering: casing styles, cryptic names, survey codes.
+
+Real CSV headers mix snake_case, camelCase, Title Case, spaces, and
+abbreviations; some are outright meaningless ("ad744", "xyz").  The
+generators here produce that surface diversity so name-based features face
+realistic input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Rng = np.random.Generator
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+_VOWELS = "aeiou"
+
+
+def render_name(rng: Rng, base: str) -> str:
+    """Render a snake_case base name in one of several header styles."""
+    tokens = base.split("_")
+    style = int(rng.integers(6))
+    if style == 0:  # snake_case
+        name = "_".join(tokens)
+    elif style == 1:  # camelCase
+        name = tokens[0] + "".join(t.capitalize() for t in tokens[1:])
+    elif style == 2:  # TitleCase
+        name = "".join(t.capitalize() for t in tokens)
+    elif style == 3:  # Title Words
+        name = " ".join(t.capitalize() for t in tokens)
+    elif style == 4:  # UPPER_SNAKE
+        name = "_".join(t.upper() for t in tokens)
+    else:  # as-is lowercase joined
+        name = "".join(tokens)
+    if rng.random() < 0.12:  # occasional numeric suffix: temperature2
+        name += str(int(rng.integers(1, 30)))
+    return name
+
+
+def cryptic_name(rng: Rng) -> str:
+    """A meaningless short identifier like "ad744" or "xq17"."""
+    length = int(rng.integers(2, 5))
+    letters = "".join(
+        (_CONSONANTS if i % 2 == 0 else _VOWELS)[
+            int(rng.integers(len(_CONSONANTS if i % 2 == 0 else _VOWELS)))
+        ]
+        for i in range(length)
+    )
+    digits = str(int(rng.integers(1, 10000)))
+    if rng.random() < 0.3:
+        return letters
+    return letters + digits
+
+
+def survey_name(rng: Rng) -> str:
+    """Survey-style headers like "q19TalToolResumeScreen"."""
+    question = f"q{int(rng.integers(1, 60))}"
+    fragments = ["Tal", "Tool", "Resume", "Screen", "Emp", "Ref", "Src",
+                 "Chk", "Ans", "Resp", "Opt"]
+    k = int(rng.integers(2, 4))
+    picked = "".join(
+        fragments[int(rng.integers(len(fragments)))] for _ in range(k)
+    )
+    return question + picked

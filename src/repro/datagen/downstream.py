@@ -1,0 +1,361 @@
+"""The 30-dataset downstream benchmark suite (paper Section 5, Table 5).
+
+Each dataset is generated to match its Table 5 row: same name, task,
+feature-type composition, raw attribute types, column count |A|, and target
+arity |Y|.  Signal is *planted through the feature types*: a latent score is
+a sum of per-column contributions, and each column's contribution is only
+recoverable under the right featurization —
+
+- integer-coded categoricals have non-monotonic effects, so one-hot encoding
+  (correct typing) recovers them while numeric treatment only helps models
+  that can split (reproducing the paper's finding that downstream Random
+  Forests shrug off this mistake while linear models suffer);
+- Not-Generalizable keys are pure noise that should be dropped;
+- Sentences carry topic words that TF-IDF recovers but one-hot cannot
+  (every sentence is unique);
+- Datetimes carry a month effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen import lexicon
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.types import FeatureType
+
+Rng = np.random.Generator
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One downstream column: surface kind + predictive weight."""
+
+    kind: str
+    weight: float = 1.0
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 5 row."""
+
+    name: str
+    task: str  # "classification" | "regression"
+    n_classes: int
+    columns: tuple[ColumnSpec, ...]
+    n_rows: int = 600
+    noise: float = 0.3
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+
+@dataclass
+class DownstreamDataset:
+    """A generated downstream task."""
+
+    spec: DatasetSpec
+    table: Table  # features only (target excluded)
+    target: list  # class labels (str) or floats
+    true_types: dict[str, FeatureType] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def task(self) -> str:
+        return self.spec.task
+
+
+# -- column kind implementations --------------------------------------------
+def _effects(rng: Rng, k: int) -> np.ndarray:
+    """Zero-mean unit-ish per-level effects, deliberately non-monotonic."""
+    effects = rng.normal(0.0, 1.0, size=k)
+    return effects - effects.mean()
+
+
+def _generate_kind(
+    kind: str, rng: Rng, n: int, index: int
+) -> tuple[str, list[str | None], np.ndarray, FeatureType]:
+    """Returns (default name, cells, per-row contribution, true type)."""
+    if kind == "num_float":
+        name = f"measure_{index}"
+        x = rng.normal(0.0, 1.0, size=n)
+        cells = [f"{v * 12.5 + 50.0:.3f}" for v in x]
+        return name, cells, x, FeatureType.NUMERIC
+    if kind == "num_int":
+        name = f"count_{index}"
+        raw = rng.integers(0, 5000, size=n).astype(float)
+        x = (raw - raw.mean()) / (raw.std() + 1e-9)
+        cells = [str(int(v)) for v in raw]
+        return name, cells, x, FeatureType.NUMERIC
+    if kind == "num_int_lowdomain":
+        name = f"pixels_{index}"
+        cap = int(rng.integers(6, 16))
+        raw = rng.integers(0, cap, size=n).astype(float)
+        x = (raw - raw.mean()) / (raw.std() + 1e-9)
+        cells = [str(int(v)) for v in raw]
+        return name, cells, x, FeatureType.NUMERIC
+    if kind in ("cat_str", "cat_str_multiword"):
+        name = f"group_{index}"
+        k = int(rng.integers(3, 9))
+        if kind == "cat_str":
+            pool = lexicon.COLORS + lexicon.DEPARTMENTS
+            levels = list(rng.choice(pool, size=min(k, len(pool)), replace=False))
+        else:
+            levels = [
+                f"{lexicon.ADJECTIVES[int(rng.integers(len(lexicon.ADJECTIVES)))]} "
+                f"{lexicon.WORDS[int(rng.integers(len(lexicon.WORDS)))]}"
+                for _ in range(k)
+            ]
+        codes = rng.integers(0, len(levels), size=n)
+        effects = _effects(rng, len(levels))
+        cells = [str(levels[c]) for c in codes]
+        return name, cells, effects[codes], FeatureType.CATEGORICAL
+    if kind in ("cat_int", "cat_int_binary", "cat_int_ordinal"):
+        name = f"code_{index}"
+        if kind == "cat_int_binary":
+            k = 2
+        else:
+            k = int(rng.integers(4, 12))
+        codes = rng.integers(0, k, size=n)
+        if kind == "cat_int_ordinal":
+            effects = np.linspace(-1.0, 1.0, k)  # monotone: numeric treatment OK
+        else:
+            effects = _effects(rng, k)  # non-monotonic: one-hot required
+        # surface the codes as arbitrary integers (zip-code style)
+        surface = rng.choice(np.arange(10, 999), size=k, replace=False)
+        cells = [str(int(surface[c])) for c in codes]
+        return name, cells, effects[codes], FeatureType.CATEGORICAL
+    if kind in ("date", "date_compact", "date_long"):
+        name = f"event_date_{index}"
+        months = rng.integers(1, 13, size=n)
+        years = rng.integers(1990, 2020, size=n)
+        days = rng.integers(1, 29, size=n)
+        effects = _effects(rng, 12)
+        if kind == "date":
+            cells = [
+                f"{y:04d}-{m:02d}-{d:02d}" for y, m, d in zip(years, months, days)
+            ]
+        elif kind == "date_long":
+            cells = [
+                f"{lexicon.MONTHS_LONG[m - 1]} {d}, {y}"
+                for y, m, d in zip(years, months, days)
+            ]
+        else:
+            cells = [
+                f"{y:04d}{m:02d}{d:02d}" for y, m, d in zip(years, months, days)
+            ]
+        return name, cells, effects[months - 1], FeatureType.DATETIME
+    if kind == "sentence":
+        name = f"review_{index}"
+        topics = list(rng.choice(lexicon.WORDS, size=6, replace=False))
+        effects = _effects(rng, len(topics))
+        topic_ids = rng.integers(0, len(topics), size=n)
+        cells = []
+        for t in topic_ids:
+            filler = [
+                lexicon.WORDS[int(rng.integers(len(lexicon.WORDS)))]
+                for _ in range(int(rng.integers(5, 12)))
+            ]
+            position = int(rng.integers(len(filler) + 1))
+            filler.insert(position, topics[t])
+            cells.append(" ".join(filler).capitalize() + ".")
+        return name, cells, effects[topic_ids], FeatureType.SENTENCE
+    if kind == "url":
+        name = f"source_url_{index}"
+        domains = list(rng.choice(lexicon.DOMAIN_WORDS, size=5, replace=False))
+        effects = _effects(rng, len(domains))
+        ids = rng.integers(0, len(domains), size=n)
+        cells = [
+            f"https://www.{domains[i]}.com/{lexicon.WORDS[int(rng.integers(len(lexicon.WORDS)))]}"
+            for i in ids
+        ]
+        return name, cells, effects[ids], FeatureType.URL
+    if kind == "en_currency":
+        name = f"income_{index}"
+        x = rng.normal(0.0, 1.0, size=n)
+        amounts = (x * 8000 + 30000).astype(int)
+        currency = lexicon.CURRENCIES[int(rng.integers(len(lexicon.CURRENCIES)))]
+        cells = [f"{currency} {a}" for a in amounts]
+        return name, cells, x, FeatureType.EMBEDDED_NUMBER
+    if kind == "list":
+        name = f"tags_{index}"
+        tags = list(rng.choice(lexicon.GENRES, size=8, replace=False))
+        effects = _effects(rng, len(tags))
+        contributions = np.zeros(n)
+        cells = []
+        for row in range(n):
+            k = int(rng.integers(1, 4))
+            chosen = rng.choice(len(tags), size=k, replace=False)
+            contributions[row] = effects[chosen].sum() / np.sqrt(k)
+            cells.append("; ".join(tags[c] for c in chosen))
+        return name, cells, contributions, FeatureType.LIST
+    if kind == "ng_pk":
+        name = f"record_id_{index}"
+        start = int(rng.integers(1000, 99999))
+        cells = [str(start + i) for i in range(n)]
+        return name, cells, np.zeros(n), FeatureType.NOT_GENERALIZABLE
+    if kind == "ng_constant":
+        name = f"source_flag_{index}"
+        cells = ["1"] * n
+        return name, cells, np.zeros(n), FeatureType.NOT_GENERALIZABLE
+    if kind == "cs_cryptic":
+        name = f"xq{int(rng.integers(100, 999))}"
+        raw = rng.integers(-50, 500, size=n).astype(float)
+        cells = [str(int(v)) for v in raw]
+        mask = rng.random(n) < 0.4
+        cells = [None if m else c for c, m in zip(cells, mask)]
+        return name, cells, np.zeros(n), FeatureType.CONTEXT_SPECIFIC
+    raise ValueError(f"unknown downstream column kind: {kind!r}")
+
+
+def make_dataset(spec: DatasetSpec, seed: int = 0) -> DownstreamDataset:
+    """Generate one downstream dataset from its spec."""
+    rng = np.random.default_rng(seed)
+    n = spec.n_rows
+    columns: list[Column] = []
+    true_types: dict[str, FeatureType] = {}
+    score = np.zeros(n)
+    used: set[str] = set()
+    for index, col_spec in enumerate(spec.columns):
+        name, cells, contribution, ftype = _generate_kind(
+            col_spec.kind, rng, n, index
+        )
+        if col_spec.name:
+            name = col_spec.name
+        while name in used:
+            name = f"{name}_{index}"
+        used.add(name)
+        columns.append(Column(name, cells))
+        true_types[name] = ftype
+        score += col_spec.weight * contribution
+
+    score += rng.normal(0.0, spec.noise, size=n)
+    if spec.task == "classification":
+        # quantile-bin the latent score into |Y| classes
+        edges = np.quantile(score, np.linspace(0, 1, spec.n_classes + 1)[1:-1])
+        targets = np.digitize(score, edges)
+        target = [f"class_{t}" for t in targets]
+    else:
+        target = [float(v) for v in score * 10.0]
+    table = Table(columns, name=spec.name)
+    return DownstreamDataset(
+        spec=spec, table=table, target=target, true_types=true_types
+    )
+
+
+def _cols(*entries: tuple[str, int, float]) -> tuple[ColumnSpec, ...]:
+    """Expand (kind, count, weight) triples into ColumnSpecs."""
+    out: list[ColumnSpec] = []
+    for kind, count, weight in entries:
+        out.extend(ColumnSpec(kind, weight) for _ in range(count))
+    return tuple(out)
+
+
+#: The 30 Table 5 rows.  Column counts |A| and class counts |Y| match the
+#: paper; "weight" distributes the planted signal across columns.
+DOWNSTREAM_SPECS: tuple[DatasetSpec, ...] = (
+    # (A) classification — 25 datasets
+    DatasetSpec("Cancer", "classification", 2,
+                _cols(("num_float", 6, 1.0), ("num_int", 3, 1.0)), n_rows=500),
+    DatasetSpec("Mfeat", "classification", 10,
+                _cols(("num_int_lowdomain", 216, 0.25)), n_rows=500),
+    DatasetSpec("Nursery", "classification", 5,
+                _cols(("cat_str", 8, 1.0)), n_rows=800),
+    DatasetSpec("Audiology", "classification", 24,
+                _cols(("cat_str", 69, 0.5)), n_rows=700),
+    DatasetSpec("Hayes", "classification", 3,
+                _cols(("cat_int", 4, 1.0)), n_rows=500),
+    DatasetSpec("Supreme", "classification", 2,
+                _cols(("cat_int_binary", 5, 1.0), ("cat_int_ordinal", 2, 1.0)),
+                n_rows=600),
+    DatasetSpec("Flares", "classification", 2,
+                _cols(("cat_int", 5, 1.0), ("cat_str", 5, 1.0)), n_rows=600),
+    DatasetSpec("Kropt", "classification", 18,
+                _cols(("cat_int", 3, 1.0), ("cat_str", 3, 1.0)), n_rows=1200),
+    DatasetSpec("Boxing", "classification", 2,
+                _cols(("cat_int", 2, 1.0), ("cat_str", 1, 1.0)), n_rows=400),
+    DatasetSpec("Flags", "classification", 2,
+                _cols(("cat_int", 14, 0.6), ("cat_str", 14, 0.6)), n_rows=500),
+    DatasetSpec("Diggle", "classification", 2,
+                _cols(("num_float", 4, 1.0), ("num_int_lowdomain", 2, 1.0),
+                      ("cat_str", 2, 1.0)), n_rows=600),
+    DatasetSpec("Hearts", "classification", 2,
+                _cols(("num_float", 5, 1.0), ("num_int", 3, 1.0),
+                      ("cat_int", 5, 1.0)), n_rows=600),
+    DatasetSpec("Sleuth", "classification", 2,
+                _cols(("num_float", 4, 1.0), ("num_int", 2, 1.0),
+                      ("cat_int_ordinal", 4, 1.0)), n_rows=600),
+    DatasetSpec("Apnea2", "classification", 2,
+                _cols(("cat_str", 2, 1.0), ("ng_pk", 1, 0.0)), n_rows=500),
+    DatasetSpec("Auto-MPG", "classification", 3,
+                _cols(("num_float", 4, 1.0), ("cat_int", 2, 1.0),
+                      ("sentence", 2, 0.8)), n_rows=500),
+    DatasetSpec("Churn", "classification", 2,
+                _cols(("num_float", 8, 0.8), ("num_int", 3, 0.8),
+                      ("cat_int", 3, 0.8), ("cat_str", 3, 0.8),
+                      ("en_currency", 2, 0.8)), n_rows=700),
+    DatasetSpec("NYC", "classification", 15,
+                _cols(("num_float", 3, 1.0), ("date", 2, 1.0),
+                      ("en_currency", 1, 1.0)), n_rows=1000),
+    DatasetSpec("BBC", "classification", 5,
+                _cols(("sentence", 1, 2.0)), n_rows=700, noise=0.15),
+    DatasetSpec("Articles", "classification", 2,
+                _cols(("date", 1, 1.0), ("sentence", 2, 1.0)), n_rows=600),
+    DatasetSpec("Clothing", "classification", 5,
+                _cols(("num_float", 3, 1.0), ("cat_int", 2, 1.0),
+                      ("cat_str", 2, 1.0), ("sentence", 2, 1.0),
+                      ("ng_pk", 1, 0.0)), n_rows=700),
+    DatasetSpec("IOT", "classification", 2,
+                _cols(("num_float", 1, 1.0), ("date", 2, 0.7),
+                      ("ng_pk", 1, 0.0)), n_rows=700),
+    DatasetSpec("Zoo", "classification", 5,
+                _cols(("cat_int_binary", 10, 0.7), ("cat_str", 3, 0.7),
+                      ("ng_pk", 2, 0.0), ("ng_constant", 2, 0.0)), n_rows=500),
+    DatasetSpec("PBCseq", "classification", 2,
+                _cols(("num_float", 7, 0.8), ("num_int", 3, 0.8),
+                      ("cat_int", 4, 0.8), ("en_currency", 2, 0.8),
+                      ("ng_pk", 2, 0.0)), n_rows=700),
+    DatasetSpec("Pokemon", "classification", 36,
+                _cols(("num_float", 12, 0.6), ("num_int", 8, 0.6),
+                      ("cat_int", 6, 0.6), ("cat_str", 6, 0.6),
+                      ("list", 4, 0.6), ("ng_pk", 2, 0.0),
+                      ("cs_cryptic", 2, 0.0)), n_rows=1400),
+    DatasetSpec("President", "classification", 57,
+                _cols(("num_float", 6, 0.6), ("num_int", 4, 0.6),
+                      ("cat_int", 4, 0.6), ("cat_str", 4, 0.6),
+                      ("date", 2, 0.6), ("url", 2, 0.6),
+                      ("ng_pk", 2, 0.0), ("cs_cryptic", 2, 0.0)), n_rows=1800),
+    # (B) regression — 5 datasets
+    DatasetSpec("MBA", "regression", 0,
+                _cols(("cat_int", 2, 1.0)), n_rows=500),
+    DatasetSpec("Vineyard", "regression", 0,
+                _cols(("num_int", 1, 1.0), ("cat_int", 2, 1.0)), n_rows=500),
+    DatasetSpec("Apnea", "regression", 0,
+                _cols(("num_float", 1, 1.0), ("cat_int", 1, 1.0),
+                      ("cat_str", 1, 1.0)), n_rows=500),
+    # "long" date format: recognized by Pandas/AutoGluon, missed by TFDV —
+    # reproducing Table 5's Accident row where only TFDV degrades.
+    DatasetSpec("Accident", "regression", 0,
+                _cols(("date_long", 1, 1.5)), n_rows=600),
+    DatasetSpec("Car Fuel", "regression", 0,
+                _cols(("num_float", 4, 0.8), ("num_int", 2, 0.8),
+                      ("cat_int", 2, 0.8), ("en_currency", 2, 0.8),
+                      ("ng_pk", 1, 0.0)), n_rows=600),
+)
+
+SPEC_BY_NAME = {spec.name: spec for spec in DOWNSTREAM_SPECS}
+
+
+def make_suite(seed: int = 0) -> list[DownstreamDataset]:
+    """Generate all 30 downstream datasets."""
+    return [
+        make_dataset(spec, seed=seed + i) for i, spec in enumerate(DOWNSTREAM_SPECS)
+    ]

@@ -1,0 +1,77 @@
+"""Materialize a labeled corpus as raw CSV files + a labels manifest.
+
+The paper releases its 1,240 raw CSV files and the labeled metadata on
+GitHub; this module produces the same on-disk layout for our synthetic
+corpus and can load it back, so the benchmark can be shared as plain files.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from repro.core.featurize import profile_column
+from repro.datagen.corpus import LabeledCorpus
+from repro.tabular.csv_io import read_csv, write_csv
+from repro.types import FeatureType
+
+MANIFEST_NAME = "labels.csv"
+RAW_DIR_NAME = "raw"
+
+
+def export_corpus(corpus: LabeledCorpus, directory: str | os.PathLike) -> Path:
+    """Write ``raw/<file>.csv`` per source file plus a labels manifest.
+
+    Returns the manifest path.  The manifest has one row per labeled column:
+    ``file,column,label``.
+    """
+    root = Path(directory)
+    raw_dir = root / RAW_DIR_NAME
+    raw_dir.mkdir(parents=True, exist_ok=True)
+    for table in corpus.files:
+        write_csv(table, raw_dir / f"{table.name}.csv")
+    manifest = root / MANIFEST_NAME
+    with open(manifest, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["file", "column", "label"])
+        for (file_name, column_name), label in sorted(corpus.truth.items()):
+            writer.writerow([file_name, column_name, label.value])
+    return manifest
+
+
+def load_corpus(directory: str | os.PathLike) -> LabeledCorpus:
+    """Load a corpus previously written by :func:`export_corpus`.
+
+    Profiles are rebuilt deterministically (first five distinct samples),
+    so a loaded corpus is suitable for training/evaluation but will not be
+    bit-identical to the original random-sampled profiles.
+    """
+    root = Path(directory)
+    manifest = root / MANIFEST_NAME
+    if not manifest.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} manifest under {root}")
+
+    truth: dict[tuple[str, str], FeatureType] = {}
+    with open(manifest, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            truth[(row["file"], row["column"])] = FeatureType.from_label(
+                row["label"]
+            )
+
+    corpus = LabeledCorpus(truth=truth)
+    raw_dir = root / RAW_DIR_NAME
+    for path in sorted(raw_dir.glob("*.csv")):
+        table = read_csv(path)
+        corpus.files.append(table)
+        for column in table:
+            key = (table.name, column.name)
+            if key not in truth:
+                continue
+            corpus.dataset.profiles.append(
+                profile_column(
+                    column, source_file=table.name, label=truth[key]
+                )
+            )
+    return corpus

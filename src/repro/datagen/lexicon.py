@@ -1,0 +1,125 @@
+"""Word lists used by the synthetic column generators.
+
+These lexicons give generated columns realistic surface forms: English
+filler words for sentences, real-world entity domains (countries, states,
+cities, colors...), measurement units, and name fragments.
+"""
+
+from __future__ import annotations
+
+WORDS = (
+    "time year people way day man thing woman life child world school state "
+    "family student group country problem hand part place case week company "
+    "system program question work government number night point home water "
+    "room mother area money story fact month lot right study book eye job "
+    "word business issue side kind head house service friend father power "
+    "hour game line end member law car city community name president team "
+    "minute idea body information back parent face others level office door "
+    "health person art war history party result change morning reason "
+    "research girl guy moment air teacher force education"
+).split()
+
+ADJECTIVES = (
+    "good new first last long great little own other old right big high "
+    "different small large next early young important few public bad same "
+    "able quick bright quiet heavy light strong weak warm cool rare common"
+).split()
+
+VERBS = (
+    "be have do say get make go know take see come think look want give "
+    "use find tell ask work seem feel try leave call moved ran built grew "
+    "wrote sold bought kept held met paid sent won lost read"
+).split()
+
+COUNTRIES = (
+    "Argentina Australia Brazil Canada China Denmark Egypt France Germany "
+    "India Indonesia Italy Japan Kenya Mexico Netherlands Nigeria Norway "
+    "Pakistan Peru Poland Portugal Russia Spain Sweden Switzerland Thailand "
+    "Turkey Ukraine Uruguay Vietnam Chile Colombia Finland Greece Hungary "
+    "Ireland Israel Morocco Philippines"
+).split()
+
+COUNTRY_CODES = (
+    "AR AU BR CA CN DK EG FR DE IN ID IT JP KE MX NL NG NO PK PE PL PT RU "
+    "ES SE CH TH TR UA UY VN CL CO FI GR HU IE IL MA PH US GB"
+).split()
+
+US_STATES = (
+    "Alabama Alaska Arizona Arkansas California Colorado Connecticut "
+    "Delaware Florida Georgia Hawaii Idaho Illinois Indiana Iowa Kansas "
+    "Kentucky Louisiana Maine Maryland Massachusetts Michigan Minnesota "
+    "Mississippi Missouri Montana Nebraska Nevada Ohio Oklahoma Oregon "
+    "Pennsylvania Tennessee Texas Utah Vermont Virginia Washington "
+    "Wisconsin Wyoming"
+).split()
+
+STATE_CODES = (
+    "AL AK AZ AR CA CO CT DE FL GA HI ID IL IN IA KS KY LA ME MD MA MI MN "
+    "MS MO MT NE NV OH OK OR PA TN TX UT VT VA WA WI WY NY"
+).split()
+
+CITIES = (
+    "Springfield Riverside Franklin Greenville Bristol Clinton Fairview "
+    "Salem Madison Georgetown Arlington Ashland Dover Oxford Jackson "
+    "Burlington Manchester Milton Newport Auburn Centerville Clayton "
+    "Dayton Lexington Milford"
+).split()
+
+FIRST_NAMES = (
+    "James Mary Robert Patricia John Jennifer Michael Linda David Elizabeth "
+    "William Barbara Richard Susan Joseph Jessica Thomas Sarah Charles Karen "
+    "Christopher Lisa Daniel Nancy Matthew Betty Anthony Sandra Mark Ashley "
+    "Priya Wei Ahmed Fatima Carlos Sofia Yuki Olga Kwame Amara"
+).split()
+
+LAST_NAMES = (
+    "Smith Johnson Williams Brown Jones Garcia Miller Davis Rodriguez "
+    "Martinez Hernandez Lopez Gonzalez Wilson Anderson Thomas Taylor Moore "
+    "Jackson Martin Lee Perez Thompson White Harris Sanchez Clark Ramirez "
+    "Lewis Robinson Patel Kim Nguyen Chen Singh Kumar Ali Khan Osei Okafor"
+).split()
+
+COLORS = "red blue green yellow purple orange black white gray brown pink teal".split()
+
+PRODUCT_TYPES = (
+    "electronics furniture clothing grocery toys books sports beauty "
+    "automotive garden office jewelry footwear appliances"
+).split()
+
+DEPARTMENTS = (
+    "sales marketing engineering finance hr legal operations support "
+    "research design procurement logistics"
+).split()
+
+UNITS = "kg lbs. cm mm km mi Mhz Ghz GB MB kb hrs min sec mph kmh".split()
+
+CURRENCIES = "USD EUR GBP INR JPY AUD CAD BRL".split()
+
+GENRES = (
+    "Action Comedy Drama Horror Romance Thriller Documentary Animation "
+    "Fantasy Mystery Western Musical Crime Adventure Biography"
+).split()
+
+TLDS = "com org net io edu gov co.uk de jp".split()
+
+DOMAIN_WORDS = (
+    "data shop cloud media tech labs hub portal market store news blog "
+    "world app info science open"
+).split()
+
+WEEKDAYS = "Mon Tue Wed Thu Fri Sat Sun".split()
+
+MONTHS_SHORT = "Jan Feb Mar Apr May Jun Jul Aug Sep Oct Nov Dec".split()
+
+MONTHS_LONG = (
+    "January February March April May June July August September October "
+    "November December"
+).split()
+
+GRADES = ["A", "B", "C", "D", "F", "A+", "B-", "C+"]
+
+LIKERT = [
+    "strongly agree", "agree", "neutral", "disagree", "strongly disagree",
+]
+
+STREET_SUFFIXES = "St Ave Blvd Rd Ln Dr Ct Way".split()

@@ -1,0 +1,586 @@
+"""Per-class synthetic column generators.
+
+Every generator emits a :class:`GeneratedColumn` — a column name, raw string
+cells, and its ground-truth feature type.  Each of the nine classes has
+several *styles* so the corpus covers the surface diversity the paper's
+labeled dataset has, including the ambiguities that make the task hard:
+
+- Categorical encoded as integers (zip codes, ordinal codes, years)
+- Not-Generalizable primary keys stored as integers
+- Datetime in formats rule-based tools miss (compact YYYYMMDD)
+- Numeric columns with cryptic names (confusable with Context-Specific)
+- Context-Specific integers with heavy missingness
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datagen import lexicon
+from repro.datagen.colnames import (
+    cryptic_name,
+    render_name,
+    survey_name,
+)
+from repro.types import FeatureType
+
+Rng = np.random.Generator
+
+
+@dataclass
+class GeneratedColumn:
+    """One synthetic raw column with its ground-truth label."""
+
+    name: str
+    cells: list[str | None]
+    feature_type: FeatureType
+    style: str
+
+
+def _inject_missing(cells: list[str | None], rate: float, rng: Rng) -> list[str | None]:
+    if rate <= 0.0:
+        return cells
+    mask = rng.random(len(cells)) < rate
+    token_pool = ["", "NA", "NaN", "null", "?"]
+    token = token_pool[int(rng.integers(len(token_pool)))]
+    return [token if drop else cell for cell, drop in zip(cells, mask)]
+
+
+def _pick(rng: Rng, pool) -> str:
+    return pool[int(rng.integers(len(pool)))]
+
+
+def _missing_rate(rng: Rng, low: float = 0.0, high: float = 0.25) -> float:
+    """Most columns are complete; a minority have substantial missingness."""
+    if rng.random() < 0.6:
+        return 0.0
+    return float(rng.uniform(low, high))
+
+
+# --------------------------------------------------------------------------
+# Numeric
+# --------------------------------------------------------------------------
+def numeric_float(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["price", "temperature", "score", "ratio", "weight",
+                       "height", "rate", "amount", "balance", "distance"])
+    suffix = _pick(rng, ["", "", "_avg", "_total", "_jan", "_feb", "_usd", "_cm"])
+    name = render_name(rng, base + suffix)
+    loc = rng.uniform(-50, 500)
+    scale = rng.uniform(0.5, 80)
+    decimals = int(rng.integers(1, 5))
+    cells = [f"{rng.normal(loc, scale):.{decimals}f}" for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.NUMERIC, "float")
+
+
+def numeric_int(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["salary", "age", "count", "quantity", "population",
+                       "views", "steps", "points", "sales", "units_sold"])
+    name = render_name(rng, base)
+    low = int(rng.integers(0, 1000))
+    high = low + int(rng.integers(50, 100000))
+    cells = [str(int(rng.integers(low, high))) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.NUMERIC, "int")
+
+
+def numeric_cryptic(rng: Rng, n: int) -> GeneratedColumn:
+    """Numeric with a cryptic-but-real name and heavy missingness.
+
+    Mirrors the paper's error example A (s1p1c2area: Numeric, 45% NaN) —
+    these get confused with Context-Specific.
+    """
+    name = cryptic_name(rng) + _pick(rng, ["area", "len", "val", "cnt"])
+    cells = [str(int(rng.integers(0, 500))) for _ in range(n)]
+    cells = _inject_missing(cells, float(rng.uniform(0.3, 0.55)), rng)
+    return GeneratedColumn(name, cells, FeatureType.NUMERIC, "cryptic_int")
+
+
+def numeric_int_lowdomain(rng: Rng, n: int) -> GeneratedColumn:
+    """Numeric integers with small domains (pixel counts, children, visits).
+
+    The paper's MFeat case: genuinely Numeric, but the low domain size makes
+    models (and humans) hesitate between Numeric and Categorical.
+    """
+    base = _pick(rng, ["children", "visits", "rooms", "doors", "goals",
+                       "errors", "attempts", "pixels", "siblings"])
+    name = render_name(rng, base)
+    cap = int(rng.integers(5, 30))
+    cells = [str(int(rng.integers(0, cap))) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.NUMERIC, "int_lowdomain")
+
+
+def numeric_percentlike(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["pct", "share", "fraction", "proportion", "percent"])
+    qualifier = _pick(rng, lexicon.WORDS)
+    name = render_name(rng, f"{base}_{qualifier}")
+    cells = [f"{rng.uniform(0, 100):.2f}" for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.NUMERIC, "percent_float")
+
+
+# --------------------------------------------------------------------------
+# Categorical
+# --------------------------------------------------------------------------
+def categorical_string(rng: Rng, n: int) -> GeneratedColumn:
+    base, domain = _pick(
+        rng,
+        [
+            ("gender", ["M", "F"]),
+            ("color", lexicon.COLORS),
+            ("country", lexicon.COUNTRIES),
+            ("state", lexicon.US_STATES),
+            ("city", lexicon.CITIES),
+            ("department", lexicon.DEPARTMENTS),
+            ("product_type", lexicon.PRODUCT_TYPES),
+            ("grade", lexicon.GRADES),
+            ("day_of_week", lexicon.WEEKDAYS),
+            ("status", ["active", "inactive", "pending", "closed"]),
+            ("churn", ["Yes", "No"]),
+            ("response", lexicon.LIKERT),
+        ],
+    )
+    name = render_name(rng, base)
+    k = min(len(domain), int(rng.integers(2, len(domain) + 1)))
+    chosen = list(rng.choice(domain, size=k, replace=False))
+    cells = [str(_pick(rng, chosen)) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "string")
+
+
+def categorical_int_code(rng: Rng, n: int) -> GeneratedColumn:
+    """Integer-encoded categories — the canonical semantic-gap case."""
+    base = _pick(rng, ["zip_code", "item_code", "state_code", "region_id",
+                       "class_label", "level", "category_code", "store_id",
+                       "dept_code", "plan_code"])
+    name = render_name(rng, base)
+    if "zip" in base:
+        domain = [f"{int(rng.integers(10000, 99999))}" for _ in range(30)]
+    else:
+        width = int(rng.integers(1, 4))
+        domain = [
+            str(int(rng.integers(0, 10**width)))
+            for _ in range(int(rng.integers(2, 15)))
+        ]
+        if rng.random() < 0.3:  # leading-zero codes like "005"
+            domain = [d.zfill(3) for d in domain]
+    cells = [_pick(rng, domain) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "int_code")
+
+
+def categorical_ordinal_year(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["year", "model_year", "season_year"]))
+    start = int(rng.integers(1960, 2010))
+    span = int(rng.integers(3, 20))
+    cells = [str(start + int(rng.integers(span))) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "ordinal_year")
+
+
+def categorical_rank(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["rank", "tier", "priority", "rating"]))
+    k = int(rng.integers(2, 8))
+    cells = [str(1 + int(rng.integers(k))) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "ordinal_rank")
+
+
+def categorical_large_domain(rng: Rng, n: int) -> GeneratedColumn:
+    """Large-domain categoricals (100+ levels) — confusable with NG/CS."""
+    base = _pick(rng, ["tenure_status", "occupation", "species", "title",
+                       "affiliation", "collection"])
+    name = render_name(rng, base)
+    domain_size = int(rng.integers(40, 150))
+    domain = [
+        f"{_pick(rng, lexicon.ADJECTIVES)} {_pick(rng, lexicon.WORDS)}"
+        for _ in range(domain_size)
+    ]
+    cells = [_pick(rng, domain) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "large_domain")
+
+
+def categorical_names(rng: Rng, n: int) -> GeneratedColumn:
+    """Coded real-world entities with multi-token string values."""
+    name = render_name(rng, _pick(rng, ["team", "artist_name", "brand", "club"]))
+    domain = [
+        f"{_pick(rng, lexicon.FIRST_NAMES)} {_pick(rng, lexicon.LAST_NAMES)}"
+        for _ in range(int(rng.integers(4, 20)))
+    ]
+    cells = [_pick(rng, domain) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "multi_token")
+
+
+def numeric_scientific(rng: Rng, n: int) -> GeneratedColumn:
+    """Scientific-notation measurements (sensor dumps, chem assays)."""
+    base = _pick(rng, ["concentration", "intensity", "flux", "dose"])
+    name = render_name(rng, base)
+    exponent = int(rng.integers(-8, 9))
+    cells = [f"{rng.uniform(1, 10):.3f}e{exponent:+03d}" for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.NUMERIC, "scientific")
+
+
+def categorical_boolean(rng: Rng, n: int) -> GeneratedColumn:
+    """Boolean-ish flags: true/false, Y/N, 0/1 with a flag-like name."""
+    base = _pick(rng, ["is_active", "has_children", "subscribed", "opt_in",
+                       "verified", "smoker"])
+    name = render_name(rng, base)
+    domain = _pick(rng, [["true", "false"], ["Y", "N"], ["TRUE", "FALSE"],
+                         ["yes", "no"]])
+    cells = [_pick(rng, domain) for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng), rng)
+    return GeneratedColumn(name, cells, FeatureType.CATEGORICAL, "boolean")
+
+
+def embedded_phone(rng: Rng, n: int) -> GeneratedColumn:
+    """Phone-number-shaped values: digits wrapped in separators."""
+    name = render_name(rng, _pick(rng, ["phone", "contact_number", "fax"]))
+    cells = [
+        f"({int(rng.integers(200, 999))}) {int(rng.integers(200, 999))}-"
+        f"{int(rng.integers(1000, 9999))}"
+        for _ in range(n)
+    ]
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.15), rng)
+    return GeneratedColumn(name, cells, FeatureType.EMBEDDED_NUMBER, "phone")
+
+
+def cs_email(rng: Rng, n: int) -> GeneratedColumn:
+    """E-mail columns: unique personal identifiers needing custom handling."""
+    name = render_name(rng, _pick(rng, ["email", "contact_email", "user_email"]))
+    cells = [
+        f"{_pick(rng, lexicon.FIRST_NAMES).lower()}."
+        f"{_pick(rng, lexicon.LAST_NAMES).lower()}{int(rng.integers(1000))}"
+        f"@{_pick(rng, lexicon.DOMAIN_WORDS)}.{_pick(rng, ['com', 'org', 'net'])}"
+        for _ in range(n)
+    ]
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.2), rng)
+    return GeneratedColumn(name, cells, FeatureType.CONTEXT_SPECIFIC, "email")
+
+
+# --------------------------------------------------------------------------
+# Datetime
+# --------------------------------------------------------------------------
+def _random_date(rng: Rng) -> tuple[int, int, int]:
+    return int(rng.integers(1950, 2024)), int(rng.integers(1, 13)), int(rng.integers(1, 29))
+
+
+def datetime_column(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["hire_date", "birth_date", "created_at", "order_date",
+                       "start", "end", "timestamp", "last_login", "date",
+                       "updated_on", "event_time"])
+    name = render_name(rng, base)
+    fmt = _pick(
+        rng,
+        ["iso", "us_slash", "eu_slash", "long", "compact", "time", "iso_ts", "mon_year"],
+    )
+    cells = []
+    for _ in range(n):
+        year, month, day = _random_date(rng)
+        hour, minute, sec = (int(rng.integers(24)), int(rng.integers(60)),
+                             int(rng.integers(60)))
+        if fmt == "iso":
+            cells.append(f"{year:04d}-{month:02d}-{day:02d}")
+        elif fmt == "us_slash":
+            cells.append(f"{month}/{day}/{year}")
+        elif fmt == "eu_slash":
+            cells.append(f"{day:02d}/{month:02d}/{year}")
+        elif fmt == "long":
+            cells.append(f"{lexicon.MONTHS_LONG[month - 1]} {day}, {year}")
+        elif fmt == "compact":
+            cells.append(f"{year:04d}{month:02d}{day:02d}")
+        elif fmt == "time":
+            cells.append(f"{hour:02d}:{minute:02d}:{sec:02d}")
+        elif fmt == "iso_ts":
+            cells.append(
+                f"{year:04d}-{month:02d}-{day:02d} {hour:02d}:{minute:02d}:{sec:02d}"
+            )
+        else:  # mon_year, e.g. "May-07"
+            cells.append(f"{lexicon.MONTHS_SHORT[month - 1]}-{year % 100:02d}")
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.15), rng)
+    return GeneratedColumn(name, cells, FeatureType.DATETIME, f"date_{fmt}")
+
+
+# --------------------------------------------------------------------------
+# Sentence
+# --------------------------------------------------------------------------
+def sentence_short(rng: Rng, n: int) -> GeneratedColumn:
+    """Short free-text titles ("Battle of Riverrun") — confusable with NG/CA."""
+    base = _pick(rng, ["name", "title", "headline", "event"])
+    name = render_name(rng, base)
+    cells = []
+    for _ in range(n):
+        length = int(rng.integers(2, 6))
+        words = [_pick(rng, lexicon.WORDS).capitalize() for _ in range(length)]
+        cells.append(" ".join(words))
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.15), rng)
+    return GeneratedColumn(name, cells, FeatureType.SENTENCE, "short_text")
+
+
+def sentence_column(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["review", "description", "comment", "notes", "summary",
+                       "text", "abstract", "feedback", "requirement"])
+    name = render_name(rng, base)
+    cells = []
+    for _ in range(n):
+        length = int(rng.integers(6, 40))
+        words = []
+        for position in range(length):
+            roll = rng.random()
+            if roll < 0.25:
+                words.append(_pick(rng, ("the a an this that its of in on to "
+                                         "for with and but or is was").split()))
+            elif roll < 0.5:
+                words.append(_pick(rng, lexicon.ADJECTIVES))
+            elif roll < 0.75:
+                words.append(_pick(rng, lexicon.WORDS))
+            else:
+                words.append(_pick(rng, lexicon.VERBS))
+        sentence = " ".join(words).capitalize() + "."
+        cells.append(sentence)
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.15), rng)
+    return GeneratedColumn(name, cells, FeatureType.SENTENCE, "prose")
+
+
+# --------------------------------------------------------------------------
+# URL
+# --------------------------------------------------------------------------
+def url_column(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["url", "link", "website", "homepage", "source_url",
+                       "image_url", "profile_link"])
+    name = render_name(rng, base)
+    cells = []
+    for _ in range(n):
+        protocol = _pick(rng, ["http", "https", "https", "https"])
+        domain = _pick(rng, lexicon.DOMAIN_WORDS) + _pick(rng, lexicon.DOMAIN_WORDS)
+        tld = _pick(rng, lexicon.TLDS)
+        path = ""
+        if rng.random() < 0.7:
+            depth = int(rng.integers(1, 4))
+            path = "/" + "/".join(
+                _pick(rng, lexicon.WORDS) for _ in range(depth)
+            )
+            if rng.random() < 0.3:
+                path += f"?id={int(rng.integers(1, 100000))}"
+        cells.append(f"{protocol}://www.{domain}.{tld}{path}")
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.15), rng)
+    return GeneratedColumn(name, cells, FeatureType.URL, "url")
+
+
+# --------------------------------------------------------------------------
+# Embedded Number
+# --------------------------------------------------------------------------
+def embedded_number_column(rng: Rng, n: int) -> GeneratedColumn:
+    style = _pick(rng, ["currency", "unit", "percent", "grouped", "ranked"])
+    if style == "currency":
+        base = _pick(rng, ["income", "price", "revenue", "cost", "budget"])
+        currency = _pick(rng, lexicon.CURRENCIES)
+        make = lambda: f"{currency} {int(rng.integers(100, 1_000_000))}"
+    elif style == "unit":
+        base = _pick(rng, ["weight", "frequency", "file_size", "capacity", "depth"])
+        unit = _pick(rng, lexicon.UNITS)
+        make = lambda: f"{int(rng.integers(1, 5000))} {unit}"
+    elif style == "percent":
+        base = _pick(rng, ["pct_white", "growth", "margin", "share"])
+        make = lambda: f"{rng.uniform(0, 100):.2f}%"
+    elif style == "grouped":
+        base = _pick(rng, ["plays", "sales", "population", "views"])
+        make = lambda: f"{int(rng.integers(1_000, 90_000_000)):,}"
+    else:  # ranked, e.g. "RB - #11"
+        base = _pick(rng, ["position", "ranking", "seed"])
+        tag = _pick(rng, ["RB", "QB", "WR", "TE"])
+        make = lambda: f"{tag} - #{int(rng.integers(1, 40))}"
+    name = render_name(rng, base)
+    cells = [make() for _ in range(n)]
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.15), rng)
+    return GeneratedColumn(name, cells, FeatureType.EMBEDDED_NUMBER, style)
+
+
+# --------------------------------------------------------------------------
+# List
+# --------------------------------------------------------------------------
+def list_column(rng: Rng, n: int) -> GeneratedColumn:
+    base, domain = _pick(
+        rng,
+        [
+            ("genres", lexicon.GENRES),
+            ("countries", lexicon.COUNTRY_CODES),
+            ("tags", lexicon.WORDS),
+            ("collections", lexicon.PRODUCT_TYPES),
+            ("languages", ["en", "fr", "de", "es", "jp", "zh", "ru", "pt"]),
+        ],
+    )
+    name = render_name(rng, base)
+    delimiter = _pick(rng, ["; ", ", ", "|", ";"])
+    cells = []
+    for _ in range(n):
+        k = int(rng.integers(2, 6))
+        items = list(rng.choice(domain, size=min(k, len(domain)), replace=False))
+        cells.append(delimiter.join(str(item) for item in items))
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.3), rng)
+    return GeneratedColumn(name, cells, FeatureType.LIST, "list")
+
+
+# --------------------------------------------------------------------------
+# Not-Generalizable
+# --------------------------------------------------------------------------
+def ng_primary_key(rng: Rng, n: int) -> GeneratedColumn:
+    base = _pick(rng, ["id", "cust_id", "row_id", "record_number", "case_number",
+                       "user_id", "order_id", "index", "serial_no"])
+    name = render_name(rng, base)
+    start = int(rng.integers(1, 100000))
+    if rng.random() < 0.5:
+        values = list(range(start, start + n))
+    else:
+        values = list(rng.choice(np.arange(start, start + 20 * n), size=n,
+                                 replace=False))
+    cells = [str(v) for v in values]
+    return GeneratedColumn(name, cells, FeatureType.NOT_GENERALIZABLE, "pk_int")
+
+
+def ng_uuid_like(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["uuid", "guid", "session_key", "hash"]))
+    hexdigits = "0123456789abcdef"
+    cells = [
+        "".join(_pick(rng, hexdigits) for _ in range(16)) for _ in range(n)
+    ]
+    return GeneratedColumn(name, cells, FeatureType.NOT_GENERALIZABLE, "pk_hex")
+
+
+def ng_constant(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["source", "version", "flag", "dataset"]))
+    value = _pick(rng, ["1", "0", "v2", "prod", "TRUE", "default"])
+    cells: list[str | None] = [value] * n
+    return GeneratedColumn(name, cells, FeatureType.NOT_GENERALIZABLE, "constant")
+
+
+def ng_mostly_nan(rng: Rng, n: int) -> GeneratedColumn:
+    name = survey_name(rng)
+    keep = max(1, int(n * rng.uniform(0.0, 0.005)))
+    cells: list[str | None] = [None] * n
+    fill_positions = rng.choice(n, size=keep, replace=False)
+    token = _pick(rng, ["#NULL!", "x", "1", "yes"])
+    for pos in fill_positions:
+        cells[int(pos)] = token
+    return GeneratedColumn(name, cells, FeatureType.NOT_GENERALIZABLE, "all_nan")
+
+
+# --------------------------------------------------------------------------
+# Context-Specific
+# --------------------------------------------------------------------------
+def cs_cryptic_int(rng: Rng, n: int) -> GeneratedColumn:
+    """Meaningless name, integer values, heavy missingness (error example H)."""
+    name = cryptic_name(rng)
+    low = int(rng.integers(-100, 10))
+    high = low + int(rng.integers(5, 1000))
+    cells = [str(int(rng.integers(low, high))) for _ in range(n)]
+    cells = _inject_missing(cells, float(rng.uniform(0.25, 0.6)), rng)
+    return GeneratedColumn(name, cells, FeatureType.CONTEXT_SPECIFIC, "cryptic_int")
+
+
+def cs_json(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["payload", "metadata", "attributes",
+                                        "properties", "config"]))
+    cells = []
+    for _ in range(n):
+        obj = {
+            _pick(rng, lexicon.WORDS): int(rng.integers(0, 100)),
+            _pick(rng, lexicon.WORDS): _pick(rng, lexicon.ADJECTIVES),
+        }
+        cells.append(json.dumps(obj))
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.2), rng)
+    return GeneratedColumn(name, cells, FeatureType.CONTEXT_SPECIFIC, "json")
+
+
+def cs_address(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["address", "location", "birth_place"]))
+    cells = []
+    for _ in range(n):
+        number = int(rng.integers(1, 9999))
+        street = f"{_pick(rng, lexicon.LAST_NAMES)} {_pick(rng, lexicon.STREET_SUFFIXES)}"
+        city = _pick(rng, lexicon.CITIES)
+        state = _pick(rng, lexicon.STATE_CODES)
+        zipcode = int(rng.integers(10000, 99999))
+        cells.append(f"{number} {street}, {city}, {state} {zipcode}")
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.2), rng)
+    return GeneratedColumn(name, cells, FeatureType.CONTEXT_SPECIFIC, "address")
+
+
+def cs_geo(rng: Rng, n: int) -> GeneratedColumn:
+    name = render_name(rng, _pick(rng, ["geo", "coordinates", "latlong"]))
+    cells = [
+        f"({rng.uniform(-90, 90):.4f}, {rng.uniform(-180, 180):.4f})"
+        for _ in range(n)
+    ]
+    cells = _inject_missing(cells, _missing_rate(rng, high=0.2), rng)
+    return GeneratedColumn(name, cells, FeatureType.CONTEXT_SPECIFIC, "geo")
+
+
+#: Style generators per class; corpus sampling picks uniformly within a class.
+CLASS_GENERATORS: dict[FeatureType, list[Callable[[Rng, int], GeneratedColumn]]] = {
+    FeatureType.NUMERIC: [
+        numeric_float, numeric_float, numeric_int, numeric_int,
+        numeric_percentlike, numeric_cryptic, numeric_int_lowdomain,
+        numeric_scientific,
+    ],
+    FeatureType.CATEGORICAL: [
+        categorical_string, categorical_string, categorical_int_code,
+        categorical_int_code, categorical_ordinal_year, categorical_rank,
+        categorical_names, categorical_large_domain, categorical_boolean,
+    ],
+    FeatureType.DATETIME: [datetime_column],
+    FeatureType.SENTENCE: [sentence_column, sentence_column, sentence_short],
+    FeatureType.URL: [url_column],
+    FeatureType.EMBEDDED_NUMBER: [
+        embedded_number_column, embedded_number_column, embedded_phone,
+    ],
+    FeatureType.LIST: [list_column],
+    FeatureType.NOT_GENERALIZABLE: [
+        ng_primary_key, ng_primary_key, ng_uuid_like, ng_constant, ng_mostly_nan,
+    ],
+    FeatureType.CONTEXT_SPECIFIC: [
+        cs_cryptic_int, cs_cryptic_int, cs_json, cs_address, cs_geo, cs_email,
+    ],
+}
+
+
+#: Fraction of columns whose header is replaced by an uninformative name.
+#: Real corpora are full of headers like "col7" or "V3"; this keeps the name
+#: signal strong but not perfectly separating (the paper's RF peaks at ~0.93,
+#: not 1.0, largely because names alone don't always disambiguate).
+AMBIGUOUS_NAME_RATE = 0.15
+
+
+def _maybe_obscure_name(column: GeneratedColumn, rng: Rng) -> GeneratedColumn:
+    if rng.random() >= AMBIGUOUS_NAME_RATE:
+        return column
+    style = int(rng.integers(4))
+    if style == 0:
+        name = f"col{int(rng.integers(1, 60))}"
+    elif style == 1:
+        name = f"V{int(rng.integers(1, 40))}"
+    elif style == 2:
+        name = cryptic_name(rng)
+    else:
+        name = _pick(rng, lexicon.WORDS)
+    return GeneratedColumn(name, column.cells, column.feature_type, column.style)
+
+
+def generate_column(
+    feature_type: FeatureType, rng: Rng, n_rows: int
+) -> GeneratedColumn:
+    """Generate one column of the given class with a random style.
+
+    A fraction of headers is replaced with uninformative names so that
+    name-based signals are strong but imperfect, as in real corpora.
+    """
+    generators = CLASS_GENERATORS[feature_type]
+    generator = generators[int(rng.integers(len(generators)))]
+    return _maybe_obscure_name(generator(rng, n_rows), rng)

@@ -1,0 +1,44 @@
+"""Downstream benchmark suite: type-routed featurization + model harness."""
+
+from repro.downstream.featurize import TypeAssignment, featurize_split
+from repro.downstream.harness import (
+    FOREST,
+    LINEAR,
+    MODEL_KINDS,
+    DownstreamScore,
+    evaluate_assignment,
+)
+from repro.downstream.suite import (
+    CLASSIFICATION_TOLERANCE,
+    InferenceAccuracy,
+    REGRESSION_TOLERANCE,
+    SuiteResult,
+    TruthComparison,
+    compare_to_truth,
+    inference_accuracy_on_suite,
+    model_assignments,
+    run_suite,
+    tool_assignments,
+    truth_assignments,
+)
+
+__all__ = [
+    "CLASSIFICATION_TOLERANCE",
+    "DownstreamScore",
+    "FOREST",
+    "InferenceAccuracy",
+    "LINEAR",
+    "MODEL_KINDS",
+    "REGRESSION_TOLERANCE",
+    "SuiteResult",
+    "TruthComparison",
+    "TypeAssignment",
+    "compare_to_truth",
+    "evaluate_assignment",
+    "featurize_split",
+    "inference_accuracy_on_suite",
+    "model_assignments",
+    "run_suite",
+    "tool_assignments",
+    "truth_assignments",
+]

@@ -1,0 +1,139 @@
+"""Type-routed featurization for downstream models (paper Section 5.3).
+
+Columns inferred Numeric are retained as-is, Categorical columns are one-hot
+encoded, Sentence columns go through TF-IDF, URLs through word-level
+bigrams, Not-Generalizable columns are dropped, and the remaining types
+(Datetime, Embedded Number, List, Context-Specific) are featurized with
+character bigrams.  All fitted state (means, vocabularies, encoders) comes
+from the training split only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.newrf import Representation
+from repro.ml.preprocessing import OneHotEncoder
+from repro.ml.text import HashingVectorizer, TfidfVectorizer
+from repro.tabular.column import Column
+from repro.tabular.dtypes import try_parse_float
+from repro.tabular.table import Table
+from repro.types import FeatureType
+
+_MAX_ONEHOT = 60
+_TFIDF_FEATURES = 200
+_BIGRAM_DIM = 48
+_URL_DIM = 32
+
+
+def _numeric_block(train: Column, test: Column) -> tuple[np.ndarray, np.ndarray]:
+    def parse(column: Column, fill: float) -> np.ndarray:
+        out = np.full(len(column), fill)
+        for i, cell in enumerate(column.cells):
+            if cell is None:
+                continue
+            value = try_parse_float(cell)
+            if value is not None:
+                out[i] = value
+        return out
+
+    train_raw = [try_parse_float(c) for c in train.non_missing()]
+    train_vals = [v for v in train_raw if v is not None]
+    fill = float(np.mean(train_vals)) if train_vals else 0.0
+    return parse(train, fill)[:, None], parse(test, fill)[:, None]
+
+
+def _onehot_block(train: Column, test: Column) -> tuple[np.ndarray, np.ndarray]:
+    encoder = OneHotEncoder(max_categories=_MAX_ONEHOT, handle_unknown="ignore")
+    encoder.fit(list(train.cells))
+    return encoder.transform(list(train.cells)), encoder.transform(list(test.cells))
+
+
+def _tfidf_block(train: Column, test: Column) -> tuple[np.ndarray, np.ndarray]:
+    vectorizer = TfidfVectorizer(analyzer="word", ngram=1,
+                                 max_features=_TFIDF_FEATURES)
+    train_texts = ["" if c is None else c for c in train.cells]
+    test_texts = ["" if c is None else c for c in test.cells]
+    vectorizer.fit(train_texts)
+    return vectorizer.transform(train_texts), vectorizer.transform(test_texts)
+
+
+def _url_block(train: Column, test: Column) -> tuple[np.ndarray, np.ndarray]:
+    vectorizer = HashingVectorizer(analyzer="word", ngram=2, n_features=_URL_DIM)
+
+    def clean(column: Column) -> list[str]:
+        texts = []
+        for cell in column.cells:
+            text = "" if cell is None else cell
+            for ch in ":/.?=&-_":
+                text = text.replace(ch, " ")
+            texts.append(text)
+        return texts
+
+    return vectorizer.transform(clean(train)), vectorizer.transform(clean(test))
+
+
+def _bigram_block(train: Column, test: Column) -> tuple[np.ndarray, np.ndarray]:
+    vectorizer = HashingVectorizer(analyzer="char", ngram=2,
+                                   n_features=_BIGRAM_DIM)
+    train_texts = ["" if c is None else c for c in train.cells]
+    test_texts = ["" if c is None else c for c in test.cells]
+    return vectorizer.transform(train_texts), vectorizer.transform(test_texts)
+
+
+_ROUTES = {
+    FeatureType.NUMERIC: _numeric_block,
+    FeatureType.CATEGORICAL: _onehot_block,
+    FeatureType.SENTENCE: _tfidf_block,
+    FeatureType.URL: _url_block,
+    FeatureType.DATETIME: _bigram_block,
+    FeatureType.EMBEDDED_NUMBER: _bigram_block,
+    FeatureType.LIST: _bigram_block,
+    FeatureType.CONTEXT_SPECIFIC: _bigram_block,
+}
+
+TypeAssignment = dict[str, "FeatureType | Representation | None"]
+
+
+def featurize_split(
+    train_table: Table,
+    test_table: Table,
+    assignments: TypeAssignment,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Featurize train/test tables under a feature-type assignment.
+
+    ``assignments`` maps column name → FeatureType, a NewRF
+    :class:`Representation` (possibly double), or ``None`` to drop the
+    column (uncovered / Not-Generalizable).
+    """
+    train_blocks: list[np.ndarray] = []
+    test_blocks: list[np.ndarray] = []
+    for name in train_table.column_names:
+        assignment = assignments.get(name)
+        if assignment is None:
+            continue
+        train_col = train_table[name]
+        test_col = test_table[name]
+        if isinstance(assignment, Representation):
+            routes = []
+            if assignment.double:
+                routes = [_numeric_block, _onehot_block]
+            else:
+                if assignment.feature_type is FeatureType.NOT_GENERALIZABLE:
+                    continue
+                routes = [_ROUTES[assignment.feature_type]]
+        else:
+            if assignment is FeatureType.NOT_GENERALIZABLE:
+                continue
+            routes = [_ROUTES[assignment]]
+        for route in routes:
+            train_block, test_block = route(train_col, test_col)
+            train_blocks.append(train_block)
+            test_blocks.append(test_block)
+    if not train_blocks:
+        # degenerate assignment (everything dropped): constant feature
+        return (
+            np.zeros((len(train_table), 1)),
+            np.zeros((len(test_table), 1)),
+        )
+    return np.hstack(train_blocks), np.hstack(test_blocks)

@@ -1,0 +1,71 @@
+"""Mini-ML substrate: the scikit-learn-shaped library the benchmark runs on.
+
+scikit-learn is not available in this environment, so every estimator the
+paper uses is implemented from scratch on numpy/scipy (see DESIGN.md).
+"""
+
+from repro.ml.base import BaseEstimator, NotFittedError, clone
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import LogisticRegression, RidgeRegression
+from repro.ml.metrics import (
+    BinarizedMetrics,
+    accuracy_score,
+    binarized_metrics,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    r2_score,
+    recall_score,
+    rmse,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    GroupKFold,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.neighbors import KNeighborsClassifier, NameStatsKNN
+from repro.ml.preprocessing import LabelEncoder, OneHotEncoder, StandardScaler
+from repro.ml.svm import RBFSVM
+from repro.ml.text import CountVectorizer, HashingVectorizer, TfidfVectorizer
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "BinarizedMetrics",
+    "CountVectorizer",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GridSearchCV",
+    "GroupKFold",
+    "HashingVectorizer",
+    "KFold",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "LogisticRegression",
+    "NameStatsKNN",
+    "NotFittedError",
+    "OneHotEncoder",
+    "RBFSVM",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "StandardScaler",
+    "StratifiedKFold",
+    "TfidfVectorizer",
+    "accuracy_score",
+    "binarized_metrics",
+    "classification_report",
+    "clone",
+    "confusion_matrix",
+    "cross_val_score",
+    "f1_score",
+    "precision_score",
+    "r2_score",
+    "recall_score",
+    "rmse",
+    "train_test_split",
+]

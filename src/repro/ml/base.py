@@ -1,0 +1,112 @@
+"""Estimator contracts for the mini-ML substrate.
+
+A small re-creation of the parts of scikit-learn's API the paper relies on:
+``fit`` / ``predict`` / ``predict_proba`` / ``get_params`` / ``set_params``
+and :func:`clone`.  No sklearn is available in this environment, so the
+substrate is implemented from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict is called before fit."""
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and cloning support.
+
+    Subclasses must accept all hyper-parameters as keyword arguments in
+    ``__init__`` and store them under the same attribute names (the sklearn
+    convention), so that :meth:`get_params`/:func:`clone` work generically.
+    """
+
+    def get_params(self) -> dict:
+        """Hyper-parameters as a dict, derived from the ``__init__`` signature."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set hyper-parameters in place; unknown names raise ValueError."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """A fresh unfitted estimator with the same hyper-parameters."""
+    params = {
+        key: copy.deepcopy(value) for key, value in estimator.get_params().items()
+    }
+    return type(estimator)(**params)
+
+
+class ClassifierMixin:
+    """Marker + shared helpers for classifiers."""
+
+    _estimator_kind = "classifier"
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on (X, y)."""
+        return float(np.mean(np.asarray(self.predict(X)) == np.asarray(y)))
+
+
+class RegressorMixin:
+    """Marker + shared helpers for regressors."""
+
+    _estimator_kind = "regressor"
+
+    def score(self, X, y) -> float:
+        """Negative RMSE (so that larger is better, for grid search)."""
+        pred = np.asarray(self.predict(X), dtype=float)
+        y = np.asarray(y, dtype=float)
+        return -float(np.sqrt(np.mean((pred - y) ** 2)))
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and convert a feature matrix / label vector pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return X, y
+
+
+def check_array(X) -> np.ndarray:
+    """Validate and convert a feature matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return X

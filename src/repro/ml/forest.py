@@ -1,0 +1,158 @@
+"""Random forests built on the CART trees in :mod:`repro.ml.tree`.
+
+The paper's best type-inference model is a Random Forest (grid: NumEstimator
+in {5,25,50,75,100}, MaxDepth in {5,10,25,50,100}); downstream models also use
+Random Forests for both classification and regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_array,
+    check_X_y,
+)
+from repro.ml.preprocessing import LabelEncoder
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest(BaseEstimator):
+    def _bootstrap_index(self, n_samples: int, rng: np.random.Generator):
+        if self.bootstrap:
+            return rng.integers(0, n_samples, size=n_samples)
+        return np.arange(n_samples)
+
+    def _tree_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "max_thresholds": self.max_thresholds,
+        }
+
+
+class RandomForestClassifier(_BaseForest, ClassifierMixin):
+    """Bagged CART classifiers with per-node feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 25,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        max_thresholds: int = 24,
+        bootstrap: bool = True,
+        random_state: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        self._encoder = LabelEncoder().fit(y)
+        self.classes_ = self._encoder.classes_
+        codes = self._encoder.transform(y)
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        for tree_index in range(self.n_estimators):
+            index = self._bootstrap_index(X.shape[0], rng)
+            tree = DecisionTreeClassifier(
+                random_state=int(rng.integers(0, 2**31)), **self._tree_params()
+            )
+            # Fit on codes directly so every tree shares the class ordering.
+            tree._encoder = self._encoder
+            tree.classes_ = self.classes_
+            sub_X, sub_y = X[index], codes[index]
+            tree._fit_tree(sub_X, sub_y, len(self.classes_))
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        probs = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            tree_probs = tree._leaf_values(X)
+            if tree_probs.shape[1] < probs.shape[1]:  # pragma: no cover - guard
+                padded = np.zeros_like(probs)
+                padded[:, : tree_probs.shape[1]] = tree_probs
+                tree_probs = padded
+            probs += tree_probs
+        return probs / len(self.estimators_)
+
+    def predict(self, X) -> list:
+        probs = self.predict_proba(X)
+        return self._encoder.inverse_transform(np.argmax(probs, axis=1))
+
+    def feature_importances(self, X, y, n_repeats: int = 1, random_state: int = 0):
+        """Permutation importance (accuracy drop per shuffled feature)."""
+        X, y = check_X_y(X, y)
+        baseline = self.score(X, y)
+        rng = np.random.default_rng(random_state)
+        importances = np.zeros(X.shape[1])
+        for feature in range(X.shape[1]):
+            drops = []
+            for _ in range(n_repeats):
+                shuffled = X.copy()
+                rng.shuffle(shuffled[:, feature])
+                drops.append(baseline - self.score(shuffled, y))
+            importances[feature] = float(np.mean(drops))
+        return importances
+
+
+class RandomForestRegressor(_BaseForest, RegressorMixin):
+    """Bagged CART regressors with per-node feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 25,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        max_thresholds: int = 24,
+        bootstrap: bool = True,
+        random_state: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X, y = check_X_y(X, y)
+        y = y.astype(float)
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_: list[DecisionTreeRegressor] = []
+        for tree_index in range(self.n_estimators):
+            index = self._bootstrap_index(X.shape[0], rng)
+            tree = DecisionTreeRegressor(
+                random_state=int(rng.integers(0, 2**31)), **self._tree_params()
+            )
+            tree.fit(X[index], y[index])
+            self.estimators_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_array(X)
+        total = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            total += tree.predict(X)
+        return total / len(self.estimators_)

@@ -1,0 +1,126 @@
+"""Classification and regression metrics used by the benchmark.
+
+Includes the paper's headline metrics: 9-class accuracy, per-class binarized
+precision/recall/F1/accuracy (Table 1, Table 8), full confusion matrices
+(Table 17), and RMSE for the regression downstream tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence | None = None
+) -> np.ndarray:
+    """Confusion matrix with actual classes on rows, predicted on columns."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for actual, predicted in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[actual], index[predicted]] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class BinarizedMetrics:
+    """Per-class one-vs-rest metrics, as reported in the paper's Table 1/8.
+
+    ``accuracy`` is the 2x2 diagonal accuracy of the binarized problem;
+    ``support`` is the number of true positives + false negatives.
+    """
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    support: int
+
+
+def binarized_metrics(y_true: Sequence, y_pred: Sequence, positive) -> BinarizedMetrics:
+    """One-vs-rest precision/recall/F1/accuracy for class ``positive``."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    true_pos = np.sum((y_true == positive) & (y_pred == positive))
+    false_pos = np.sum((y_true != positive) & (y_pred == positive))
+    false_neg = np.sum((y_true == positive) & (y_pred != positive))
+    true_neg = np.sum((y_true != positive) & (y_pred != positive))
+    precision = true_pos / (true_pos + false_pos) if true_pos + false_pos else 0.0
+    recall = true_pos / (true_pos + false_neg) if true_pos + false_neg else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    total = true_pos + false_pos + false_neg + true_neg
+    accuracy = (true_pos + true_neg) / total if total else 0.0
+    return BinarizedMetrics(
+        precision=float(precision),
+        recall=float(recall),
+        f1=float(f1),
+        accuracy=float(accuracy),
+        support=int(true_pos + false_neg),
+    )
+
+
+def precision_score(y_true: Sequence, y_pred: Sequence, positive) -> float:
+    """One-vs-rest precision for the given positive class."""
+    return binarized_metrics(y_true, y_pred, positive).precision
+
+
+def recall_score(y_true: Sequence, y_pred: Sequence, positive) -> float:
+    """One-vs-rest recall for the given positive class."""
+    return binarized_metrics(y_true, y_pred, positive).recall
+
+
+def f1_score(y_true: Sequence, y_pred: Sequence, positive) -> float:
+    """One-vs-rest F1 for the given positive class."""
+    return binarized_metrics(y_true, y_pred, positive).f1
+
+
+def rmse(y_true: Sequence, y_pred: Sequence) -> float:
+    """Root mean squared error (the paper's regression metric)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    residual = np.sum((y_true - y_pred) ** 2)
+    total = np.sum((y_true - np.mean(y_true)) ** 2)
+    if total == 0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)
+
+
+def classification_report(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence
+) -> dict:
+    """Per-class binarized metrics plus overall accuracy, keyed by label."""
+    report = {
+        str(label): binarized_metrics(y_true, y_pred, label) for label in labels
+    }
+    report["__accuracy__"] = accuracy_score(y_true, y_pred)
+    return report

@@ -1,0 +1,228 @@
+"""Dataset splitting, cross-validation, and grid search.
+
+Implements the paper's methodology (Section 4.1): 80:20 train/held-out-test
+split, 5-fold nested cross-validation with a random fourth of each training
+fold used for validation, grid search over the Appendix B grids, and the
+leave-datafile-out protocol (GroupKFold keyed by source file).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+
+
+def train_test_split(
+    *arrays, test_size: float = 0.2, random_state: int = 0, stratify=None
+):
+    """Split any number of same-length arrays into train/test parts.
+
+    Returns ``a_train, a_test, b_train, b_test, ...`` in sklearn order.
+    """
+    n = len(arrays[0])
+    for arr in arrays:
+        if len(arr) != n:
+            raise ValueError("all arrays must share the same length")
+    rng = np.random.default_rng(random_state)
+    if stratify is not None:
+        labels = np.asarray(stratify)
+        test_index: list[int] = []
+        for label in sorted(set(labels.tolist()), key=str):
+            members = np.nonzero(labels == label)[0]
+            members = rng.permutation(members)
+            n_test = max(1, round(test_size * len(members))) if len(members) > 1 else 0
+            test_index.extend(members[:n_test].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_index] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, round(test_size * n))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    out = []
+    for arr in arrays:
+        indexable = np.asarray(arr, dtype=object) if isinstance(arr, list) else arr
+        train = _take(indexable, ~test_mask)
+        test = _take(indexable, test_mask)
+        out.extend([train, test])
+    return tuple(out)
+
+
+def _take(array, mask: np.ndarray):
+    if isinstance(array, np.ndarray) and array.dtype != object:
+        return array[mask]
+    values = list(array) if not isinstance(array, np.ndarray) else array.tolist()
+    return [values[i] for i in np.nonzero(mask)[0]]
+
+
+class KFold:
+    """Plain k-fold splitter over shuffled indices."""
+
+    def __init__(self, n_splits: int = 5, random_state: int = 0, shuffle: bool = True):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.shuffle = shuffle
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        index = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            index = rng.permutation(index)
+        folds = np.array_split(index, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield np.sort(train), np.sort(test)
+
+
+class StratifiedKFold:
+    """k-fold with per-class round-robin assignment (balanced folds)."""
+
+    def __init__(self, n_splits: int = 5, random_state: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, y: Sequence) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        labels = np.asarray(y, dtype=object)
+        n = len(labels)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.zeros(n, dtype=np.int64)
+        for label in sorted(set(labels.tolist()), key=str):
+            members = rng.permutation(np.nonzero(labels == label)[0])
+            for slot, sample in enumerate(members):
+                fold_of[sample] = slot % self.n_splits
+        for i in range(self.n_splits):
+            test = np.nonzero(fold_of == i)[0]
+            train = np.nonzero(fold_of != i)[0]
+            yield train, test
+
+
+class GroupKFold:
+    """k-fold where all samples sharing a group land in the same fold.
+
+    This is the paper's leave-datafile-out protocol: groups are source data
+    files, so test folds contain only columns from unseen files.
+    """
+
+    def __init__(self, n_splits: int = 5, random_state: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, groups: Sequence) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        group_array = np.asarray(groups, dtype=object)
+        unique = sorted(set(group_array.tolist()), key=str)
+        if len(unique) < self.n_splits:
+            raise ValueError(
+                f"{len(unique)} groups cannot fill {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.random_state)
+        order = rng.permutation(len(unique))
+        fold_of_group = {
+            unique[g]: i % self.n_splits for i, g in enumerate(order)
+        }
+        fold_of = np.array([fold_of_group[g] for g in group_array.tolist()])
+        for i in range(self.n_splits):
+            test = np.nonzero(fold_of == i)[0]
+            train = np.nonzero(fold_of != i)[0]
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    cv: int = 5,
+    random_state: int = 0,
+) -> np.ndarray:
+    """Stratified k-fold accuracy (or negative RMSE for regressors)."""
+    X = np.asarray(X, dtype=float)
+    y_list = list(y)
+    splitter = StratifiedKFold(n_splits=cv, random_state=random_state)
+    scores = []
+    for train, test in splitter.split(y_list):
+        model = clone(estimator)
+        model.fit(X[train], [y_list[i] for i in train])
+        scores.append(model.score(X[test], [y_list[i] for i in test]))
+    return np.array(scores)
+
+
+class GridSearchCV:
+    """Exhaustive grid search with held-out-validation or k-fold scoring.
+
+    ``validation_fraction`` mode mirrors the paper: "a random fourth of the
+    examples in a training fold being used for validation during
+    hyper-parameter tuning".  Set ``cv`` to an int for k-fold scoring instead.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: dict[str, Sequence],
+        cv: int | None = None,
+        validation_fraction: float = 0.25,
+        random_state: int = 0,
+    ):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.validation_fraction = validation_fraction
+        self.random_state = random_state
+
+    def _candidates(self) -> Iterator[dict]:
+        keys = sorted(self.param_grid)
+        for combo in itertools.product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def fit(self, X, y) -> "GridSearchCV":
+        X = np.asarray(X, dtype=float)
+        y_list = list(y)
+        results = []
+        for params in self._candidates():
+            if self.cv is not None:
+                model = clone(self.estimator).set_params(**params)
+                score = float(
+                    np.mean(
+                        cross_val_score(
+                            model, X, y_list, cv=self.cv,
+                            random_state=self.random_state,
+                        )
+                    )
+                )
+            else:
+                x_tr, x_val, y_tr, y_val = train_test_split(
+                    X,
+                    y_list,
+                    test_size=self.validation_fraction,
+                    random_state=self.random_state,
+                    stratify=y_list if _is_classifier(self.estimator) else None,
+                )
+                model = clone(self.estimator).set_params(**params)
+                model.fit(x_tr, y_tr)
+                score = float(model.score(x_val, y_val))
+            results.append((score, params))
+        results.sort(key=lambda item: -item[0])
+        self.best_score_, self.best_params_ = results[0]
+        self.cv_results_ = results
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y_list)
+        return self
+
+    def predict(self, X):
+        return self.best_estimator_.predict(X)
+
+    def score(self, X, y) -> float:
+        return self.best_estimator_.score(X, y)
+
+
+def _is_classifier(estimator: BaseEstimator) -> bool:
+    return getattr(estimator, "_estimator_kind", "") == "classifier"

@@ -1,0 +1,131 @@
+"""k-nearest-neighbor classification with pluggable distances.
+
+Supports both plain euclidean k-NN on feature matrices and the paper's
+task-adapted k-NN (Section 3.3.3) whose distance between columns is
+
+    d = ED(X_name) + gamma * EC(X_stats)
+
+(edit distance between attribute names plus weighted euclidean distance
+between descriptive-stats vectors).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+from repro.ml.distances import (
+    euclidean_one_vs_many,
+    levenshtein_one_vs_many,
+    pairwise_euclidean,
+)
+
+
+def _vote(labels: Sequence, distances: np.ndarray) -> object:
+    """Majority vote; ties broken by the nearer neighbor."""
+    counts = Counter(labels)
+    top = max(counts.values())
+    tied = {label for label, count in counts.items() if count == top}
+    if len(tied) == 1:
+        return next(iter(tied))
+    for label, _dist in sorted(zip(labels, distances), key=lambda item: item[1]):
+        if label in tied:
+            return label
+    return labels[0]  # pragma: no cover - unreachable
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Plain k-NN on a numeric feature matrix (euclidean distance)."""
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._y = list(y)
+        self.classes_ = sorted(set(self._y), key=str)
+        return self
+
+    def predict(self, X) -> list:
+        self._check_fitted("_X")
+        X = check_array(X)
+        distances = pairwise_euclidean(X, self._X)
+        k = min(self.n_neighbors, len(self._y))
+        out = []
+        for row in distances:
+            nearest = np.argsort(row, kind="stable")[:k]
+            out.append(_vote([self._y[i] for i in nearest], row[nearest]))
+        return out
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("_X")
+        X = check_array(X)
+        distances = pairwise_euclidean(X, self._X)
+        k = min(self.n_neighbors, len(self._y))
+        index = {label: i for i, label in enumerate(self.classes_)}
+        probs = np.zeros((X.shape[0], len(self.classes_)))
+        for row_id, row in enumerate(distances):
+            nearest = np.argsort(row, kind="stable")[:k]
+            for i in nearest:
+                probs[row_id, index[self._y[i]]] += 1.0
+        return probs / k
+
+
+class NameStatsKNN(BaseEstimator, ClassifierMixin):
+    """The paper's k-NN: weighted edit + euclidean distance over columns.
+
+    ``fit`` takes attribute names, standardized stats vectors, and labels.
+    ``gamma`` weights the stats term; both ``n_neighbors`` (1..10) and
+    ``gamma`` ({1e-3 .. 1e3}) are tuned by grid search in the paper.
+    """
+
+    def __init__(
+        self, n_neighbors: int = 5, gamma: float = 1.0, use_stats: bool = True,
+        use_name: bool = True,
+    ):
+        if not (use_stats or use_name):
+            raise ValueError("at least one of use_stats/use_name must be set")
+        self.n_neighbors = n_neighbors
+        self.gamma = gamma
+        self.use_stats = use_stats
+        self.use_name = use_name
+
+    def fit(
+        self, names: Sequence[str], stats: np.ndarray, y: Sequence
+    ) -> "NameStatsKNN":
+        if len(names) != len(y):
+            raise ValueError("names and y must have equal length")
+        self._names = [str(n) for n in names]
+        self._stats = np.asarray(stats, dtype=float)
+        if self._stats.shape[0] != len(self._names):
+            raise ValueError("stats and names must have equal length")
+        self._y = list(y)
+        self.classes_ = sorted(set(self._y), key=str)
+        return self
+
+    def _distances(self, name: str, stats_row: np.ndarray) -> np.ndarray:
+        total = np.zeros(len(self._y))
+        if self.use_name:
+            total += levenshtein_one_vs_many(name, self._names).astype(float)
+        if self.use_stats:
+            total += self.gamma * euclidean_one_vs_many(stats_row, self._stats)
+        return total
+
+    def predict(self, names: Sequence[str], stats: np.ndarray) -> list:
+        self._check_fitted("_names")
+        stats = np.asarray(stats, dtype=float)
+        k = min(self.n_neighbors, len(self._y))
+        out = []
+        for name, stats_row in zip(names, stats):
+            distances = self._distances(str(name), stats_row)
+            nearest = np.argsort(distances, kind="stable")[:k]
+            out.append(_vote([self._y[i] for i in nearest], distances[nearest]))
+        return out
+
+    def score(self, names: Sequence[str], stats: np.ndarray, y: Sequence) -> float:
+        pred = self.predict(names, stats)
+        return float(np.mean(np.asarray(pred, dtype=object) == np.asarray(y, dtype=object)))

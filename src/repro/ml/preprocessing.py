@@ -1,0 +1,122 @@
+"""Feature preprocessing: scaling, label encoding, one-hot encoding."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Standardize features to zero mean / unit variance.
+
+    Used by the paper for scale-sensitive models (RBF-SVM, logistic
+    regression) on the descriptive-stats features (Section 3.3.2).
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0  # constant features pass through unscaled
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fit on {self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class LabelEncoder(BaseEstimator):
+    """Map arbitrary hashable labels to contiguous integer codes."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, y: Sequence) -> "LabelEncoder":
+        self.classes_ = sorted(set(y), key=str)
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, y: Sequence) -> np.ndarray:
+        self._check_fitted("classes_")
+        try:
+            return np.array([self._index[label] for label in y], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label during transform: {exc}") from None
+
+    def fit_transform(self, y: Sequence) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> list:
+        self._check_fitted("classes_")
+        return [self.classes_[int(code)] for code in np.asarray(codes)]
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encode a column of category strings.
+
+    ``max_categories`` caps the domain to the most frequent categories (rare
+    categories and unseen values fall into an "other" bucket when
+    ``handle_unknown='bucket'``, or a zero row when ``'ignore'``).
+    """
+
+    def __init__(self, max_categories: int = 1000, handle_unknown: str = "ignore"):
+        if handle_unknown not in ("ignore", "bucket"):
+            raise ValueError("handle_unknown must be 'ignore' or 'bucket'")
+        self.max_categories = max_categories
+        self.handle_unknown = handle_unknown
+
+    def fit(self, values: Sequence[str | None]) -> "OneHotEncoder":
+        counts: dict[str, int] = {}
+        for value in values:
+            key = "" if value is None else str(value)
+            counts[key] = counts.get(key, 0) + 1
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        self.categories_ = [cat for cat, _count in ranked[: self.max_categories]]
+        self._index = {cat: i for i, cat in enumerate(self.categories_)}
+        return self
+
+    @property
+    def n_features_(self) -> int:
+        self._check_fitted("categories_")
+        extra = 1 if self.handle_unknown == "bucket" else 0
+        return len(self.categories_) + extra
+
+    def transform(self, values: Sequence[str | None]) -> np.ndarray:
+        self._check_fitted("categories_")
+        out = np.zeros((len(values), self.n_features_), dtype=float)
+        bucket = len(self.categories_) if self.handle_unknown == "bucket" else None
+        for i, value in enumerate(values):
+            key = "" if value is None else str(value)
+            j = self._index.get(key)
+            if j is not None:
+                out[i, j] = 1.0
+            elif bucket is not None:
+                out[i, bucket] = 1.0
+        return out
+
+    def fit_transform(self, values: Sequence[str | None]) -> np.ndarray:
+        return self.fit(values).transform(values)

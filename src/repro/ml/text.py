@@ -1,0 +1,185 @@
+"""Text vectorizers: char/word n-gram counts, TF-IDF, feature hashing.
+
+The benchmark featurizes attribute names and sample values with character
+bigrams (X2_name, X2_sample) and routes Sentence columns through TF-IDF in
+the downstream suite (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+_WORD_SPLIT_CHARS = ".,;:!?()[]{}\"'`/\\|<>@#$%^&*+=~"
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Lowercased word tokens with punctuation stripped."""
+    cleaned = text.lower()
+    for ch in _WORD_SPLIT_CHARS:
+        cleaned = cleaned.replace(ch, " ")
+    return [token for token in cleaned.split() if token]
+
+
+def char_ngrams(text: str, n: int) -> list[str]:
+    """Character n-grams of ``text`` (lowercased, with boundary markers)."""
+    padded = f"^{text.lower()}$"
+    if len(padded) < n:
+        return [padded]
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+def word_ngrams(text: str, n: int) -> list[str]:
+    """Word n-grams (n consecutive word tokens joined by a space)."""
+    tokens = tokenize_words(text)
+    if len(tokens) < n:
+        return [" ".join(tokens)] if tokens else []
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+class CountVectorizer(BaseEstimator):
+    """Bag of n-grams with a fitted vocabulary capped by frequency."""
+
+    def __init__(
+        self,
+        analyzer: str = "char",
+        ngram: int = 2,
+        max_features: int = 1000,
+        binary: bool = False,
+        min_df: int = 1,
+    ):
+        if analyzer not in ("char", "word"):
+            raise ValueError("analyzer must be 'char' or 'word'")
+        self.analyzer = analyzer
+        self.ngram = ngram
+        self.max_features = max_features
+        self.binary = binary
+        self.min_df = min_df
+
+    def _analyze(self, text: str) -> list[str]:
+        if self.analyzer == "char":
+            return char_ngrams(text, self.ngram)
+        return word_ngrams(text, self.ngram)
+
+    def fit(self, texts: Sequence[str]) -> "CountVectorizer":
+        doc_freq: dict[str, int] = {}
+        for text in texts:
+            for gram in set(self._analyze(text)):
+                doc_freq[gram] = doc_freq.get(gram, 0) + 1
+        eligible = [
+            (gram, count) for gram, count in doc_freq.items() if count >= self.min_df
+        ]
+        ranked = sorted(eligible, key=lambda item: (-item[1], item[0]))
+        self.vocabulary_ = {
+            gram: i for i, (gram, _count) in enumerate(ranked[: self.max_features])
+        }
+        self.document_frequency_ = {
+            gram: doc_freq[gram] for gram in self.vocabulary_
+        }
+        self._n_documents = len(texts)
+        return self
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        self._check_fitted("vocabulary_")
+        out = np.zeros((len(texts), len(self.vocabulary_)), dtype=float)
+        for i, text in enumerate(texts):
+            for gram in self._analyze(text):
+                j = self.vocabulary_.get(gram)
+                if j is not None:
+                    if self.binary:
+                        out[i, j] = 1.0
+                    else:
+                        out[i, j] += 1.0
+        return out
+
+    def fit_transform(self, texts: Sequence[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF over word (or char) n-grams, with L2 row normalization."""
+
+    def __init__(
+        self,
+        analyzer: str = "word",
+        ngram: int = 1,
+        max_features: int = 1000,
+        min_df: int = 1,
+    ):
+        super().__init__(
+            analyzer=analyzer,
+            ngram=ngram,
+            max_features=max_features,
+            binary=False,
+            min_df=min_df,
+        )
+
+    def fit(self, texts: Sequence[str]) -> "TfidfVectorizer":
+        super().fit(texts)
+        n_docs = max(self._n_documents, 1)
+        self.idf_ = np.array(
+            [
+                math.log((1 + n_docs) / (1 + self.document_frequency_[gram])) + 1.0
+                for gram in sorted(self.vocabulary_, key=self.vocabulary_.get)
+            ]
+        )
+        return self
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        self._check_fitted("idf_")
+        counts = super().transform(texts)
+        weighted = counts * self.idf_[None, :]
+        norms = np.sqrt(np.sum(weighted * weighted, axis=1, keepdims=True))
+        norms[norms == 0.0] = 1.0
+        return weighted / norms
+
+
+class HashingVectorizer(BaseEstimator):
+    """Stateless n-gram hashing into a fixed number of buckets.
+
+    Used for the benchmark's bigram features so the feature space is stable
+    across folds and corpora (no fitted vocabulary to leak).  Signed hashing
+    keeps collisions unbiased.
+    """
+
+    def __init__(self, analyzer: str = "char", ngram: int = 2, n_features: int = 256):
+        if analyzer not in ("char", "word"):
+            raise ValueError("analyzer must be 'char' or 'word'")
+        self.analyzer = analyzer
+        self.ngram = ngram
+        self.n_features = n_features
+
+    def _analyze(self, text: str) -> list[str]:
+        if self.analyzer == "char":
+            return char_ngrams(text, self.ngram)
+        return word_ngrams(text, self.ngram)
+
+    def transform(self, texts: Iterable[str]) -> np.ndarray:
+        texts = list(texts)
+        out = np.zeros((len(texts), self.n_features), dtype=float)
+        for i, text in enumerate(texts):
+            for gram in self._analyze(text):
+                digest = _stable_hash(gram)
+                bucket = digest % self.n_features
+                sign = 1.0 if (digest >> 32) & 1 else -1.0
+                out[i, bucket] += sign
+        return out
+
+    def fit(self, texts: Iterable[str]) -> "HashingVectorizer":
+        return self  # stateless
+
+    def fit_transform(self, texts: Iterable[str]) -> np.ndarray:
+        return self.transform(texts)
+
+
+def _stable_hash(text: str) -> int:
+    """64-bit FNV-1a hash (stable across processes, unlike ``hash``)."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,36 @@
+"""Character-sequence encoding for the char-CNN.
+
+Characters are mapped to integer codes from a fixed printable vocabulary;
+code 0 is padding, code 1 is "unknown character".
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+#: Characters the CNN can see; everything else maps to UNK.
+VOCABULARY = string.ascii_lowercase + string.digits + string.punctuation + " "
+
+PAD_CODE = 0
+UNK_CODE = 1
+VOCAB_SIZE = len(VOCABULARY) + 2  # + PAD + UNK
+
+_CHAR_TO_CODE = {ch: i + 2 for i, ch in enumerate(VOCABULARY)}
+
+
+def encode_text(text: str, max_len: int) -> np.ndarray:
+    """Encode one string into a fixed-length int code vector (right-padded)."""
+    codes = np.full(max_len, PAD_CODE, dtype=np.int64)
+    for i, ch in enumerate(text.lower()[:max_len]):
+        codes[i] = _CHAR_TO_CODE.get(ch, UNK_CODE)
+    return codes
+
+
+def encode_batch(texts: list[str], max_len: int) -> np.ndarray:
+    """Encode a batch of strings, shape (batch, max_len)."""
+    out = np.full((len(texts), max_len), PAD_CODE, dtype=np.int64)
+    for row, text in enumerate(texts):
+        out[row] = encode_text(text, max_len)
+    return out

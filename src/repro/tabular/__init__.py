@@ -1,0 +1,39 @@
+"""Minimal columnar data layer: the raw-CSV substrate of the benchmark."""
+
+from repro.tabular.column import Column, MISSING_TOKENS
+from repro.tabular.csv_io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.tabular.dtypes import (
+    SyntacticType,
+    column_syntactic_type,
+    is_float_literal,
+    is_integer_literal,
+    is_missing,
+    looks_like_datetime,
+    looks_like_embedded_number,
+    looks_like_list,
+    looks_like_url,
+    syntactic_type,
+    try_parse_float,
+)
+from repro.tabular.table import Table
+
+__all__ = [
+    "Column",
+    "MISSING_TOKENS",
+    "SyntacticType",
+    "Table",
+    "column_syntactic_type",
+    "is_float_literal",
+    "is_integer_literal",
+    "is_missing",
+    "looks_like_datetime",
+    "looks_like_embedded_number",
+    "looks_like_list",
+    "looks_like_url",
+    "read_csv",
+    "read_csv_text",
+    "syntactic_type",
+    "to_csv_text",
+    "try_parse_float",
+    "write_csv",
+]

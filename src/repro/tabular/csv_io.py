@@ -1,0 +1,88 @@
+"""CSV reading/writing for :class:`~repro.tabular.table.Table`.
+
+Built on the stdlib :mod:`csv` module but presenting the lenient semantics an
+AutoML ingestion layer needs: missing-token normalization, ragged-row repair,
+and simple delimiter sniffing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+
+from repro.tabular.table import Table
+
+_SNIFF_DELIMITERS = ",;\t|"
+
+
+def read_csv(path: str | os.PathLike, delimiter: str | None = None) -> Table:
+    """Read a CSV file from disk into a :class:`Table`."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        text = handle.read()
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return read_csv_text(text, name=name, delimiter=delimiter)
+
+
+def read_csv_text(text: str, name: str = "", delimiter: str | None = None) -> Table:
+    """Parse CSV text into a :class:`Table` (first row is the header)."""
+    if delimiter is None:
+        delimiter = sniff_delimiter(text)
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV input") from None
+    header = _dedupe_header([h.strip() for h in header])
+    return Table.from_rows(header, reader, name=name)
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write a :class:`Table` to a CSV file (missing cells as empty)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        _write(table, handle)
+
+
+def to_csv_text(table: Table) -> str:
+    """Render a :class:`Table` as CSV text."""
+    buffer = io.StringIO()
+    _write(table, buffer)
+    return buffer.getvalue()
+
+
+def sniff_delimiter(text: str) -> str:
+    """Pick the delimiter whose count is most consistent across sample lines."""
+    lines = [line for line in text.splitlines()[:20] if line.strip()]
+    if not lines:
+        return ","
+    best, best_score = ",", -1.0
+    for cand in _SNIFF_DELIMITERS:
+        counts = [line.count(cand) for line in lines]
+        if min(counts) == 0:
+            continue
+        spread = max(counts) - min(counts)
+        score = min(counts) - 0.5 * spread
+        if score > best_score:
+            best, best_score = cand, score
+    return best
+
+
+def _dedupe_header(header: list[str]) -> list[str]:
+    """Make duplicate header names unique by suffixing .1, .2, ..."""
+    seen: dict[str, int] = {}
+    out = []
+    for name in header:
+        if name in seen:
+            seen[name] += 1
+            out.append(f"{name}.{seen[name]}")
+        else:
+            seen[name] = 0
+            out.append(name)
+    return out
+
+
+def _write(table: Table, handle) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(table.column_names)
+    for row in table.rows():
+        writer.writerow(["" if cell is None else cell for cell in row])

@@ -1,0 +1,109 @@
+"""JSON ingestion: arrays-of-objects and JSON-lines → Table.
+
+The paper scopes the task to "relational/tabular data, which can be stored
+in any format (CSV, JSON, XML, etc.)".  This module covers the two common
+JSON shapes AutoML platforms ingest; all values are stringified to the raw
+cell representation the benchmark operates on (nested objects/arrays are
+kept as their JSON text — exactly the Context-Specific blobs of Section 2.1).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.tabular.table import Table
+
+
+def read_json(path: str | os.PathLike) -> Table:
+    """Read a JSON file (array of objects, or ``{column: values}``)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return read_json_text(text, name=name)
+
+
+def read_jsonl(path: str | os.PathLike) -> Table:
+    """Read a JSON-lines file (one object per line)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return read_jsonl_text(text, name=name)
+
+
+def read_json_text(text: str, name: str = "") -> Table:
+    """Parse JSON text into a Table.
+
+    Accepts an array of objects (``[{...}, {...}]``) or a column-major
+    object (``{"col": [v, v, ...], ...}``).
+    """
+    payload = json.loads(text)
+    if isinstance(payload, list):
+        return _from_records(payload, name)
+    if isinstance(payload, dict):
+        if all(isinstance(v, list) for v in payload.values()):
+            cells = {
+                key: [_stringify(v) for v in values]
+                for key, values in payload.items()
+            }
+            return Table.from_dict(cells, name=name)
+        return _from_records([payload], name)
+    raise ValueError(
+        f"JSON root must be an array or object, got {type(payload).__name__}"
+    )
+
+
+def read_jsonl_text(text: str, name: str = "") -> Table:
+    """Parse JSON-lines text (one object per non-empty line) into a Table."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON on line {line_number}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"line {line_number}: expected an object, got "
+                f"{type(record).__name__}"
+            )
+        records.append(record)
+    if not records:
+        raise ValueError("empty JSON-lines input")
+    return _from_records(records, name)
+
+
+def _from_records(records: list, name: str) -> Table:
+    if not records:
+        raise ValueError("empty JSON array")
+    header: list[str] = []
+    seen: set[str] = set()
+    for record in records:
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"array elements must be objects, got {type(record).__name__}"
+            )
+        for key in record:
+            if key not in seen:
+                seen.add(key)
+                header.append(key)
+    rows = [
+        [_stringify(record.get(key)) for key in header] for record in records
+    ]
+    return Table.from_rows(header, rows, name=name)
+
+
+def _stringify(value) -> str | None:
+    """JSON value → raw string cell (None for null; JSON text for nested)."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    # nested objects/arrays stay as JSON text — Context-Specific blobs
+    return json.dumps(value, separators=(",", ":"))

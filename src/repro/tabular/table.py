@@ -1,0 +1,110 @@
+"""A minimal immutable-ish table of named columns (the raw CSV file view)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.tabular.column import Column
+
+
+class Table:
+    """An ordered collection of equal-length :class:`Column` objects."""
+
+    def __init__(self, columns: Iterable[Column], name: str = ""):
+        self.name = name
+        self._columns: list[Column] = list(columns)
+        if self._columns:
+            n_rows = len(self._columns[0])
+            for col in self._columns:
+                if len(col) != n_rows:
+                    raise ValueError(
+                        f"column {col.name!r} has {len(col)} rows, expected {n_rows}"
+                    )
+        names = [col.name for col in self._columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}: {names}")
+        self._by_name = {col.name: col for col in self._columns}
+
+    @classmethod
+    def from_rows(
+        cls, header: list[str], rows: Iterable[list[str | None]], name: str = ""
+    ) -> "Table":
+        """Build a table from a header and row-major cells."""
+        cells: list[list[str | None]] = [[] for _ in header]
+        for row in rows:
+            if len(row) != len(header):
+                # Ragged rows happen in the wild; pad/truncate like a lenient
+                # CSV consumer would.
+                row = (list(row) + [None] * len(header))[: len(header)]
+            for j, cell in enumerate(row):
+                cells[j].append(cell)
+        columns = [Column(col_name, col) for col_name, col in zip(header, cells)]
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, list[str | None]], name: str = "") -> "Table":
+        """Build a table from ``{column name: cells}``."""
+        return cls([Column(key, val) for key, val in data.items()], name=name)
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        """Number of rows."""
+        return len(self._columns[0]) if self._columns else 0
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r} in table {self.name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table(name={self.name!r}, shape=({len(self)}, {self.n_columns}))"
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self._columns]
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    def row(self, index: int) -> list[str | None]:
+        """One row as a list of cells (column order)."""
+        return [col[index] for col in self._columns]
+
+    def rows(self) -> Iterator[list[str | None]]:
+        """Iterate over rows."""
+        for i in range(len(self)):
+            yield self.row(i)
+
+    def select(self, names: list[str]) -> "Table":
+        """A new table with only the named columns, in the given order."""
+        return Table([self[name] for name in names], name=self.name)
+
+    def drop(self, names: list[str]) -> "Table":
+        """A new table without the named columns."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise KeyError(f"cannot drop missing columns: {missing}")
+        keep = [col for col in self._columns if col.name not in set(names)]
+        return Table(keep, name=self.name)
+
+    def with_column(self, column: Column) -> "Table":
+        """A new table with ``column`` appended (or replaced, if name exists)."""
+        cols = [col for col in self._columns if col.name != column.name]
+        cols.append(column)
+        return Table(cols, name=self.name)

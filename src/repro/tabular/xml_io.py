@@ -1,0 +1,93 @@
+"""XML ingestion: repeated-record documents → Table.
+
+Completes the paper's "any format (CSV, JSON, XML, etc.)" scope.  The common
+tabular XML shape is a root element containing one child element per row,
+whose children (or attributes) are the columns:
+
+    <rows>
+      <row><salary>1500</salary><zip>92092</zip></row>
+      <row salary="3400" zip="78712"/>
+    </rows>
+
+Nested structure below a cell is serialized back to XML text — the same
+Context-Specific blob treatment JSON nesting gets.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+
+from repro.tabular.table import Table
+
+
+def read_xml(path: str | os.PathLike, record_tag: str | None = None) -> Table:
+    """Read a tabular XML file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return read_xml_text(text, name=name, record_tag=record_tag)
+
+
+def read_xml_text(
+    text: str, name: str = "", record_tag: str | None = None
+) -> Table:
+    """Parse tabular XML text into a Table.
+
+    ``record_tag`` selects which child elements of the root are rows; when
+    omitted, the most frequent child tag is used (the natural guess for
+    ``<rows><row>...</row></rows>`` documents).
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ValueError(f"invalid XML: {exc}") from exc
+
+    records = list(root) if record_tag is None else root.findall(record_tag)
+    if record_tag is None and records:
+        counts: dict[str, int] = {}
+        for child in records:
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+        majority = max(counts, key=counts.get)
+        records = [child for child in records if child.tag == majority]
+    if not records:
+        raise ValueError(
+            "no row elements found"
+            + (f" for record tag {record_tag!r}" if record_tag else "")
+        )
+
+    header: list[str] = []
+    seen: set[str] = set()
+    rows: list[dict[str, str | None]] = []
+    for record in records:
+        cells: dict[str, str | None] = {}
+        for key, value in record.attrib.items():
+            cells[key] = value
+            if key not in seen:
+                seen.add(key)
+                header.append(key)
+        for child in record:
+            value = _cell_text(child)
+            cells[child.tag] = value
+            if child.tag not in seen:
+                seen.add(child.tag)
+                header.append(child.tag)
+        rows.append(cells)
+    if not header:
+        raise ValueError("row elements carry no columns (no children/attributes)")
+
+    return Table.from_rows(
+        header, ([row.get(column) for column in header] for row in rows),
+        name=name,
+    )
+
+
+def _cell_text(element: ET.Element) -> str | None:
+    """A leaf's text, or serialized XML for nested structure."""
+    if len(element) == 0:
+        text = element.text
+        if text is None:
+            return None
+        stripped = text.strip()
+        return stripped if stripped else None
+    return ET.tostring(element, encoding="unicode").strip()

@@ -1,0 +1,30 @@
+"""Baseline type-inference tools re-implemented per the paper's Section 3."""
+
+from repro.tools.autogluon_tool import AutoGluonTool
+from repro.tools.base import InferenceTool, column_from_cells
+from repro.tools.pandas_tool import PandasTool
+from repro.tools.rules import RuleBaselineTool
+from repro.tools.sherlock import SherlockModel, SherlockTool
+from repro.tools.tfdv_tool import TFDVTool
+from repro.tools.transmogrifai_tool import TransmogrifAITool
+
+#: The four open-source industrial tools of Table 1, by paper name.
+INDUSTRIAL_TOOLS = {
+    "tfdv": TFDVTool,
+    "pandas": PandasTool,
+    "transmogrifai": TransmogrifAITool,
+    "autogluon": AutoGluonTool,
+}
+
+__all__ = [
+    "AutoGluonTool",
+    "INDUSTRIAL_TOOLS",
+    "InferenceTool",
+    "PandasTool",
+    "RuleBaselineTool",
+    "SherlockModel",
+    "SherlockTool",
+    "TFDVTool",
+    "TransmogrifAITool",
+    "column_from_cells",
+]

@@ -1,0 +1,50 @@
+"""Common interface for the baseline type-inference tools.
+
+Every tool maps a raw column to a feature type from *its own* vocabulary,
+already translated to ours per the paper's Figure 3.  ``covers(column)``
+says whether the column falls inside the tool's native vocabulary at all —
+the "column coverage" notion of Table 4(A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.featurize import ColumnProfile
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.types import FeatureType
+
+
+class InferenceTool(ABC):
+    """A rule/syntax-based feature type inference tool."""
+
+    name: str = "tool"
+
+    @abstractmethod
+    def infer_column(self, column: Column) -> FeatureType:
+        """Predict the feature type of one raw column."""
+
+    def covers_column(self, column: Column) -> bool:
+        """Whether the column is inside the tool's native vocabulary."""
+        return True
+
+    def infer_table(self, table: Table) -> dict[str, FeatureType]:
+        """Predict for every column of a table, keyed by column name."""
+        return {column.name: self.infer_column(column) for column in table}
+
+    def infer_profile(self, profile: ColumnProfile) -> FeatureType:
+        """Predict from a base-featurized profile (rebuilds a column view).
+
+        Tools operate on raw columns; for benchmark convenience profiles
+        carry enough raw signal (samples + stats) for the heuristics.
+        Subclasses that only need samples/stats may override this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} infers from raw columns; use infer_column"
+        )
+
+
+def column_from_cells(name: str, cells) -> Column:
+    """Helper for tests/benchmarks: build a raw column in one call."""
+    return Column(name, cells)

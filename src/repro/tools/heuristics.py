@@ -1,0 +1,88 @@
+"""Shared column-level heuristics used by the tool simulators.
+
+Each tool recognizes its own subset of date formats — that subset gap is
+exactly why the paper reports high Datetime precision but low recall for
+rule-based tools (they miss "BirthDate 19980112"-style instances).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tabular.column import Column
+from repro.tabular.dtypes import is_float_literal, is_integer_literal
+
+_ISO_DATE = re.compile(r"^\d{4}-\d{1,2}-\d{1,2}$")
+_ISO_TIMESTAMP = re.compile(
+    r"^\d{4}-\d{1,2}-\d{1,2}[ T]\d{1,2}:\d{2}(:\d{2})?(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
+)
+_US_SLASH = re.compile(r"^\d{1,2}/\d{1,2}/\d{2,4}$")
+_EU_SLASH = re.compile(r"^\d{1,2}/\d{1,2}/\d{4}$")
+_LONG_DATE = re.compile(
+    r"^(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\.?\s+\d{1,2},?\s+\d{4}$",
+    re.IGNORECASE,
+)
+_TIME_ONLY = re.compile(r"^\d{1,2}:\d{2}(:\d{2})?$")
+_MON_YEAR = re.compile(
+    r"^(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*-\d{2,4}$",
+    re.IGNORECASE,
+)
+_COMPACT = re.compile(r"^(19|20)\d{2}(0[1-9]|1[0-2])(0[1-9]|[12]\d|3[01])$")
+
+#: Named date-format matchers; tools opt into subsets.
+DATE_FORMATS = {
+    "iso": _ISO_DATE,
+    "iso_ts": _ISO_TIMESTAMP,
+    "us_slash": _US_SLASH,
+    "eu_slash": _EU_SLASH,
+    "long": _LONG_DATE,
+    "time": _TIME_ONLY,
+    "mon_year": _MON_YEAR,
+    "compact": _COMPACT,
+}
+
+
+def matches_formats(cell: str, formats: tuple[str, ...]) -> bool:
+    """True when the cell matches any of the named date formats."""
+    text = cell.strip()
+    return any(DATE_FORMATS[name].match(text) for name in formats)
+
+
+def fraction(column: Column, predicate) -> float:
+    """Fraction of present cells satisfying ``predicate`` (0 when empty)."""
+    present = column.non_missing()
+    if not present:
+        return 0.0
+    return sum(1 for cell in present if predicate(cell)) / len(present)
+
+
+def integer_fraction(column: Column) -> float:
+    return fraction(column, is_integer_literal)
+
+
+def float_fraction(column: Column) -> float:
+    """Fraction parseable as numbers (ints included)."""
+    return fraction(column, is_float_literal)
+
+
+def date_fraction(column: Column, formats: tuple[str, ...]) -> float:
+    return fraction(column, lambda cell: matches_formats(cell, formats))
+
+
+def mean_word_count(column: Column) -> float:
+    present = column.non_missing()
+    if not present:
+        return 0.0
+    return sum(len(cell.split()) for cell in present) / len(present)
+
+
+def distinct_fraction(column: Column) -> float:
+    if len(column) == 0:
+        return 0.0
+    return len(column.distinct()) / len(column)
+
+
+def missing_fraction(column: Column) -> float:
+    if len(column) == 0:
+        return 1.0
+    return column.n_missing() / len(column)

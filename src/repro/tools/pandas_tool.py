@@ -1,0 +1,45 @@
+"""Pandas-style syntactic type inference (paper Section 3.1).
+
+Pandas infers syntactic dtypes — int64/float64 for numeric literals,
+``object`` otherwise — plus a ``to_datetime`` utility probe that parses a
+wide set of date formats.  Per Figure 3, int/float map to Numeric, parseable
+datetimes map to Datetime, and the ``object`` catch-all maps to
+Context-Specific.  Integer-encoded categoricals and integer primary keys
+therefore come out as Numeric — the semantic gap in its purest form.
+"""
+
+from __future__ import annotations
+
+from repro.tabular.column import Column
+from repro.tools.base import InferenceTool
+from repro.tools.heuristics import date_fraction, float_fraction
+from repro.types import FeatureType
+
+#: pandas.to_datetime is permissive: everything but compact YYYYMMDD digit
+#: strings (those parse as integers first).
+PANDAS_DATE_FORMATS = (
+    "iso", "iso_ts", "us_slash", "eu_slash", "long", "time", "mon_year",
+)
+
+_DTYPE_THRESHOLD = 0.98  # a couple of stray strings demote a column to object
+
+
+class PandasTool(InferenceTool):
+    """Simulates ``pandas.read_csv`` dtype inference + ``to_datetime``."""
+
+    name = "pandas"
+
+    def infer_column(self, column: Column) -> FeatureType:
+        if float_fraction(column) >= _DTYPE_THRESHOLD:
+            return FeatureType.NUMERIC
+        if date_fraction(column, PANDAS_DATE_FORMATS) >= _DTYPE_THRESHOLD:
+            return FeatureType.DATETIME
+        return FeatureType.CONTEXT_SPECIFIC  # dtype "object" (Figure 3)
+
+    def covers_column(self, column: Column) -> bool:
+        """Pandas' native vocabulary only truly captures numeric/datetime.
+
+        The ``object`` dtype is a syntactic catch-all, not a feature type —
+        Table 4(A) counts such columns as uncovered.
+        """
+        return self.infer_column(column) is not FeatureType.CONTEXT_SPECIFIC

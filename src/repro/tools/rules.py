@@ -1,0 +1,88 @@
+"""The paper's 11-rule flowchart baseline (Section 3.2, Figure 5).
+
+A hand-written decision procedure over the base-featurized signals that
+covers the full 9-class vocabulary.  The paper reports ~54% 9-class accuracy
+for this approach — rules capture the easy syntax but fail exactly where the
+semantic gap bites (integer categoricals are rule-8'd into Numeric).
+"""
+
+from __future__ import annotations
+
+from repro.tabular.column import Column
+from repro.tabular.dtypes import (
+    looks_like_datetime,
+    looks_like_embedded_number,
+    looks_like_list,
+    looks_like_url,
+)
+from repro.tools.base import InferenceTool
+from repro.tools.heuristics import (
+    distinct_fraction,
+    float_fraction,
+    fraction,
+    mean_word_count,
+    missing_fraction,
+)
+from repro.types import FeatureType
+
+_NG_EXTREME = 0.9999  # "% of NaNs or % of unique values > 99.99%"
+_MATCH_THRESHOLD = 0.9
+_SENTENCE_MEAN_WORDS = 3.0
+_CATEGORICAL_DISTINCT_FRACTION = 0.1
+
+
+class RuleBaselineTool(InferenceTool):
+    """Flowchart of 11 rules covering all nine classes (Figure 5)."""
+
+    name = "rules"
+
+    def infer_column(self, column: Column) -> FeatureType:
+        # Rule 1: no informative values at all.
+        if not column.non_missing():
+            return FeatureType.NOT_GENERALIZABLE
+        # Rule 2: extreme missingness or an (almost) all-unique string key.
+        if missing_fraction(column) > _NG_EXTREME:
+            return FeatureType.NOT_GENERALIZABLE
+        # Rule 3: single unique value offers no discriminative power.
+        if len(column.distinct()) == 1:
+            return FeatureType.NOT_GENERALIZABLE
+        # Rule 4: URL regex over the sample values.
+        if fraction(column, looks_like_url) >= _MATCH_THRESHOLD:
+            return FeatureType.URL
+        # Rule 5: delimiter-separated series of items.
+        if fraction(column, looks_like_list) >= _MATCH_THRESHOLD:
+            return FeatureType.LIST
+        # Rule 6: date/timestamp formats.
+        if fraction(column, looks_like_datetime) >= _MATCH_THRESHOLD:
+            return FeatureType.DATETIME
+        # Rule 7: all-unique numeric integers look like keys.
+        if (
+            float_fraction(column) >= _MATCH_THRESHOLD
+            and distinct_fraction(column) > _NG_EXTREME
+            and _is_integer_sequence(column)
+        ):
+            return FeatureType.NOT_GENERALIZABLE
+        # Rule 8: castable to numbers -> Numeric (the big semantic-gap miss:
+        # integer-coded categories land here).
+        if float_fraction(column) >= _MATCH_THRESHOLD:
+            return FeatureType.NUMERIC
+        # Rule 9: messy numbers with units/symbols/grouping.
+        if fraction(column, looks_like_embedded_number) >= _MATCH_THRESHOLD:
+            return FeatureType.EMBEDDED_NUMBER
+        # Rule 10: long natural-language values.
+        if mean_word_count(column) >= _SENTENCE_MEAN_WORDS:
+            return FeatureType.SENTENCE
+        # Rule 11: small string domains are categorical; the rest needs a human.
+        if distinct_fraction(column) <= _CATEGORICAL_DISTINCT_FRACTION:
+            return FeatureType.CATEGORICAL
+        return FeatureType.CONTEXT_SPECIFIC
+
+
+def _is_integer_sequence(column: Column) -> bool:
+    """Monotonic-ish integer keys: all values integral and distinct."""
+    values = column.numeric_values()
+    if not values:
+        return False
+    return all(float(v).is_integer() for v in values) and (
+        len(set(values)) == len(values)
+    )

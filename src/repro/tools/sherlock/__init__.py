@@ -1,0 +1,28 @@
+"""Simulated Sherlock: 78 semantic types, model, and feature-type mapping."""
+
+from repro.tools.sherlock.generator import (
+    generate_sherlock_training_data,
+    sample_columns_of_type,
+)
+from repro.tools.sherlock.mapping import SherlockTool, resolve_feature_type
+from repro.tools.sherlock.model import SherlockModel
+from repro.tools.sherlock.semantic_types import (
+    BY_NAME,
+    SEMANTIC_TYPES,
+    SemanticType,
+    mapping_summary,
+    types_mapped_to,
+)
+
+__all__ = [
+    "BY_NAME",
+    "SEMANTIC_TYPES",
+    "SemanticType",
+    "SherlockModel",
+    "SherlockTool",
+    "generate_sherlock_training_data",
+    "mapping_summary",
+    "resolve_feature_type",
+    "sample_columns_of_type",
+    "types_mapped_to",
+]

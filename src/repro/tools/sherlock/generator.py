@@ -1,0 +1,134 @@
+"""Synthetic training data for the simulated Sherlock model.
+
+Sherlock is distantly supervised on web-table columns whose headers match
+its 78 semantic types.  We recreate that corpus shape: for each semantic
+type, columns named after the type with values in the type's dominant
+surface style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.featurize import ColumnProfile, LabeledDataset, profile_column
+from repro.datagen import lexicon
+from repro.datagen.colnames import render_name
+from repro.tabular.column import Column
+from repro.tools.sherlock.semantic_types import SEMANTIC_TYPES, SemanticType
+
+Rng = np.random.Generator
+
+_STYLE_DOMAINS = {
+    "entity": lexicon.PRODUCT_TYPES + lexicon.DEPARTMENTS + lexicon.GENRES,
+    "country": lexicon.COUNTRIES,
+    "state": lexicon.STATE_CODES + lexicon.US_STATES,
+    "gender": ["Male", "Female", "M", "F"],
+    "genre": lexicon.GENRES,
+    "weekday": lexicon.WEEKDAYS,
+}
+
+
+def _values_for_style(style: str, rng: Rng, n: int) -> list[str]:
+    if style in _STYLE_DOMAINS:
+        domain = _STYLE_DOMAINS[style]
+        k = min(len(domain), int(rng.integers(2, 12)))
+        chosen = list(rng.choice(domain, size=k, replace=False))
+        return [str(chosen[int(rng.integers(k))]) for _ in range(n)]
+    if style == "number":
+        scale = 10 ** int(rng.integers(1, 6))
+        return [f"{rng.uniform(0, scale):.1f}" for _ in range(n)]
+    if style == "smallint":
+        cap = int(rng.integers(2, 30))
+        return [str(int(rng.integers(0, cap))) for _ in range(n)]
+    if style == "year":
+        start = int(rng.integers(1950, 2015))
+        return [str(start + int(rng.integers(0, 15))) for _ in range(n)]
+    if style == "date":
+        return [
+            f"{int(rng.integers(1950, 2024)):04d}-{int(rng.integers(1, 13)):02d}-"
+            f"{int(rng.integers(1, 29)):02d}"
+            for _ in range(n)
+        ]
+    if style == "code":
+        width = int(rng.integers(2, 5))
+        alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        domain = [
+            "".join(alphabet[int(rng.integers(26))] for _ in range(width))
+            for _ in range(int(rng.integers(3, 12)))
+        ]
+        return [domain[int(rng.integers(len(domain)))] for _ in range(n)]
+    if style == "person":
+        return [
+            f"{lexicon.FIRST_NAMES[int(rng.integers(len(lexicon.FIRST_NAMES)))]} "
+            f"{lexicon.LAST_NAMES[int(rng.integers(len(lexicon.LAST_NAMES)))]}"
+            for _ in range(n)
+        ]
+    if style == "title":
+        return [
+            " ".join(
+                lexicon.WORDS[int(rng.integers(len(lexicon.WORDS)))].capitalize()
+                for _ in range(int(rng.integers(2, 5)))
+            )
+            for _ in range(n)
+        ]
+    if style == "address":
+        return [
+            f"{int(rng.integers(1, 9999))} "
+            f"{lexicon.LAST_NAMES[int(rng.integers(len(lexicon.LAST_NAMES)))]} "
+            f"{lexicon.STREET_SUFFIXES[int(rng.integers(len(lexicon.STREET_SUFFIXES)))]}"
+            for _ in range(n)
+        ]
+    if style == "prose":
+        return [
+            " ".join(
+                lexicon.WORDS[int(rng.integers(len(lexicon.WORDS)))]
+                for _ in range(int(rng.integers(6, 25)))
+            ).capitalize()
+            + "."
+            for _ in range(n)
+        ]
+    raise ValueError(f"unknown style: {style!r}")
+
+
+def generate_sherlock_column(
+    semantic_type: SemanticType, rng: Rng, n_rows: int
+) -> ColumnProfile:
+    """One training example (a profiled column) for a semantic type."""
+    name = render_name(rng, semantic_type.name)
+    cells = _values_for_style(semantic_type.style, rng, n_rows)
+    column = Column(name, cells)
+    profile = profile_column(column, source_file="sherlock", rng=rng)
+    return profile
+
+
+def generate_sherlock_training_data(
+    per_type: int = 20, seed: int = 0, n_rows: int = 60
+) -> tuple[LabeledDataset, list[str]]:
+    """Profiles + semantic-type labels for all 78 types."""
+    rng = np.random.default_rng(seed)
+    dataset = LabeledDataset()
+    labels: list[str] = []
+    for semantic_type in SEMANTIC_TYPES:
+        for _ in range(per_type):
+            dataset.profiles.append(
+                generate_sherlock_column(semantic_type, rng, n_rows)
+            )
+            labels.append(semantic_type.name)
+    return dataset, labels
+
+
+def sample_columns_of_type(
+    type_name: str, count: int, seed: int = 0, n_rows: int = 60
+) -> list[ColumnProfile]:
+    """Weakly-labeled example columns of one semantic type.
+
+    Used by the vocabulary-extension experiment (Table 11), which pulls
+    Country/State examples from "the Sherlock data repository".
+    """
+    from repro.tools.sherlock.semantic_types import BY_NAME
+
+    rng = np.random.default_rng(seed)
+    semantic_type = BY_NAME[type_name]
+    return [
+        generate_sherlock_column(semantic_type, rng, n_rows) for _ in range(count)
+    ]

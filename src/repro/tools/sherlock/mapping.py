@@ -1,0 +1,77 @@
+"""Rule-based resolution of Sherlock semantic types to feature types.
+
+Appendix H: a semantic type mapping to several feature types is resolved
+per-column with an ordered rule chain (small domain → Categorical, castable
+→ Numeric, timestamp → Datetime, long values → Sentence, messy numbers →
+Embedded Number, else the primary mapping).
+"""
+
+from __future__ import annotations
+
+from repro.core.featurize import ColumnProfile
+from repro.tabular.column import Column
+from repro.tabular.dtypes import (
+    looks_like_datetime,
+    looks_like_embedded_number,
+    try_parse_float,
+)
+from repro.tools.base import InferenceTool
+from repro.tools.sherlock.model import SherlockModel
+from repro.tools.sherlock.semantic_types import BY_NAME, SemanticType
+from repro.types import FeatureType
+
+_SMALL_DOMAIN = 20
+_SENTENCE_MEAN_WORDS = 3.0
+
+
+def resolve_feature_type(
+    semantic_type: SemanticType, profile: ColumnProfile
+) -> FeatureType:
+    """Map one predicted semantic type to a single feature type."""
+    candidates = semantic_type.labels
+    if len(candidates) == 1:
+        return candidates[0]
+
+    n_distinct = profile.stats["num_distinct"]
+    if FeatureType.CATEGORICAL in candidates and n_distinct < _SMALL_DOMAIN:
+        return FeatureType.CATEGORICAL
+    samples = [s for s in profile.samples if s]
+    if FeatureType.NUMERIC in candidates and samples:
+        if all(try_parse_float(s) is not None for s in samples):
+            return FeatureType.NUMERIC
+    if FeatureType.DATETIME in candidates and samples:
+        if all(looks_like_datetime(s) for s in samples):
+            return FeatureType.DATETIME
+    if FeatureType.SENTENCE in candidates:
+        if profile.stats["mean_word_count"] > _SENTENCE_MEAN_WORDS:
+            return FeatureType.SENTENCE
+    if FeatureType.EMBEDDED_NUMBER in candidates and samples:
+        if any(looks_like_embedded_number(s) for s in samples):
+            return FeatureType.EMBEDDED_NUMBER
+    return candidates[0]
+
+
+class SherlockTool(InferenceTool):
+    """Sherlock + the rule-based mapping, as evaluated in Table 1."""
+
+    name = "sherlock"
+
+    def __init__(self, model: SherlockModel | None = None):
+        self.model = model if model is not None else SherlockModel().fit()
+
+    def infer_profile(self, profile: ColumnProfile) -> FeatureType:
+        semantic_name = self.model.predict([profile])[0]
+        return resolve_feature_type(BY_NAME[semantic_name], profile)
+
+    def infer_profiles(self, profiles: list[ColumnProfile]) -> list[FeatureType]:
+        """Batch prediction (one forest pass, then per-column resolution)."""
+        semantic_names = self.model.predict(profiles)
+        return [
+            resolve_feature_type(BY_NAME[name], profile)
+            for name, profile in zip(semantic_names, profiles)
+        ]
+
+    def infer_column(self, column: Column) -> FeatureType:
+        from repro.core.featurize import profile_column
+
+        return self.infer_profile(profile_column(column))

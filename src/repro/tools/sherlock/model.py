@@ -1,0 +1,63 @@
+"""The simulated Sherlock semantic-type model.
+
+A Random Forest over base features trained on the distantly-supervised
+synthetic corpus of :mod:`repro.tools.sherlock.generator` — it predicts one
+of 78 *semantic* types for a column.  Its vocabulary mismatch with ML
+feature types (not its raw quality) is what the paper's Sherlock rows
+measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.feature_sets import FeatureSetBuilder
+from repro.core.featurize import ColumnProfile
+from repro.ml.forest import RandomForestClassifier
+from repro.tools.sherlock.generator import generate_sherlock_training_data
+
+
+class SherlockModel:
+    """Predicts Sherlock semantic types for column profiles."""
+
+    def __init__(
+        self,
+        per_type: int = 20,
+        n_estimators: int = 40,
+        seed: int = 0,
+    ):
+        self.per_type = per_type
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self._builder = FeatureSetBuilder(parts=("stats", "name", "sample1"))
+        self._forest: RandomForestClassifier | None = None
+
+    def fit(self) -> "SherlockModel":
+        """Train on the synthetic distantly-supervised corpus."""
+        dataset, labels = generate_sherlock_training_data(
+            per_type=self.per_type, seed=self.seed
+        )
+        X = self._builder.transform(dataset.profiles)
+        self._forest = RandomForestClassifier(
+            n_estimators=self.n_estimators, max_depth=25, random_state=self.seed
+        )
+        self._forest.fit(X, labels)
+        return self
+
+    def predict(self, profiles: list[ColumnProfile]) -> list[str]:
+        if self._forest is None:
+            raise RuntimeError("SherlockModel is not fitted; call fit() first")
+        X = self._builder.transform(profiles)
+        return self._forest.predict(X)
+
+    def predict_proba(self, profiles: list[ColumnProfile]) -> np.ndarray:
+        if self._forest is None:
+            raise RuntimeError("SherlockModel is not fitted; call fit() first")
+        X = self._builder.transform(profiles)
+        return self._forest.predict_proba(X)
+
+    @property
+    def classes_(self) -> list[str]:
+        if self._forest is None:
+            raise RuntimeError("SherlockModel is not fitted; call fit() first")
+        return list(self._forest.classes_)

@@ -1,0 +1,129 @@
+"""Sherlock's 78 semantic types and their mapping to our vocabulary.
+
+Reproduces the paper's Appendix H / Table 19: each semantic type maps to one
+or more of our nine feature types (55 map uniquely; the rest span 2-4
+classes because a semantic type like *duration* can be Numeric, Categorical,
+Datetime, or Sentence depending on the column's surface form).
+
+``style`` drives the synthetic training-data generator for the simulated
+Sherlock model: it describes the dominant surface form of that type's
+columns in Sherlock's (distantly-supervised) training corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import FeatureType as FT
+
+
+@dataclass(frozen=True)
+class SemanticType:
+    """One Sherlock semantic type with its feature-type mapping."""
+
+    name: str
+    labels: tuple[FT, ...]  # candidate feature types, primary first
+    style: str  # value-surface style for the data generator
+
+
+SEMANTIC_TYPES: tuple[SemanticType, ...] = (
+    SemanticType("address", (FT.CONTEXT_SPECIFIC,), "address"),
+    SemanticType("affiliate", (FT.CATEGORICAL,), "entity"),
+    SemanticType("affiliation", (FT.CATEGORICAL,), "entity"),
+    SemanticType("age", (FT.NUMERIC, FT.EMBEDDED_NUMBER, FT.CATEGORICAL), "number"),
+    SemanticType("album", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("area", (FT.NUMERIC, FT.CATEGORICAL), "number"),
+    SemanticType("artist", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("birth_date", (FT.DATETIME,), "date"),
+    SemanticType("birth_place", (FT.CONTEXT_SPECIFIC,), "address"),
+    SemanticType("brand", (FT.CATEGORICAL,), "entity"),
+    SemanticType("capacity", (FT.NUMERIC, FT.EMBEDDED_NUMBER, FT.CATEGORICAL,
+                              FT.SENTENCE), "number"),
+    SemanticType("category", (FT.CATEGORICAL,), "entity"),
+    SemanticType("city", (FT.CONTEXT_SPECIFIC,), "entity"),
+    SemanticType("class", (FT.CATEGORICAL,), "code"),
+    SemanticType("classification", (FT.CATEGORICAL,), "entity"),
+    SemanticType("club", (FT.CATEGORICAL,), "code"),
+    SemanticType("code", (FT.CATEGORICAL, FT.NOT_GENERALIZABLE), "code"),
+    SemanticType("collection", (FT.CATEGORICAL, FT.LIST), "entity"),
+    SemanticType("command", (FT.CATEGORICAL, FT.SENTENCE), "title"),
+    SemanticType("company", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("component", (FT.CATEGORICAL,), "entity"),
+    SemanticType("continent", (FT.CATEGORICAL,), "code"),
+    SemanticType("country", (FT.CATEGORICAL,), "country"),
+    SemanticType("county", (FT.CATEGORICAL,), "entity"),
+    SemanticType("creator", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("credit", (FT.CATEGORICAL,), "smallint"),
+    SemanticType("currency", (FT.CATEGORICAL,), "entity"),
+    SemanticType("day", (FT.CATEGORICAL, FT.DATETIME), "weekday"),
+    SemanticType("depth", (FT.NUMERIC, FT.EMBEDDED_NUMBER), "number"),
+    SemanticType("description", (FT.SENTENCE,), "prose"),
+    SemanticType("director", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("duration", (FT.NUMERIC, FT.CATEGORICAL, FT.DATETIME,
+                              FT.SENTENCE), "number"),
+    SemanticType("education", (FT.CATEGORICAL,), "entity"),
+    SemanticType("elevation", (FT.NUMERIC,), "number"),
+    SemanticType("family", (FT.CATEGORICAL,), "entity"),
+    SemanticType("file_size", (FT.NUMERIC, FT.EMBEDDED_NUMBER), "number"),
+    SemanticType("format", (FT.CATEGORICAL,), "entity"),
+    SemanticType("gender", (FT.CATEGORICAL,), "gender"),
+    SemanticType("genre", (FT.CATEGORICAL, FT.LIST), "genre"),
+    SemanticType("grades", (FT.CATEGORICAL,), "code"),
+    SemanticType("industry", (FT.CATEGORICAL,), "entity"),
+    SemanticType("isbn", (FT.CATEGORICAL, FT.NOT_GENERALIZABLE), "code"),
+    SemanticType("jockey", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("language", (FT.CATEGORICAL,), "entity"),
+    SemanticType("location", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("manufacturer", (FT.CATEGORICAL,), "entity"),
+    SemanticType("name", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("nationality", (FT.CATEGORICAL,), "entity"),
+    SemanticType("notes", (FT.SENTENCE,), "prose"),
+    SemanticType("operator", (FT.CATEGORICAL,), "entity"),
+    SemanticType("order", (FT.CATEGORICAL, FT.CONTEXT_SPECIFIC), "smallint"),
+    SemanticType("organisation", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("origin", (FT.CATEGORICAL,), "country"),
+    SemanticType("owner", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("person", (FT.CONTEXT_SPECIFIC,), "person"),
+    SemanticType("plays", (FT.NUMERIC, FT.EMBEDDED_NUMBER), "number"),
+    SemanticType("position", (FT.NUMERIC, FT.CATEGORICAL), "smallint"),
+    SemanticType("product", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("publisher", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("range", (FT.CATEGORICAL, FT.EMBEDDED_NUMBER), "entity"),
+    SemanticType("rank", (FT.CATEGORICAL, FT.EMBEDDED_NUMBER), "smallint"),
+    SemanticType("ranking", (FT.NUMERIC, FT.CATEGORICAL, FT.EMBEDDED_NUMBER),
+                 "smallint"),
+    SemanticType("region", (FT.CATEGORICAL,), "entity"),
+    SemanticType("religion", (FT.CATEGORICAL,), "entity"),
+    SemanticType("requirement", (FT.SENTENCE,), "prose"),
+    SemanticType("result", (FT.NUMERIC, FT.CATEGORICAL, FT.SENTENCE), "code"),
+    SemanticType("sales", (FT.NUMERIC, FT.EMBEDDED_NUMBER), "number"),
+    SemanticType("service", (FT.CATEGORICAL,), "code"),
+    SemanticType("sex", (FT.CATEGORICAL,), "gender"),
+    SemanticType("species", (FT.CATEGORICAL,), "entity"),
+    SemanticType("state", (FT.CATEGORICAL,), "state"),
+    SemanticType("status", (FT.CATEGORICAL,), "entity"),
+    SemanticType("symbol", (FT.CATEGORICAL,), "entity"),
+    SemanticType("team", (FT.CATEGORICAL,), "code"),
+    SemanticType("team_name", (FT.CONTEXT_SPECIFIC,), "title"),
+    SemanticType("type", (FT.CATEGORICAL,), "entity"),
+    SemanticType("weight", (FT.NUMERIC, FT.EMBEDDED_NUMBER), "number"),
+    SemanticType("year", (FT.CATEGORICAL, FT.DATETIME), "year"),
+)
+
+BY_NAME: dict[str, SemanticType] = {st.name: st for st in SEMANTIC_TYPES}
+
+
+def mapping_summary() -> dict[int, int]:
+    """How many semantic types map to 1, 2, 3, 4 of our classes.
+
+    The paper reports 55 / 18 / 3 / 2.
+    """
+    out: dict[int, int] = {}
+    for st in SEMANTIC_TYPES:
+        out[len(st.labels)] = out.get(len(st.labels), 0) + 1
+    return out
+
+
+def types_mapped_to(feature_type: FT) -> list[str]:
+    """Semantic types that include ``feature_type`` among their candidates."""
+    return [st.name for st in SEMANTIC_TYPES if feature_type in st.labels]

@@ -1,0 +1,48 @@
+"""TFDV-style heuristic type inference (paper Section 3.1).
+
+TensorFlow Data Validation infers feature types from descriptive statistics:
+integer/float columns become numeric (it "wrongly calls many Categorical
+features with integer values as Numeric, e.g. ZipCode"), string columns with
+many words become natural-language text, a narrow set of date formats is
+recognized, and remaining strings become categorical.
+"""
+
+from __future__ import annotations
+
+from repro.tabular.column import Column
+from repro.tools.base import InferenceTool
+from repro.tools.heuristics import (
+    date_fraction,
+    float_fraction,
+    mean_word_count,
+)
+from repro.types import FeatureType
+
+#: TFDV's time/date domain detector only handles ISO-like formats.
+TFDV_DATE_FORMATS = ("iso", "iso_ts", "us_slash")
+
+_NUMERIC_THRESHOLD = 0.95
+_DATE_THRESHOLD = 0.95
+_TEXT_MEAN_WORDS = 3.0  # the word-count heuristic the paper calls out
+
+
+class TFDVTool(InferenceTool):
+    """Simulates TFDV's stats-driven feature type inference."""
+
+    name = "tfdv"
+
+    def infer_column(self, column: Column) -> FeatureType:
+        if float_fraction(column) >= _NUMERIC_THRESHOLD:
+            return FeatureType.NUMERIC
+        if date_fraction(column, TFDV_DATE_FORMATS) >= _DATE_THRESHOLD:
+            return FeatureType.DATETIME
+        # "largely dependent upon the number of words in a string" — multi-
+        # word categoricals and JSON blobs satisfy this too (low precision).
+        if mean_word_count(column) >= _TEXT_MEAN_WORDS:
+            return FeatureType.SENTENCE
+        return FeatureType.CATEGORICAL
+
+    def covers_column(self, column: Column) -> bool:
+        # TFDV computes stats from present values; empty columns yield no
+        # domain at all (part of why its Table 4 coverage is below total).
+        return bool(column.non_missing())

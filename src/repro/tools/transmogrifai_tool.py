@@ -1,0 +1,37 @@
+"""TransmogrifAI-style primitive type inference (paper Section 3.1).
+
+TransmogrifAI (Salesforce Einstein) supports rudimentary automatic inference
+over primitive types: Integer/Long/Double → Numeric, Timestamp → Datetime,
+everything else → Text.  Its richer vocabulary (email, phone, zipcode...)
+exists but requires *manual* specification, so the automatic path never uses
+it.  Per Figure 3, Text maps onto our Context-Specific.
+"""
+
+from __future__ import annotations
+
+from repro.tabular.column import Column
+from repro.tools.base import InferenceTool
+from repro.tools.heuristics import date_fraction, float_fraction
+from repro.types import FeatureType
+
+#: Timestamp primitive: strict ISO parsing only.
+TRANSMOGRIFAI_DATE_FORMATS = ("iso", "iso_ts")
+
+_PRIMITIVE_THRESHOLD = 0.98
+
+
+class TransmogrifAITool(InferenceTool):
+    """Simulates TransmogrifAI's automatic primitive-type inference."""
+
+    name = "transmogrifai"
+
+    def infer_column(self, column: Column) -> FeatureType:
+        if float_fraction(column) >= _PRIMITIVE_THRESHOLD:
+            return FeatureType.NUMERIC
+        if date_fraction(column, TRANSMOGRIFAI_DATE_FORMATS) >= _PRIMITIVE_THRESHOLD:
+            return FeatureType.DATETIME
+        return FeatureType.CONTEXT_SPECIFIC  # the Text primitive
+
+    def covers_column(self, column: Column) -> bool:
+        """Only Integer/Long/Double/Timestamp are real automatic inferences."""
+        return self.infer_column(column) is not FeatureType.CONTEXT_SPECIFIC

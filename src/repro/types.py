@@ -1,0 +1,93 @@
+"""The nine-class ML feature type vocabulary of the benchmark.
+
+The paper (Section 2.1) distills a common, practically useful label set from
+the vocabularies of TFDV, TransmogrifAI, and AutoGluon.  Every column of a raw
+data file is labeled with exactly one of these nine classes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FeatureType(enum.Enum):
+    """ML feature type of a raw column (paper Section 2.1)."""
+
+    NUMERIC = "Numeric"
+    CATEGORICAL = "Categorical"
+    DATETIME = "Datetime"
+    SENTENCE = "Sentence"
+    URL = "URL"
+    EMBEDDED_NUMBER = "Embedded Number"
+    LIST = "List"
+    NOT_GENERALIZABLE = "Not-Generalizable"
+    CONTEXT_SPECIFIC = "Context-Specific"
+
+    @property
+    def short(self) -> str:
+        """Two/three-letter code used in the paper's tables (NU, CA, ...)."""
+        return _SHORT_CODES[self]
+
+    @classmethod
+    def from_short(cls, code: str) -> "FeatureType":
+        """Inverse of :attr:`short` (case-insensitive)."""
+        try:
+            return _FROM_SHORT[code.upper()]
+        except KeyError:
+            raise ValueError(f"unknown feature type code: {code!r}") from None
+
+    @classmethod
+    def from_label(cls, label: str) -> "FeatureType":
+        """Parse a human-readable label such as ``"Embedded Number"``."""
+        for member in cls:
+            if member.value.lower() == label.lower():
+                return member
+        raise ValueError(f"unknown feature type label: {label!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_SHORT_CODES = {
+    FeatureType.NUMERIC: "NU",
+    FeatureType.CATEGORICAL: "CA",
+    FeatureType.DATETIME: "DT",
+    FeatureType.SENTENCE: "ST",
+    FeatureType.URL: "URL",
+    FeatureType.EMBEDDED_NUMBER: "EN",
+    FeatureType.LIST: "LST",
+    FeatureType.NOT_GENERALIZABLE: "NG",
+    FeatureType.CONTEXT_SPECIFIC: "CS",
+}
+
+_FROM_SHORT = {code: ftype for ftype, code in _SHORT_CODES.items()}
+
+#: Canonical ordering of the nine classes, as used throughout the paper's
+#: tables and our confusion matrices.
+ALL_FEATURE_TYPES: tuple[FeatureType, ...] = (
+    FeatureType.NUMERIC,
+    FeatureType.CATEGORICAL,
+    FeatureType.DATETIME,
+    FeatureType.SENTENCE,
+    FeatureType.URL,
+    FeatureType.EMBEDDED_NUMBER,
+    FeatureType.LIST,
+    FeatureType.NOT_GENERALIZABLE,
+    FeatureType.CONTEXT_SPECIFIC,
+)
+
+#: Class prior of the paper's labeled dataset (Section 2.5).  Our synthetic
+#: corpus generator reproduces this distribution.
+PAPER_CLASS_DISTRIBUTION: dict[FeatureType, float] = {
+    FeatureType.NUMERIC: 0.366,
+    FeatureType.CATEGORICAL: 0.233,
+    FeatureType.DATETIME: 0.070,
+    FeatureType.SENTENCE: 0.039,
+    FeatureType.URL: 0.015,
+    FeatureType.EMBEDDED_NUMBER: 0.057,
+    FeatureType.LIST: 0.024,
+    FeatureType.NOT_GENERALIZABLE: 0.106,
+    FeatureType.CONTEXT_SPECIFIC: 0.089,
+}
+
+N_CLASSES = len(ALL_FEATURE_TYPES)

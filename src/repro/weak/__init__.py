@@ -1,0 +1,41 @@
+"""Weak supervision (paper §6.2 future work): LFs, label models, amplification."""
+
+from repro.weak.amplify import AmplificationResult, amplify, select_confident
+from repro.weak.label_model import (
+    MajorityVote,
+    WeakLabel,
+    WeightedVote,
+    lf_summary,
+    vote_matrix,
+)
+from repro.weak.labeling_functions import (
+    ABSTAIN,
+    NamedLF,
+    default_labeling_functions,
+    lf_from_tool,
+)
+from repro.weak.synthesis import (
+    StumpSpec,
+    stump_to_lf,
+    synthesize_labeling_functions,
+    synthesize_stumps,
+)
+
+__all__ = [
+    "ABSTAIN",
+    "AmplificationResult",
+    "MajorityVote",
+    "NamedLF",
+    "StumpSpec",
+    "WeakLabel",
+    "WeightedVote",
+    "amplify",
+    "default_labeling_functions",
+    "lf_from_tool",
+    "lf_summary",
+    "select_confident",
+    "stump_to_lf",
+    "synthesize_labeling_functions",
+    "synthesize_stumps",
+    "vote_matrix",
+]

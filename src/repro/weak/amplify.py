@@ -1,0 +1,121 @@
+"""Weak-supervision amplification: grow a labeled dataset without humans.
+
+The paper's Section 6.2 proposes Snorkel/Snuba-style weak supervision "to
+amplify labeled datasets and teach the ML models to learn better".  The
+pipeline here:
+
+1. fit a :class:`~repro.weak.label_model.WeightedVote` on a small labeled
+   development set;
+2. weak-label a large unlabeled corpus, keeping only confident,
+   well-supported weak labels;
+3. train a model on dev + weak labels and compare against dev-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.featurize import ColumnProfile, LabeledDataset
+from repro.core.models import RandomForestModel, TypeInferenceModel
+from repro.tabular.column import Column
+from repro.weak.label_model import WeakLabel, WeightedVote
+from repro.weak.labeling_functions import NamedLF, default_labeling_functions
+
+
+@dataclass
+class AmplificationResult:
+    """Outcome of one weak-supervision amplification run."""
+
+    n_dev: int
+    n_weakly_labeled: int
+    n_abstained: int
+    weak_label_accuracy: float  # vs hidden truth, when available
+    dev_only_model: TypeInferenceModel
+    amplified_model: TypeInferenceModel
+
+
+def select_confident(
+    weak_labels: list[WeakLabel],
+    min_votes: int = 2,
+    min_confidence: float = 0.6,
+) -> list[int]:
+    """Indices of weak labels trusted enough to train on."""
+    return [
+        i
+        for i, weak in enumerate(weak_labels)
+        if weak.label is not None
+        and weak.n_votes >= min_votes
+        and weak.confidence >= min_confidence
+    ]
+
+
+def amplify(
+    dev: LabeledDataset,
+    dev_columns: list[Column],
+    unlabeled_profiles: list[ColumnProfile],
+    unlabeled_columns: list[Column],
+    lfs: list[NamedLF] | None = None,
+    min_votes: int = 2,
+    min_confidence: float = 0.6,
+    n_estimators: int = 40,
+    random_state: int = 0,
+) -> AmplificationResult:
+    """Train dev-only and dev+weak models; return both for comparison.
+
+    ``unlabeled_profiles`` may carry hidden truth labels (synthetic corpora
+    do) — they are *not* used for training, only to report the weak-label
+    accuracy.
+    """
+    if lfs is None:
+        lfs = default_labeling_functions()
+
+    label_model = WeightedVote(lfs).fit(dev_columns, dev.profiles, dev.labels)
+    weak_labels = label_model.predict(unlabeled_columns, unlabeled_profiles)
+    keep = select_confident(weak_labels, min_votes, min_confidence)
+
+    hidden_truth = [p.label for p in unlabeled_profiles]
+    n_checkable = sum(
+        1 for i in keep if hidden_truth[i] is not None
+    )
+    weak_accuracy = (
+        sum(
+            1
+            for i in keep
+            if hidden_truth[i] is not None
+            and weak_labels[i].label == hidden_truth[i]
+        )
+        / n_checkable
+        if n_checkable
+        else 0.0
+    )
+
+    dev_only = RandomForestModel(
+        n_estimators=n_estimators, random_state=random_state
+    )
+    dev_only.fit(dev)
+
+    amplified_profiles = list(dev.profiles)
+    for i in keep:
+        profile = unlabeled_profiles[i]
+        relabeled = ColumnProfile(
+            name=profile.name,
+            samples=list(profile.samples),
+            stats=profile.stats,
+            source_file=profile.source_file,
+            label=weak_labels[i].label,
+        )
+        amplified_profiles.append(relabeled)
+    amplified_dataset = LabeledDataset(amplified_profiles)
+    amplified = RandomForestModel(
+        n_estimators=n_estimators, random_state=random_state
+    )
+    amplified.fit(amplified_dataset)
+
+    return AmplificationResult(
+        n_dev=len(dev),
+        n_weakly_labeled=len(keep),
+        n_abstained=sum(1 for w in weak_labels if w.label is None),
+        weak_label_accuracy=weak_accuracy,
+        dev_only_model=dev_only,
+        amplified_model=amplified,
+    )

@@ -1,0 +1,151 @@
+"""Label models: combine labeling-function votes into weak labels.
+
+Two combiners, mirroring Snorkel's progression:
+
+- :class:`MajorityVote` — unweighted plurality of non-abstaining LFs;
+- :class:`WeightedVote` — per-LF accuracy weights estimated on a small
+  labeled development set (a practical stand-in for Snorkel's generative
+  model, which needs no dev set but much more machinery).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.featurize import ColumnProfile
+from repro.tabular.column import Column
+from repro.types import FeatureType
+from repro.weak.labeling_functions import NamedLF
+
+
+@dataclass
+class WeakLabel:
+    """A weak label with its support and confidence."""
+
+    label: FeatureType | None  # None when every LF abstained
+    n_votes: int
+    confidence: float
+
+
+def vote_matrix(
+    lfs: list[NamedLF],
+    columns: list[Column],
+    profiles: list[ColumnProfile],
+) -> list[list["FeatureType | None"]]:
+    """votes[i][j] = LF j's vote on column i (None = abstain)."""
+    if len(columns) != len(profiles):
+        raise ValueError("columns and profiles must align")
+    return [
+        [lf(column, profile) for lf in lfs]
+        for column, profile in zip(columns, profiles)
+    ]
+
+
+class MajorityVote:
+    """Plurality vote over non-abstaining LFs."""
+
+    def __init__(self, lfs: list[NamedLF]):
+        if not lfs:
+            raise ValueError("need at least one labeling function")
+        self.lfs = lfs
+
+    def predict(
+        self, columns: list[Column], profiles: list[ColumnProfile]
+    ) -> list[WeakLabel]:
+        out = []
+        for row in vote_matrix(self.lfs, columns, profiles):
+            votes = [v for v in row if v is not None]
+            if not votes:
+                out.append(WeakLabel(None, 0, 0.0))
+                continue
+            counts = Counter(votes)
+            label, top = counts.most_common(1)[0]
+            out.append(WeakLabel(label, len(votes), top / len(votes)))
+        return out
+
+
+@dataclass
+class WeightedVote:
+    """Accuracy-weighted vote; weights fit on a labeled development set.
+
+    Each LF's weight is ``log(acc / (1 - acc))`` over its non-abstaining
+    votes on the dev set (clipped), the naive-Bayes-optimal weighting for
+    independent voters.
+    """
+
+    lfs: list[NamedLF]
+    min_weight: float = 0.05
+    weights_: dict[str, float] = field(default_factory=dict, init=False)
+
+    def fit(
+        self,
+        columns: list[Column],
+        profiles: list[ColumnProfile],
+        labels: list[FeatureType],
+    ) -> "WeightedVote":
+        matrix = vote_matrix(self.lfs, columns, profiles)
+        for j, lf in enumerate(self.lfs):
+            correct = voted = 0
+            for row, truth in zip(matrix, labels):
+                if row[j] is None:
+                    continue
+                voted += 1
+                if row[j] == truth:
+                    correct += 1
+            if voted == 0:
+                self.weights_[lf.name] = self.min_weight
+                continue
+            accuracy = np.clip(correct / voted, 0.05, 0.95)
+            weight = float(np.log(accuracy / (1.0 - accuracy)))
+            self.weights_[lf.name] = max(weight, self.min_weight)
+        return self
+
+    def predict(
+        self, columns: list[Column], profiles: list[ColumnProfile]
+    ) -> list[WeakLabel]:
+        if not self.weights_:
+            raise RuntimeError("WeightedVote is not fitted; call fit() first")
+        out = []
+        for row in vote_matrix(self.lfs, columns, profiles):
+            scores: dict[FeatureType, float] = {}
+            n_votes = 0
+            for lf, vote in zip(self.lfs, row):
+                if vote is None:
+                    continue
+                n_votes += 1
+                scores[vote] = scores.get(vote, 0.0) + self.weights_[lf.name]
+            if not scores:
+                out.append(WeakLabel(None, 0, 0.0))
+                continue
+            total = sum(scores.values())
+            label = max(scores, key=scores.get)
+            out.append(WeakLabel(label, n_votes, scores[label] / total))
+        return out
+
+
+def lf_summary(
+    lfs: list[NamedLF],
+    columns: list[Column],
+    profiles: list[ColumnProfile],
+    labels: list[FeatureType],
+) -> list[dict]:
+    """Per-LF coverage and accuracy diagnostics (Snorkel's LF analysis)."""
+    matrix = vote_matrix(lfs, columns, profiles)
+    rows = []
+    n = len(columns)
+    for j, lf in enumerate(lfs):
+        voted = [(row[j], truth) for row, truth in zip(matrix, labels)
+                 if row[j] is not None]
+        coverage = len(voted) / n if n else 0.0
+        accuracy = (
+            sum(1 for vote, truth in voted if vote == truth) / len(voted)
+            if voted
+            else 0.0
+        )
+        rows.append(
+            {"lf": lf.name, "coverage": coverage, "accuracy": accuracy}
+        )
+    return rows

@@ -1,0 +1,157 @@
+"""Labeling functions for weak supervision (paper Section 6.2 future work).
+
+The paper points to Snorkel/Snuba-style weak supervision as "one potential
+mechanism to amplify labeled datasets".  We realize it: a labeling function
+(LF) votes a feature type for a column or abstains; the existing rule/syntax
+heuristics become LFs for free, plus a few cheap signal-specific LFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.featurize import ColumnProfile
+from repro.tabular.column import Column
+from repro.tabular.dtypes import (
+    is_integer_literal,
+    looks_like_datetime,
+    looks_like_embedded_number,
+    looks_like_list,
+    looks_like_url,
+    try_parse_float,
+)
+from repro.tools.base import InferenceTool
+from repro.types import FeatureType
+
+#: An LF returns a FeatureType vote or None (abstain).
+LabelingFunction = Callable[[Column, ColumnProfile], "FeatureType | None"]
+
+ABSTAIN = None
+
+
+@dataclass(frozen=True)
+class NamedLF:
+    """A labeling function with a display name."""
+
+    name: str
+    fn: LabelingFunction
+
+    def __call__(self, column: Column, profile: ColumnProfile):
+        return self.fn(column, profile)
+
+
+def lf_from_tool(tool: InferenceTool) -> NamedLF:
+    """Wrap a rule/syntax tool as a (never-abstaining) labeling function."""
+
+    def vote(column: Column, _profile: ColumnProfile):
+        return tool.infer_column(column)
+
+    return NamedLF(f"tool:{tool.name}", vote)
+
+
+# -- signal-specific LFs (high precision, high abstention) -------------------
+def _lf_url(column: Column, profile: ColumnProfile):
+    samples = [s for s in profile.samples if s]
+    if samples and all(looks_like_url(s) for s in samples):
+        return FeatureType.URL
+    return ABSTAIN
+
+
+def _lf_list(column: Column, profile: ColumnProfile):
+    samples = [s for s in profile.samples if s]
+    if len(samples) >= 2 and all(looks_like_list(s) for s in samples):
+        return FeatureType.LIST
+    return ABSTAIN
+
+
+def _lf_datetime(column: Column, profile: ColumnProfile):
+    samples = [s for s in profile.samples if s]
+    if samples and all(looks_like_datetime(s) for s in samples):
+        return FeatureType.DATETIME
+    return ABSTAIN
+
+
+def _lf_embedded(column: Column, profile: ColumnProfile):
+    samples = [s for s in profile.samples if s]
+    if len(samples) >= 2 and all(looks_like_embedded_number(s) for s in samples):
+        return FeatureType.EMBEDDED_NUMBER
+    return ABSTAIN
+
+
+def _lf_unique_int_key(column: Column, profile: ColumnProfile):
+    samples = [s for s in profile.samples if s]
+    if (
+        samples
+        and all(is_integer_literal(s) for s in samples)
+        and profile.stats["pct_distinct"] > 0.999
+        and profile.stats["total_values"] > 20
+    ):
+        return FeatureType.NOT_GENERALIZABLE
+    return ABSTAIN
+
+
+def _lf_mostly_missing(column: Column, profile: ColumnProfile):
+    if profile.stats["pct_nans"] > 0.999:
+        return FeatureType.NOT_GENERALIZABLE
+    return ABSTAIN
+
+
+def _lf_long_text(column: Column, profile: ColumnProfile):
+    if profile.stats["mean_word_count"] > 6.0 and profile.stats[
+        "mean_stopword_count"
+    ] >= 1.0:
+        return FeatureType.SENTENCE
+    return ABSTAIN
+
+
+def _lf_float_measure(column: Column, profile: ColumnProfile):
+    samples = [s for s in profile.samples if s]
+    if not samples:
+        return ABSTAIN
+    parsed = [try_parse_float(s) for s in samples]
+    if all(v is not None for v in parsed) and any(
+        "." in s for s in samples
+    ):
+        return FeatureType.NUMERIC
+    return ABSTAIN
+
+
+def _lf_name_id(column: Column, profile: ColumnProfile):
+    name = profile.name.lower()
+    if name.endswith("id") or name in ("index", "key", "uuid", "guid"):
+        return FeatureType.NOT_GENERALIZABLE
+    return ABSTAIN
+
+
+def _lf_name_category(column: Column, profile: ColumnProfile):
+    name = profile.name.lower()
+    tokens = ("zip", "code", "gender", "state", "status", "category", "type",
+              "class", "grade", "level")
+    if any(token in name for token in tokens):
+        return FeatureType.CATEGORICAL
+    return ABSTAIN
+
+
+def default_labeling_functions(include_tools: bool = True) -> list[NamedLF]:
+    """The stock LF set: signal LFs + (optionally) the tool heuristics."""
+    lfs = [
+        NamedLF("url_samples", _lf_url),
+        NamedLF("list_samples", _lf_list),
+        NamedLF("datetime_samples", _lf_datetime),
+        NamedLF("embedded_samples", _lf_embedded),
+        NamedLF("unique_int_key", _lf_unique_int_key),
+        NamedLF("mostly_missing", _lf_mostly_missing),
+        NamedLF("long_text", _lf_long_text),
+        NamedLF("float_measure", _lf_float_measure),
+        NamedLF("name_id", _lf_name_id),
+        NamedLF("name_category", _lf_name_category),
+    ]
+    if include_tools:
+        from repro.tools import AutoGluonTool, RuleBaselineTool, TFDVTool
+
+        lfs.extend(
+            lf_from_tool(tool)
+            for tool in (TFDVTool(), AutoGluonTool(), RuleBaselineTool())
+        )
+    return lfs

@@ -1,0 +1,136 @@
+"""Snuba-style automatic labeling-function synthesis.
+
+The paper cites Snuba ("Automating Weak Supervision to Label Training
+Data") alongside Snorkel.  Snuba's core move: instead of hand-writing LFs,
+*synthesize* small high-precision heuristics from a labeled development set
+and keep only those whose dev precision clears a bar.  Here each synthesized
+LF is a one-vs-rest decision stump over a single descriptive statistic:
+"if stat s <= t then vote class c, else abstain".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.featurize import ColumnProfile, LabeledDataset
+from repro.core.stats import STAT_NAMES
+from repro.tabular.column import Column
+from repro.types import ALL_FEATURE_TYPES, FeatureType
+from repro.weak.labeling_functions import NamedLF
+
+
+@dataclass(frozen=True)
+class StumpSpec:
+    """One synthesized stump: vote ``label`` when stat crosses a threshold."""
+
+    stat_index: int
+    threshold: float
+    direction: str  # "le" votes when stat <= threshold, "gt" when >
+    label: FeatureType
+    dev_precision: float
+    dev_coverage: float
+
+    @property
+    def stat_name(self) -> str:
+        return STAT_NAMES[self.stat_index]
+
+    def fires(self, profile: ColumnProfile) -> bool:
+        value = float(profile.stats_vector[self.stat_index])
+        if self.direction == "le":
+            return value <= self.threshold
+        return value > self.threshold
+
+
+def _candidate_thresholds(values: np.ndarray, max_candidates: int = 12):
+    unique = np.unique(values)
+    if unique.shape[0] <= 1:
+        return np.empty(0)
+    midpoints = (unique[:-1] + unique[1:]) / 2.0
+    if midpoints.shape[0] <= max_candidates:
+        return midpoints
+    picks = np.linspace(0, midpoints.shape[0] - 1, max_candidates).astype(int)
+    return midpoints[picks]
+
+
+def synthesize_stumps(
+    dev: LabeledDataset,
+    min_precision: float = 0.9,
+    min_coverage: float = 0.05,
+    max_per_class: int = 3,
+) -> list[StumpSpec]:
+    """Find high-precision one-feature stumps on the dev set.
+
+    For every (class, stat, threshold, direction) candidate whose dev
+    precision ≥ ``min_precision`` and coverage ≥ ``min_coverage``, keep the
+    best ``max_per_class`` per class by coverage.
+    """
+    stats = dev.stats_matrix()
+    labels = dev.labels
+    n = len(labels)
+    specs: list[StumpSpec] = []
+    for feature_type in ALL_FEATURE_TYPES:
+        positives = np.array([label is feature_type for label in labels])
+        if not positives.any():
+            continue
+        class_specs: list[StumpSpec] = []
+        for stat_index in range(stats.shape[1]):
+            column = stats[:, stat_index]
+            for threshold in _candidate_thresholds(column):
+                for direction in ("le", "gt"):
+                    mask = (
+                        column <= threshold
+                        if direction == "le"
+                        else column > threshold
+                    )
+                    covered = int(mask.sum())
+                    if covered < max(1, int(min_coverage * n)):
+                        continue
+                    precision = float(positives[mask].mean())
+                    if precision < min_precision:
+                        continue
+                    class_specs.append(
+                        StumpSpec(
+                            stat_index=stat_index,
+                            threshold=float(threshold),
+                            direction=direction,
+                            label=feature_type,
+                            dev_precision=precision,
+                            dev_coverage=covered / n,
+                        )
+                    )
+        class_specs.sort(key=lambda s: (-s.dev_coverage, -s.dev_precision))
+        specs.extend(class_specs[:max_per_class])
+    return specs
+
+
+def stump_to_lf(spec: StumpSpec) -> NamedLF:
+    """Wrap a synthesized stump as a labeling function."""
+
+    def vote(_column: Column, profile: ColumnProfile):
+        return spec.label if spec.fires(profile) else None
+
+    name = (
+        f"stump:{spec.label.short}:{spec.stat_name}"
+        f"{'<=' if spec.direction == 'le' else '>'}{spec.threshold:.3g}"
+    )
+    return NamedLF(name, vote)
+
+
+def synthesize_labeling_functions(
+    dev: LabeledDataset,
+    min_precision: float = 0.9,
+    min_coverage: float = 0.05,
+    max_per_class: int = 3,
+) -> list[NamedLF]:
+    """Snuba-style end-to-end: dev set in, labeling functions out."""
+    return [
+        stump_to_lf(spec)
+        for spec in synthesize_stumps(
+            dev,
+            min_precision=min_precision,
+            min_coverage=min_coverage,
+            max_per_class=max_per_class,
+        )
+    ]

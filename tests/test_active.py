@@ -1,0 +1,70 @@
+"""Tests for the active-learning (user-in-the-loop) simulation."""
+
+import pytest
+
+from repro.active import (
+    STRATEGIES,
+    compare_strategies,
+    run_active_learning,
+)
+from repro.datagen.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def pools():
+    train = generate_corpus(n_examples=300, seed=31).dataset
+    test = generate_corpus(n_examples=150, seed=32).dataset
+    return train, test
+
+
+def test_curve_shape(pools):
+    train, test = pools
+    curve = run_active_learning(
+        train, test, strategy="least_confidence",
+        seed_size=50, batch_size=30, n_rounds=3, n_estimators=10,
+    )
+    assert curve.labels_spent == [50, 80, 110, 140]
+    assert len(curve.test_accuracy) == 4
+    assert all(0.0 <= a <= 1.0 for a in curve.test_accuracy)
+
+
+def test_more_labels_generally_help(pools):
+    train, test = pools
+    curve = run_active_learning(
+        train, test, strategy="random",
+        seed_size=40, batch_size=60, n_rounds=3, n_estimators=12,
+    )
+    # allow noise, but the end must beat the start
+    assert curve.final_accuracy() >= curve.test_accuracy[0] - 0.02
+    assert curve.final_accuracy() > 0.6
+
+
+def test_all_strategies_run(pools):
+    train, test = pools
+    curves = compare_strategies(
+        train, test, strategies=STRATEGIES,
+        seed_size=40, batch_size=25, n_rounds=1, n_estimators=8,
+    )
+    assert set(curves) == set(STRATEGIES)
+
+
+def test_unknown_strategy(pools):
+    train, test = pools
+    with pytest.raises(ValueError, match="unknown strategy"):
+        run_active_learning(train, test, strategy="oracle")
+
+
+def test_seed_too_large(pools):
+    train, test = pools
+    with pytest.raises(ValueError, match="seed_size"):
+        run_active_learning(train, test, seed_size=len(train))
+
+
+def test_pool_exhaustion_stops_early(pools):
+    train, test = pools
+    curve = run_active_learning(
+        train, test, strategy="random",
+        seed_size=len(train) - 10, batch_size=50, n_rounds=5, n_estimators=5,
+    )
+    # only one batch available; curve stops growing
+    assert curve.labels_spent[-1] == len(train)

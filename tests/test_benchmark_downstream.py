@@ -1,0 +1,104 @@
+"""Tests for the downstream experiment (Tables 4/5, Figure 8) and Table 15."""
+
+import numpy as np
+import pytest
+
+SUBSET = ("Hayes", "Supreme", "Zoo", "MBA")
+
+
+@pytest.fixture(scope="module")
+def downstream_result(small_context_module):
+    from repro.benchmark.downstream_exp import run_downstream_experiment
+
+    return run_downstream_experiment(
+        small_context_module, dataset_names=SUBSET, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def small_context_module():
+    from repro.benchmark.context import BenchmarkContext
+
+    return BenchmarkContext(n_examples=500, seed=7, rf_estimators=15, cnn_epochs=3)
+
+
+class TestDownstreamExperiment:
+    def test_inference_summary(self, downstream_result):
+        rows = {row.approach: row for row in downstream_result.inference}
+        assert set(rows) == {"pandas", "tfdv", "autogluon", "ourrf"}
+        total = rows["ourrf"].total
+        assert all(row.total == total for row in rows.values())
+        # pandas covers far fewer columns than the others (Table 4A shape)
+        assert rows["pandas"].covered < rows["autogluon"].covered
+        assert rows["ourrf"].covered == total
+        for row in rows.values():
+            assert 0.0 <= row.accuracy <= 1.0
+
+    def test_comparisons_partition_datasets(self, downstream_result):
+        for kind in ("linear", "forest"):
+            for row in downstream_result.comparisons[kind]:
+                assert (
+                    row.underperform + row.match + row.outperform == len(SUBSET)
+                )
+
+    def test_ourrf_wins_on_integer_categorical_datasets(self, downstream_result):
+        # Hayes is all integer-coded categoricals: tools misroute to numeric,
+        # the linear model suffers; OurRF should not underperform them.
+        suite = downstream_result.suite
+        ourrf = suite.delta_vs_truth("ourrf", "linear", "Hayes")
+        tfdv = suite.delta_vs_truth("tfdv", "linear", "Hayes")
+        assert ourrf >= tfdv
+
+    def test_forest_more_forgiving_than_linear(self, downstream_result):
+        # the paper's finding 2: wrong typing of ordinal/binary integer
+        # categoricals hurts linear models more than downstream forests
+        suite = downstream_result.suite
+        lin = suite.delta_vs_truth("tfdv", "linear", "Supreme")
+        rf = suite.delta_vs_truth("tfdv", "forest", "Supreme")
+        assert rf >= lin - 1.0
+
+    def test_delta_cdf(self, downstream_result):
+        xs, ys = downstream_result.delta_cdf("tfdv", "linear")
+        assert len(xs) == len(SUBSET)
+        assert np.all(xs >= 0.0)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_renderings(self, downstream_result):
+        from repro.benchmark.downstream_exp import (
+            render_figure8,
+            render_table4,
+            render_table5,
+        )
+
+        assert "coverage" in render_table4(downstream_result)
+        assert "Hayes" in render_table5(downstream_result)
+        assert "CDF" in render_figure8(downstream_result)
+
+
+class TestTable15:
+    def test_double_representation(self, small_context_module):
+        from repro.benchmark.table15 import render_table15, run_table15
+
+        rows = run_table15(
+            small_context_module, dataset_names=("Hayes", "Supreme"), seed=3
+        )
+        # 4 approaches (3 tools doubled + newrf) x 2 downstream model kinds
+        assert len(rows) == 8
+        for row in rows:
+            assert 0 <= row.underperform_truth <= 2
+        assert "double representation" in render_table15(rows)
+
+
+class TestTable11:
+    def test_vocabulary_extension(self, small_context_module):
+        from repro.benchmark.table11 import render_table11, run_table11
+
+        rows = run_table11(
+            small_context_module, extra_train_counts=(60,), extra_test=40
+        )
+        assert len(rows) == 2  # Country and State
+        for row in rows:
+            assert row.n_test_examples >= 40
+            assert row.recall > 0.5  # sherlock-sourced labels are learnable
+            assert 0.0 < row.ten_class_accuracy <= 1.0
+        assert "Country" in render_table11(rows)

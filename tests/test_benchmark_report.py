@@ -1,0 +1,21 @@
+"""Tests for the markdown report generator."""
+
+from repro.benchmark.report import build_report, main
+
+
+def test_build_report_sections(small_context):
+    report = build_report(small_context, experiments=("table18", "labeling"))
+    assert report.startswith("# Benchmark report")
+    assert "## table18" in report
+    assert "## labeling" in report
+    assert "```" in report
+
+
+def test_report_cli_writes_file(tmp_path, capsys):
+    out = tmp_path / "REPORT.md"
+    code = main(
+        ["--out", str(out), "--scale", "300", "--experiments", "table18"]
+    )
+    assert code == 0
+    assert out.exists()
+    assert "table18" in out.read_text()

@@ -1,0 +1,23 @@
+"""Tests for the Table 14 Sherlock-complementarity experiment."""
+
+from repro.benchmark.table14 import (
+    TABLE14_TYPES,
+    render_table14,
+    run_table14,
+)
+
+
+def test_table14_rows_and_invariants(small_context):
+    rows = run_table14(small_context)
+    assert [r.semantic_type for r in rows] == list(TABLE14_TYPES)
+    for row in rows:
+        assert row.n_examples >= 12
+        assert 0 <= row.sherlock_standalone_correct <= row.n_examples
+        assert 0 <= row.ourrf_categorical <= row.n_examples
+        # gating can only remove examples, never add correct ones
+        assert (
+            row.sherlock_given_categorical_correct
+            <= row.sherlock_standalone_correct
+        )
+        assert 0.0 <= row.gated_recall <= row.standalone_recall + 1e-9
+    assert "gated recall" in render_table14(rows)

@@ -1,0 +1,107 @@
+"""Tests for feature-set assembly and vocabulary helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import (
+    TABLE2_FEATURE_SETS,
+    FeatureSetBuilder,
+    feature_set_label,
+)
+from repro.core.featurize import profile_column
+from repro.core.stats import N_STATS
+from repro.core.vocabulary import (
+    TABLE1_CLASSES,
+    TOOL_VOCABULARY,
+    binarize,
+    coverage_classes,
+    tool_covers,
+)
+from repro.tabular.column import Column
+from repro.types import FeatureType
+
+
+def _profiles():
+    return [
+        profile_column(Column("salary", ["100", "200"])),
+        profile_column(Column("zip", ["92092", "78712"])),
+    ]
+
+
+class TestFeatureSetBuilder:
+    def test_table2_has_nine_sets(self):
+        assert len(TABLE2_FEATURE_SETS) == 9
+
+    def test_labels(self):
+        assert feature_set_label(("stats", "name")) == "X_stats, X2_name"
+        assert feature_set_label(("sample1",)) == "X2_sample1"
+
+    def test_stats_only_width(self):
+        builder = FeatureSetBuilder(parts=("stats",))
+        X = builder.transform(_profiles())
+        assert X.shape == (2, N_STATS)
+        assert builder.n_features == N_STATS
+
+    def test_name_only_width(self):
+        builder = FeatureSetBuilder(parts=("name",), hash_dim=64)
+        assert builder.transform(_profiles()).shape == (2, 64)
+
+    def test_combined_width(self):
+        builder = FeatureSetBuilder(parts=("stats", "name", "sample1"), hash_dim=32)
+        assert builder.n_features == N_STATS + 64
+        assert builder.transform(_profiles()).shape == (2, builder.n_features)
+
+    def test_drop_stat_indices(self):
+        builder = FeatureSetBuilder(parts=("stats",), drop_stat_indices=(0, 1))
+        assert builder.transform(_profiles()).shape == (2, N_STATS - 2)
+
+    def test_unknown_part_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FeatureSetBuilder(parts=("bogus",))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            FeatureSetBuilder(parts=())
+
+    def test_transform_is_stateless_and_deterministic(self):
+        builder = FeatureSetBuilder(parts=("stats", "name"))
+        a = builder.transform(_profiles())
+        b = builder.transform(_profiles())
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        builder = FeatureSetBuilder(parts=("name",))
+        X = builder.transform(_profiles())
+        assert not np.array_equal(X[0], X[1])
+
+
+class TestVocabulary:
+    def test_binarize(self):
+        labels = [FeatureType.NUMERIC, FeatureType.LIST]
+        assert binarize(labels, FeatureType.NUMERIC) == [True, False]
+
+    def test_tool_coverage_matches_figure3(self):
+        assert tool_covers("tfdv", FeatureType.SENTENCE)
+        assert not tool_covers("tfdv", FeatureType.URL)
+        assert not tool_covers("pandas", FeatureType.CATEGORICAL)
+        assert tool_covers("autogluon", FeatureType.NOT_GENERALIZABLE)
+        assert not tool_covers("transmogrifai", FeatureType.CATEGORICAL)
+
+    def test_unknown_tool_raises(self):
+        with pytest.raises(ValueError, match="unknown tool"):
+            tool_covers("mystery", FeatureType.NUMERIC)
+
+    def test_coverage_classes_ordered(self):
+        classes = coverage_classes("tfdv")
+        assert classes == [
+            FeatureType.NUMERIC,
+            FeatureType.CATEGORICAL,
+            FeatureType.DATETIME,
+            FeatureType.SENTENCE,
+        ]
+
+    def test_table1_classes(self):
+        assert len(TABLE1_CLASSES) == 6
+        assert set(TOOL_VOCABULARY) == {
+            "tfdv", "pandas", "transmogrifai", "autogluon"
+        }

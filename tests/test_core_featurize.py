@@ -1,0 +1,93 @@
+"""Tests for base featurization and the labeled dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import (
+    LabeledDataset,
+    N_SAMPLE_VALUES,
+    profile_column,
+    profile_table,
+)
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.types import FeatureType
+
+
+def test_profile_deterministic_without_rng():
+    col = Column("age", [str(i) for i in range(50)])
+    a = profile_column(col)
+    b = profile_column(col)
+    assert a.samples == b.samples == [str(i) for i in range(N_SAMPLE_VALUES)]
+
+
+def test_profile_random_sampling_distinct():
+    col = Column("age", [str(i % 30) for i in range(300)])
+    profile = profile_column(col, rng=np.random.default_rng(0))
+    assert len(profile.samples) == N_SAMPLE_VALUES
+    assert len(set(profile.samples)) == N_SAMPLE_VALUES
+
+
+def test_profile_carries_metadata():
+    col = Column("x", ["1"])
+    profile = profile_column(col, source_file="f.csv", label=FeatureType.NUMERIC)
+    assert profile.source_file == "f.csv"
+    assert profile.label is FeatureType.NUMERIC
+    assert profile.stats_vector.shape == (25,)
+
+
+def test_profile_sample_out_of_range_is_empty():
+    profile = profile_column(Column("x", ["only"]))
+    assert profile.sample(0) == "only"
+    assert profile.sample(3) == ""
+
+
+def test_profile_table():
+    table = Table([Column("a", ["1"]), Column("b", ["x"])], name="t")
+    profiles = profile_table(table)
+    assert [p.name for p in profiles] == ["a", "b"]
+    assert all(p.source_file == "t" for p in profiles)
+
+
+class TestLabeledDataset:
+    def _dataset(self) -> LabeledDataset:
+        profiles = [
+            profile_column(Column(f"c{i}", ["1", "2"]), source_file=f"f{i % 2}",
+                           label=FeatureType.NUMERIC)
+            for i in range(6)
+        ]
+        return LabeledDataset(profiles)
+
+    def test_container(self):
+        ds = self._dataset()
+        assert len(ds) == 6
+        assert ds[0].name == "c0"
+        assert len(ds[1:3]) == 2
+        assert ds.names == [f"c{i}" for i in range(6)]
+
+    def test_labels_and_groups(self):
+        ds = self._dataset()
+        assert ds.labels == [FeatureType.NUMERIC] * 6
+        assert ds.groups == ["f0", "f1"] * 3
+
+    def test_unlabeled_raises(self):
+        ds = self._dataset()
+        ds.profiles[2].label = None
+        with pytest.raises(ValueError, match="unlabeled"):
+            ds.labels
+
+    def test_matrices(self):
+        ds = self._dataset()
+        assert ds.stats_matrix().shape == (6, 25)
+        assert ds.sample_column(0) == ["1"] * 6
+        assert ds.sample_column(4) == [""] * 6
+
+    def test_subset(self):
+        ds = self._dataset()
+        sub = ds.subset([0, 2])
+        assert sub.names == ["c0", "c2"]
+
+    def test_class_distribution(self):
+        ds = self._dataset()
+        dist = ds.class_distribution()
+        assert dist[FeatureType.NUMERIC] == 1.0

@@ -1,0 +1,135 @@
+"""Tests for the type-inference model wrappers, pipeline, and NewRF."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    CNNModel,
+    KNNModel,
+    LogRegModel,
+    PAPER_GRIDS,
+    RandomForestModel,
+    SVMModel,
+)
+from repro.core.newrf import NewRF, Representation
+from repro.core.pipeline import TypeInferencePipeline
+from repro.datagen.corpus import generate_corpus
+from repro.ml.model_selection import train_test_split
+from repro.tabular.csv_io import to_csv_text
+from repro.types import ALL_FEATURE_TYPES, FeatureType
+
+
+@pytest.fixture(scope="module")
+def split():
+    corpus = generate_corpus(n_examples=400, seed=11)
+    labels = [label.value for label in corpus.dataset.labels]
+    idx = np.arange(len(corpus.dataset))
+    train_idx, test_idx = train_test_split(
+        idx, test_size=0.25, random_state=0, stratify=labels
+    )
+    return corpus, corpus.dataset.subset(train_idx), corpus.dataset.subset(test_idx)
+
+
+@pytest.fixture(scope="module")
+def fitted_rf(split):
+    _corpus, train, _test = split
+    return RandomForestModel(n_estimators=15, random_state=0).fit(train)
+
+
+class TestClassicalModels:
+    def test_rf_beats_chance_by_far(self, split, fitted_rf):
+        _corpus, _train, test = split
+        assert fitted_rf.score(test) > 0.8
+
+    def test_logreg(self, split):
+        _corpus, train, test = split
+        model = LogRegModel().fit(train)
+        assert model.score(test) > 0.7
+
+    def test_svm(self, split):
+        _corpus, train, test = split
+        model = SVMModel(max_landmarks=200).fit(train)
+        assert model.score(test) > 0.7
+
+    def test_knn(self, split):
+        _corpus, train, test = split
+        model = KNNModel(n_neighbors=3).fit(train)
+        assert model.score(test) > 0.7
+
+    def test_cnn_runs(self, split):
+        _corpus, train, test = split
+        model = CNNModel(epochs=3, hidden_units=32, num_filters=8,
+                         embed_dim=8).fit(train)
+        assert model.score(test) > 0.4  # few epochs: just well above chance
+
+    def test_predict_proba_shape(self, split, fitted_rf):
+        _corpus, _train, test = split
+        probs = fitted_rf.predict_proba(test.profiles)
+        assert probs.shape == (len(test), len(fitted_rf.classes_))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predictions_are_feature_types(self, split, fitted_rf):
+        _corpus, _train, test = split
+        for prediction in fitted_rf.predict(test.profiles):
+            assert prediction in ALL_FEATURE_TYPES
+
+    def test_paper_grids_present(self):
+        assert set(PAPER_GRIDS) == {"logreg", "svm", "rf", "knn", "cnn"}
+        assert PAPER_GRIDS["rf"]["n_estimators"] == [5, 25, 50, 75, 100]
+
+
+class TestPipeline:
+    def test_csv_text_roundtrip(self, split, fitted_rf):
+        corpus, _train, _test = split
+        pipeline = TypeInferencePipeline(fitted_rf)
+        table = corpus.files[0]
+        predictions = pipeline.predict_csv_text(to_csv_text(table))
+        assert len(predictions) == table.n_columns
+        for prediction in predictions:
+            assert prediction.feature_type in ALL_FEATURE_TYPES
+            assert 0.0 <= prediction.confidence <= 1.0
+
+    def test_csv_file(self, split, fitted_rf, tmp_path):
+        corpus, _train, _test = split
+        from repro.tabular.csv_io import write_csv
+
+        path = tmp_path / "data.csv"
+        write_csv(corpus.files[1], path)
+        pipeline = TypeInferencePipeline(fitted_rf)
+        predictions = pipeline.predict_csv(path)
+        assert [p.column for p in predictions] == corpus.files[1].column_names
+
+    def test_review_queue_flags_cs_and_low_confidence(self, split, fitted_rf):
+        corpus, _train, _test = split
+        pipeline = TypeInferencePipeline(fitted_rf)
+        queue = pipeline.review_queue(corpus.files[0])
+        for item in queue:
+            assert item.needs_review
+
+
+class TestNewRF:
+    def test_threshold_validation(self, fitted_rf):
+        with pytest.raises(ValueError):
+            NewRF(fitted_rf, threshold=0.0)
+
+    def test_high_threshold_doubles_integer_columns(self, split, fitted_rf):
+        _corpus, _train, test = split
+        newrf = NewRF(fitted_rf, threshold=1.0)  # everything is "unsure"
+        reps = newrf.predict(test.profiles)
+        assert len(reps) == len(test)
+        doubled = [r for r in reps if r.double]
+        # integer NU/CA columns exist in the corpus, so some must double
+        assert doubled
+        for rep in doubled:
+            assert rep.as_numeric and rep.as_categorical
+
+    def test_low_threshold_never_doubles(self, split, fitted_rf):
+        _corpus, _train, test = split
+        newrf = NewRF(fitted_rf, threshold=1e-9)
+        assert not any(r.double for r in newrf.predict(test.profiles))
+
+    def test_representation_flags(self):
+        rep = Representation(FeatureType.NUMERIC, double=False)
+        assert rep.as_numeric and not rep.as_categorical
+        both = Representation(FeatureType.CATEGORICAL, double=True)
+        assert both.as_numeric and both.as_categorical

@@ -1,0 +1,129 @@
+"""Tests + property tests for the 25 descriptive statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    DATETIME_FEATURE_INDEX,
+    LIST_FEATURE_INDEX,
+    N_STATS,
+    STAT_NAMES,
+    URL_FEATURE_INDEX,
+    compress_stats,
+    compute_stats,
+)
+from repro.tabular.column import Column
+
+cells_strategy = st.lists(
+    st.one_of(
+        st.none(),
+        st.integers(-1000, 1000).map(str),
+        st.floats(-100, 100, allow_nan=False).map(lambda v: f"{v:.3f}"),
+        st.text(alphabet="abc xyz;,", max_size=15),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def test_there_are_25_stats():
+    assert N_STATS == 25
+    assert len(set(STAT_NAMES)) == 25
+
+
+class TestComputeStats:
+    def test_counts(self):
+        col = Column("x", ["1", "2", "2", None, "NA"])
+        stats = compute_stats(col)
+        assert stats["total_values"] == 5
+        assert stats["num_nans"] == 2
+        assert stats["pct_nans"] == pytest.approx(0.4)
+        assert stats["num_distinct"] == 2
+        assert stats["pct_distinct"] == pytest.approx(0.4)
+
+    def test_numeric_moments(self):
+        col = Column("x", ["1", "2", "3"])
+        stats = compute_stats(col)
+        assert stats["mean_value"] == pytest.approx(2.0)
+        assert stats["min_value"] == 1.0
+        assert stats["max_value"] == 3.0
+        assert stats["numeric_fraction"] == 1.0
+
+    def test_non_numeric_moments_zero(self):
+        stats = compute_stats(Column("x", ["a", "b"]))
+        assert stats["mean_value"] == 0.0
+        assert stats["numeric_fraction"] == 0.0
+
+    def test_word_and_char_counts(self):
+        stats = compute_stats(Column("x", ["two words", "three little words"]))
+        assert stats["mean_word_count"] == pytest.approx(2.5)
+        assert stats["mean_whitespace_count"] == pytest.approx(1.5)
+
+    def test_stopword_count(self):
+        stats = compute_stats(Column("x", ["the cat is here"]))
+        assert stats["mean_stopword_count"] == pytest.approx(2.0)
+
+    def test_boolean_probes(self):
+        url = compute_stats(Column("x", ["https://www.a.com"] * 3))
+        assert url["sample_has_url"] == 1.0
+        lst = compute_stats(Column("x", ["a; b; c"] * 3))
+        assert lst["sample_has_list"] == 1.0
+        date = compute_stats(Column("x", ["2020-01-02"] * 3))
+        assert date["sample_has_date"] == 1.0
+        plain = compute_stats(Column("x", ["word"] * 3))
+        for probe in ("sample_has_url", "sample_has_list", "sample_has_date",
+                      "sample_has_email"):
+            assert plain[probe] == 0.0
+
+    def test_explicit_samples_drive_probes(self):
+        col = Column("x", ["https://www.a.com", "plain"])
+        stats = compute_stats(col, samples=["plain"])
+        assert stats["sample_has_url"] == 0.0
+
+    def test_all_missing_column(self):
+        stats = compute_stats(Column("x", [None, None]))
+        assert stats["pct_nans"] == 1.0
+        assert stats["num_distinct"] == 0
+
+    def test_huge_values_stay_finite(self):
+        col = Column("x", ["8.8e17", "1e300", "5"])
+        stats = compute_stats(col)
+        assert np.all(np.isfinite(stats.values))
+
+    @given(cells_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_vector_always_finite_and_bounded(self, cells):
+        stats = compute_stats(Column("x", cells))
+        assert stats.values.shape == (N_STATS,)
+        assert np.all(np.isfinite(stats.values))
+        assert 0.0 <= stats["pct_nans"] <= 1.0
+        assert 0.0 <= stats["pct_distinct"] <= 1.0
+        assert 0.0 <= stats["numeric_fraction"] <= 1.0
+
+    def test_as_dict(self):
+        stats = compute_stats(Column("x", ["1"]))
+        d = stats.as_dict()
+        assert set(d) == set(STAT_NAMES)
+
+
+class TestCompressStats:
+    def test_bounded_columns_untouched(self):
+        matrix = np.zeros((2, N_STATS))
+        matrix[:, STAT_NAMES.index("pct_nans")] = 0.5
+        out = compress_stats(matrix)
+        assert out[0, STAT_NAMES.index("pct_nans")] == 0.5
+
+    def test_log_compression_monotone_and_signed(self):
+        matrix = np.zeros((3, N_STATS))
+        idx = STAT_NAMES.index("mean_value")
+        matrix[:, idx] = [-100.0, 0.0, 1e12]
+        out = compress_stats(matrix)
+        assert out[0, idx] < out[1, idx] < out[2, idx]
+        assert out[0, idx] == pytest.approx(-np.log1p(100.0))
+
+    def test_ablation_indices_point_at_probes(self):
+        assert STAT_NAMES[URL_FEATURE_INDEX] == "sample_has_url"
+        assert STAT_NAMES[LIST_FEATURE_INDEX] == "sample_has_list"
+        assert STAT_NAMES[DATETIME_FEATURE_INDEX] == "sample_has_date"

@@ -1,0 +1,66 @@
+"""Tests for the nested-CV tuning utilities."""
+
+import pytest
+
+from repro.core.tuning import TuningResult, fit_tuned, tune_classical_model, tune_knn
+from repro.datagen.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def tuning_dataset():
+    return generate_corpus(n_examples=200, seed=17).dataset
+
+
+def test_tune_logreg_small_grid(tuning_dataset):
+    result = tune_classical_model(
+        "logreg",
+        tuning_dataset,
+        param_grid={"C": [0.1, 10.0]},
+        n_folds=3,
+    )
+    assert result.model_name == "logreg"
+    assert result.best_params["C"] in (0.1, 10.0)
+    assert len(result.fold_scores) == 3
+    assert 0.3 < result.mean_score <= 1.0
+
+
+def test_tune_rf_small_grid(tuning_dataset):
+    result = tune_classical_model(
+        "rf",
+        tuning_dataset,
+        param_grid={"n_estimators": [5], "max_depth": [10]},
+        n_folds=2,
+    )
+    assert result.best_params == {"n_estimators": 5, "max_depth": 10}
+    assert result.mean_score > 0.6
+
+
+def test_tune_unknown_model(tuning_dataset):
+    with pytest.raises(ValueError, match="unknown classical model"):
+        tune_classical_model("xgboost", tuning_dataset)
+
+
+def test_tune_knn(tuning_dataset):
+    result = tune_knn(
+        tuning_dataset, n_neighbors_grid=(1, 5), gamma_grid=(0.1, 1.0)
+    )
+    assert set(result.best_params) == {"n_neighbors", "gamma"}
+    assert 0.3 < result.mean_score <= 1.0
+
+
+def test_fit_tuned_roundtrip(tuning_dataset):
+    result = TuningResult("rf", {"n_estimators": 5, "max_depth": 10}, [0.9])
+    model = fit_tuned(result, tuning_dataset)
+    assert model.score(tuning_dataset) > 0.7
+
+
+def test_fit_tuned_knn(tuning_dataset):
+    result = TuningResult("knn", {"n_neighbors": 3, "gamma": 1.0}, [0.9])
+    model = fit_tuned(result, tuning_dataset)
+    assert model.score(tuning_dataset) > 0.6
+
+
+def test_fit_tuned_unknown():
+    result = TuningResult("mystery", {}, [0.0])
+    with pytest.raises(ValueError, match="unknown model"):
+        fit_tuned(result, None)

@@ -1,0 +1,165 @@
+"""Tests + property tests for the synthetic corpus generators.
+
+The critical invariant: a generated column must actually *be* what its label
+says (Numeric columns parse as numbers, URL columns match the URL standard,
+Not-Generalizable keys are unique or constant, ...).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen.colnames import cryptic_name, render_name, survey_name
+from repro.datagen.corpus import generate_corpus, sample_class_sequence
+from repro.datagen.values import CLASS_GENERATORS, generate_column
+from repro.tabular.column import Column
+from repro.tabular.dtypes import (
+    looks_like_datetime,
+    looks_like_list,
+    looks_like_url,
+    try_parse_float,
+)
+from repro.types import ALL_FEATURE_TYPES, PAPER_CLASS_DISTRIBUTION, FeatureType
+
+
+class TestColnames:
+    def test_render_name_styles(self, rng):
+        names = {render_name(rng, "zip_code") for _ in range(60)}
+        assert len(names) > 3  # several casing styles appear
+
+    def test_cryptic_name_short(self, rng):
+        for _ in range(20):
+            name = cryptic_name(rng)
+            assert 2 <= len(name) <= 10
+
+    def test_survey_name(self, rng):
+        assert survey_name(rng).startswith("q")
+
+
+class TestValueGenerators:
+    @pytest.mark.parametrize("feature_type", ALL_FEATURE_TYPES)
+    def test_every_class_generates(self, feature_type, rng):
+        column = generate_column(feature_type, rng, 60)
+        assert column.feature_type is feature_type
+        assert len(column.cells) == 60
+        assert column.name
+
+    def test_numeric_values_parse(self, rng):
+        for generator in CLASS_GENERATORS[FeatureType.NUMERIC]:
+            column = generator(rng, 50)
+            raw = Column(column.name, column.cells)
+            present = raw.non_missing()
+            assert present, column.style
+            parsed = [try_parse_float(v) for v in present]
+            assert all(v is not None for v in parsed), column.style
+
+    def test_url_values_match_standard(self, rng):
+        column = generate_column(FeatureType.URL, rng, 40)
+        raw = Column(column.name, column.cells)
+        assert all(looks_like_url(v) for v in raw.non_missing())
+
+    def test_list_values_have_delimiters(self, rng):
+        column = generate_column(FeatureType.LIST, rng, 40)
+        raw = Column(column.name, column.cells)
+        assert all(looks_like_list(v) for v in raw.non_missing())
+
+    def test_datetime_values(self, rng):
+        from repro.datagen.values import datetime_column
+
+        for _ in range(10):
+            column = datetime_column(rng, 30)
+            raw = Column(column.name, column.cells)
+            if column.style == "date_compact":
+                continue  # compact dates are deliberately invisible to regexes
+            assert all(
+                looks_like_datetime(v) for v in raw.non_missing()
+            ), column.style
+
+    def test_embedded_numbers_not_plain_floats(self, rng):
+        column = generate_column(FeatureType.EMBEDDED_NUMBER, rng, 40)
+        raw = Column(column.name, column.cells)
+        assert all(try_parse_float(v) is None for v in raw.non_missing())
+
+    def test_ng_primary_keys_unique(self, rng):
+        from repro.datagen.values import ng_primary_key
+
+        column = ng_primary_key(rng, 80)
+        assert len(set(column.cells)) == 80
+
+    def test_ng_constant(self, rng):
+        from repro.datagen.values import ng_constant
+
+        column = ng_constant(rng, 40)
+        assert len(set(column.cells)) == 1
+
+    def test_ng_mostly_nan(self, rng):
+        from repro.datagen.values import ng_mostly_nan
+
+        column = ng_mostly_nan(rng, 300)
+        raw = Column(column.name, column.cells)
+        assert raw.n_missing() / len(raw) > 0.99
+
+    def test_categorical_int_codes_are_integers(self, rng):
+        from repro.datagen.values import categorical_int_code
+
+        column = categorical_int_code(rng, 60)
+        raw = Column(column.name, column.cells)
+        values = raw.non_missing()
+        assert all(v.isdigit() for v in values)
+        assert len(set(values)) < 40  # bounded domain
+
+
+class TestClassSequence:
+    def test_exact_total(self, rng):
+        labels = sample_class_sequence(1000, rng)
+        assert len(labels) == 1000
+
+    def test_distribution_close_to_paper(self, rng):
+        labels = sample_class_sequence(2000, rng)
+        for feature_type in ALL_FEATURE_TYPES:
+            share = labels.count(feature_type) / 2000
+            assert abs(share - PAPER_CLASS_DISTRIBUTION[feature_type]) < 0.01
+
+    def test_small_corpus_covers_all_classes(self, rng):
+        labels = sample_class_sequence(100, rng)
+        assert set(labels) == set(ALL_FEATURE_TYPES)
+
+
+class TestCorpus:
+    def test_sizes(self, small_corpus):
+        assert small_corpus.n_examples == 350
+        assert small_corpus.n_files > 20
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="at least 50"):
+            generate_corpus(n_examples=10)
+
+    def test_profiles_match_truth(self, small_corpus):
+        for profile in small_corpus.dataset.profiles:
+            key = (profile.source_file, profile.name)
+            assert small_corpus.truth[key] is profile.label
+
+    def test_every_profile_has_a_raw_column(self, small_corpus):
+        files = {table.name: table for table in small_corpus.files}
+        for profile in small_corpus.dataset.profiles:
+            assert profile.name in files[profile.source_file]
+
+    def test_deterministic(self):
+        a = generate_corpus(n_examples=120, seed=5)
+        b = generate_corpus(n_examples=120, seed=5)
+        assert a.dataset.names == b.dataset.names
+        assert [p.samples for p in a.dataset.profiles] == [
+            p.samples for p in b.dataset.profiles
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(n_examples=120, seed=5)
+        b = generate_corpus(n_examples=120, seed=6)
+        assert a.dataset.names != b.dataset.names
+
+    def test_unique_column_names_within_file(self, small_corpus):
+        for table in small_corpus.files:
+            assert len(set(table.column_names)) == table.n_columns
+
+    def test_stats_are_finite(self, small_corpus):
+        matrix = small_corpus.dataset.stats_matrix()
+        assert np.all(np.isfinite(matrix))

@@ -1,0 +1,101 @@
+"""Tests for the 30 downstream dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.downstream import (
+    DOWNSTREAM_SPECS,
+    SPEC_BY_NAME,
+    make_dataset,
+)
+from repro.types import FeatureType
+
+
+def test_thirty_datasets_matching_paper_split():
+    assert len(DOWNSTREAM_SPECS) == 30
+    classification = [s for s in DOWNSTREAM_SPECS if s.task == "classification"]
+    regression = [s for s in DOWNSTREAM_SPECS if s.task == "regression"]
+    assert len(classification) == 25
+    assert len(regression) == 5
+
+
+@pytest.mark.parametrize(
+    "name,n_cols,n_classes",
+    [("Cancer", 9, 2), ("Mfeat", 216, 10), ("Nursery", 8, 5),
+     ("Audiology", 69, 24), ("Hayes", 4, 3), ("Kropt", 6, 18),
+     ("Flags", 28, 2), ("Pokemon", 40, 36), ("President", 26, 57),
+     ("BBC", 1, 5), ("Car Fuel", 11, 0), ("MBA", 2, 0)],
+)
+def test_table5_compositions(name, n_cols, n_classes):
+    spec = SPEC_BY_NAME[name]
+    assert spec.n_columns == n_cols
+    assert spec.n_classes == n_classes
+
+
+def test_make_dataset_shapes():
+    dataset = make_dataset(SPEC_BY_NAME["Hayes"], seed=0)
+    assert dataset.table.n_columns == 4
+    assert len(dataset.target) == len(dataset.table)
+    assert set(dataset.true_types.values()) == {FeatureType.CATEGORICAL}
+
+
+def test_classification_targets_are_balanced_classes():
+    dataset = make_dataset(SPEC_BY_NAME["Nursery"], seed=1)
+    counts = {}
+    for label in dataset.target:
+        counts[label] = counts.get(label, 0) + 1
+    assert len(counts) == 5
+    sizes = sorted(counts.values())
+    assert sizes[0] >= sizes[-1] - 2  # quantile binning keeps them near-equal
+
+
+def test_regression_targets_are_floats():
+    dataset = make_dataset(SPEC_BY_NAME["Vineyard"], seed=2)
+    assert all(isinstance(v, float) for v in dataset.target)
+
+
+def test_true_types_cover_declared_composition():
+    dataset = make_dataset(SPEC_BY_NAME["Pokemon"], seed=3)
+    types = set(dataset.true_types.values())
+    assert FeatureType.NUMERIC in types
+    assert FeatureType.CATEGORICAL in types
+    assert FeatureType.LIST in types
+    assert FeatureType.NOT_GENERALIZABLE in types
+    assert FeatureType.CONTEXT_SPECIFIC in types
+
+
+def test_deterministic_given_seed():
+    a = make_dataset(SPEC_BY_NAME["Boxing"], seed=9)
+    b = make_dataset(SPEC_BY_NAME["Boxing"], seed=9)
+    assert a.target == b.target
+    assert list(a.table.rows()) == list(b.table.rows())
+
+
+def test_ng_columns_carry_no_signal():
+    dataset = make_dataset(SPEC_BY_NAME["Apnea2"], seed=4)
+    ng_columns = [
+        name for name, t in dataset.true_types.items()
+        if t is FeatureType.NOT_GENERALIZABLE
+    ]
+    assert ng_columns
+    column = dataset.table[ng_columns[0]]
+    assert len(set(column.non_missing())) == len(column)  # a key
+
+
+def test_unknown_kind_raises():
+    from repro.datagen.downstream import ColumnSpec, DatasetSpec
+
+    spec = DatasetSpec("X", "classification", 2, (ColumnSpec("bogus"),))
+    with pytest.raises(ValueError, match="unknown downstream column kind"):
+        make_dataset(spec)
+
+
+def test_planted_signal_is_recoverable():
+    """Sanity: with true types, a linear model beats chance comfortably."""
+    from repro.downstream import evaluate_assignment, truth_assignments
+
+    dataset = make_dataset(SPEC_BY_NAME["Nursery"], seed=5)
+    score = evaluate_assignment(
+        dataset, truth_assignments(dataset), "linear", seed=0
+    )
+    assert score.value > 40.0  # 5 classes, chance = 20

@@ -1,0 +1,172 @@
+"""Tests for the downstream featurization routing and harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.newrf import Representation
+from repro.datagen.downstream import SPEC_BY_NAME, make_dataset
+from repro.downstream.featurize import featurize_split
+from repro.downstream.harness import DownstreamScore, evaluate_assignment
+from repro.downstream.suite import (
+    compare_to_truth,
+    run_suite,
+    tool_assignments,
+    truth_assignments,
+)
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.types import FeatureType
+
+
+def _tables():
+    train = Table(
+        [
+            Column("num", ["1", "2", "3", None]),
+            Column("cat", ["a", "b", "a", "b"]),
+            Column("text", ["one two three", "four five", "six", "seven"]),
+            Column("key", ["1", "2", "3", "4"]),
+        ],
+        name="train",
+    )
+    test = Table(
+        [
+            Column("num", ["5", "bad"]),
+            Column("cat", ["a", "zz"]),
+            Column("text", ["one", "unknownword"]),
+            Column("key", ["9", "10"]),
+        ],
+        name="test",
+    )
+    return train, test
+
+
+class TestFeaturizeSplit:
+    def test_numeric_fills_missing_with_train_mean(self):
+        train, test = _tables()
+        X_train, X_test = featurize_split(
+            train, test, {"num": FeatureType.NUMERIC}
+        )
+        assert X_train.shape == (4, 1)
+        assert X_train[3, 0] == pytest.approx(2.0)  # mean of 1,2,3
+        assert X_test[1, 0] == pytest.approx(2.0)  # unparseable -> fill
+
+    def test_onehot_ignores_unseen(self):
+        train, test = _tables()
+        _X_train, X_test = featurize_split(
+            train, test, {"cat": FeatureType.CATEGORICAL}
+        )
+        assert X_test[1].sum() == 0.0  # "zz" unseen
+
+    def test_ng_dropped(self):
+        train, test = _tables()
+        X_train, _ = featurize_split(
+            train, test,
+            {"num": FeatureType.NUMERIC, "key": FeatureType.NOT_GENERALIZABLE},
+        )
+        assert X_train.shape[1] == 1
+
+    def test_none_assignment_drops(self):
+        train, test = _tables()
+        X_train, _ = featurize_split(
+            train, test, {"num": FeatureType.NUMERIC, "cat": None}
+        )
+        assert X_train.shape[1] == 1
+
+    def test_everything_dropped_yields_constant(self):
+        train, test = _tables()
+        X_train, X_test = featurize_split(train, test, {})
+        assert X_train.shape == (4, 1)
+        assert X_test.shape == (2, 1)
+
+    def test_tfidf_and_bigrams_have_width(self):
+        train, test = _tables()
+        X_train, _ = featurize_split(
+            train, test,
+            {"text": FeatureType.SENTENCE, "cat": FeatureType.CONTEXT_SPECIFIC},
+        )
+        assert X_train.shape[1] > 10
+
+    def test_double_representation_combines_blocks(self):
+        train, test = _tables()
+        exclusive, _ = featurize_split(
+            train, test, {"num": FeatureType.NUMERIC}
+        )
+        doubled, _ = featurize_split(
+            train, test,
+            {"num": Representation(FeatureType.NUMERIC, double=True)},
+        )
+        assert doubled.shape[1] > exclusive.shape[1]
+
+    def test_single_representation_object(self):
+        train, test = _tables()
+        X_train, _ = featurize_split(
+            train, test,
+            {"num": Representation(FeatureType.NUMERIC, double=False)},
+        )
+        assert X_train.shape[1] == 1
+
+
+class TestHarness:
+    def test_bad_model_kind(self):
+        dataset = make_dataset(SPEC_BY_NAME["MBA"], seed=0)
+        with pytest.raises(ValueError, match="model_kind"):
+            evaluate_assignment(dataset, truth_assignments(dataset), "boom")
+
+    def test_classification_score_in_range(self):
+        dataset = make_dataset(SPEC_BY_NAME["Hayes"], seed=0)
+        score = evaluate_assignment(
+            dataset, truth_assignments(dataset), "linear", seed=0
+        )
+        assert 0.0 <= score.value <= 100.0
+        assert score.higher_is_better
+
+    def test_regression_score_rmse(self):
+        dataset = make_dataset(SPEC_BY_NAME["MBA"], seed=0)
+        score = evaluate_assignment(
+            dataset, truth_assignments(dataset), "forest", seed=0
+        )
+        assert score.value >= 0.0
+        assert not score.higher_is_better
+
+    def test_delta_vs_sign_conventions(self):
+        better_cls = DownstreamScore("d", "linear", 90.0, True)
+        worse_cls = DownstreamScore("d", "linear", 80.0, True)
+        assert better_cls.delta_vs(worse_cls) == pytest.approx(10.0)
+        better_reg = DownstreamScore("d", "linear", 1.0, False)
+        worse_reg = DownstreamScore("d", "linear", 2.0, False)
+        assert better_reg.delta_vs(worse_reg) == pytest.approx(1.0)
+
+    def test_delta_vs_mixed_metrics_raises(self):
+        a = DownstreamScore("d", "linear", 1.0, True)
+        b = DownstreamScore("d", "linear", 1.0, False)
+        with pytest.raises(ValueError):
+            a.delta_vs(b)
+
+
+class TestSuite:
+    def test_run_suite_and_compare(self):
+        from repro.tools import TFDVTool
+
+        datasets = [
+            make_dataset(SPEC_BY_NAME[name], seed=i)
+            for i, name in enumerate(("Hayes", "MBA"))
+        ]
+        tool = TFDVTool()
+        result = run_suite(
+            datasets,
+            {
+                "truth": truth_assignments,
+                "tfdv": lambda ds: tool_assignments(ds, tool),
+            },
+            model_kinds=("linear",),
+        )
+        comparisons = compare_to_truth(result, ["tfdv"], "linear")
+        assert len(comparisons) == 1
+        row = comparisons[0]
+        assert row.underperform + row.match + row.outperform == 2
+        # integer categoricals misrouted to numeric must hurt Hayes
+        assert result.delta_vs_truth("tfdv", "linear", "Hayes") < 0
+
+    def test_suite_requires_truth(self):
+        with pytest.raises(ValueError, match="truth"):
+            run_suite([], {"x": truth_assignments})

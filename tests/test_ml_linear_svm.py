@@ -1,0 +1,122 @@
+"""Tests for logistic regression, ridge regression, and the RBF-SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.linear import LogisticRegression, RidgeRegression
+from repro.ml.svm import RBFSVM, rbf_kernel
+
+
+@pytest.fixture()
+def blobs(rng):
+    X = np.vstack([rng.normal(0, 1, (80, 4)), rng.normal(4, 1, (80, 4))])
+    y = ["neg"] * 80 + ["pos"] * 80
+    return X, y
+
+
+@pytest.fixture()
+def three_blobs(rng):
+    X = np.vstack(
+        [rng.normal(c, 0.7, (50, 3)) for c in (0.0, 4.0, 8.0)]
+    )
+    y = ["a"] * 50 + ["b"] * 50 + ["c"] * 50
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_separable(self, blobs):
+        X, y = blobs
+        model = LogisticRegression(C=10.0).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_multiclass(self, three_blobs):
+        X, y = three_blobs
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+        assert model.classes_ == ["a", "b", "c"]
+
+    def test_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        model = LogisticRegression().fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs.min() >= 0.0
+
+    def test_regularization_shrinks_weights(self, blobs):
+        X, y = blobs
+        strong = LogisticRegression(C=1e-3).fit(X, y)
+        weak = LogisticRegression(C=1e3).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="two classes"):
+            LogisticRegression().fit(np.zeros((5, 2)), ["a"] * 5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_nan_input_raises(self):
+        X = np.array([[np.nan, 1.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="NaN"):
+            LogisticRegression().fit(X, ["a", "b"])
+
+
+class TestRidge:
+    def test_recovers_coefficients(self, rng):
+        X = rng.normal(size=(500, 3))
+        w = np.array([2.0, -1.0, 0.5])
+        y = X @ w + 3.0
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-3)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-3)
+
+    def test_alpha_shrinks(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X @ np.array([2.0, -1.0, 0.5])
+        light = RidgeRegression(alpha=1e-6).fit(X, y)
+        heavy = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(heavy.coef_) < np.linalg.norm(light.coef_)
+
+    def test_score_is_negative_rmse(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+        model = RidgeRegression(alpha=0.1).fit(X, y)
+        assert model.score(X, y) <= 0.0
+
+
+class TestRBFSVM:
+    def test_kernel_values(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [1.0, 0.0]])
+        k = rbf_kernel(a, b, gamma=1.0)
+        assert k[0, 0] == pytest.approx(1.0)
+        assert k[0, 1] == pytest.approx(np.exp(-1.0))
+
+    def test_separable(self, blobs):
+        X, y = blobs
+        model = RBFSVM(C=1.0, gamma=0.1).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_nonlinear_circles(self, rng):
+        # inner cluster vs ring: linear models fail, RBF should not
+        angles = rng.uniform(0, 2 * np.pi, 150)
+        inner = rng.normal(0, 0.3, (150, 2))
+        outer = np.stack([3 * np.cos(angles), 3 * np.sin(angles)], axis=1)
+        outer += rng.normal(0, 0.2, (150, 2))
+        X = np.vstack([inner, outer])
+        y = ["in"] * 150 + ["out"] * 150
+        model = RBFSVM(C=10.0, gamma=0.5).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_nystrom_landmark_cap(self, blobs):
+        X, y = blobs
+        model = RBFSVM(max_landmarks=20).fit(X, y)
+        assert model.landmarks_.shape[0] == 20
+        assert model.score(X, y) > 0.9
+
+    def test_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        model = RBFSVM().fit(X, y)
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)

@@ -1,0 +1,124 @@
+"""Tests + property tests for classification/regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    binarized_metrics,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    r2_score,
+    recall_score,
+    rmse,
+)
+
+labels_strategy = st.lists(
+    st.sampled_from(["a", "b", "c"]), min_size=1, max_size=60
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusion:
+    def test_basic(self):
+        m = confusion_matrix(["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"])
+        assert m.tolist() == [[1, 1], [0, 1]]
+
+    @given(labels_strategy)
+    def test_diagonal_when_identical(self, labels):
+        m = confusion_matrix(labels, labels)
+        assert int(m.sum()) == len(labels)
+        assert int(np.trace(m)) == len(labels)
+
+    @given(labels_strategy, st.randoms(use_true_random=False))
+    def test_row_sums_are_class_counts(self, labels, rnd):
+        preds = [rnd.choice(["a", "b", "c"]) for _ in labels]
+        m = confusion_matrix(labels, preds, labels=["a", "b", "c"])
+        for i, label in enumerate(["a", "b", "c"]):
+            assert int(m[i].sum()) == labels.count(label)
+
+
+class TestBinarized:
+    def test_known_values(self):
+        y_true = ["p", "p", "n", "n", "p"]
+        y_pred = ["p", "n", "p", "n", "p"]
+        m = binarized_metrics(y_true, y_pred, "p")
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.accuracy == pytest.approx(3 / 5)
+        assert m.support == 3
+
+    def test_no_positive_predictions(self):
+        m = binarized_metrics(["p", "n"], ["n", "n"], "p")
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    @given(labels_strategy, labels_strategy.map(lambda x: x))
+    def test_bounds(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        y_true, y_pred = y_true[:n], y_pred[:n]
+        if n == 0:
+            return
+        m = binarized_metrics(y_true, y_pred, "a")
+        for value in (m.precision, m.recall, m.f1, m.accuracy):
+            assert 0.0 <= value <= 1.0
+
+    @given(labels_strategy)
+    def test_f1_harmonic_mean(self, labels):
+        preds = list(reversed(labels))
+        m = binarized_metrics(labels, preds, "a")
+        if m.precision + m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)
+
+    def test_wrappers(self):
+        y_true, y_pred = ["p", "n"], ["p", "p"]
+        assert precision_score(y_true, y_pred, "p") == 0.5
+        assert recall_score(y_true, y_pred, "p") == 1.0
+        assert f1_score(y_true, y_pred, "p") == pytest.approx(2 / 3)
+
+
+class TestRegression:
+    def test_rmse_zero(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_rmse_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    def test_rmse_nonnegative_and_symmetric(self, values):
+        other = [v + 1.0 for v in values]
+        assert rmse(values, other) >= 0.0
+        assert rmse(values, other) == pytest.approx(rmse(other, values))
+
+    def test_r2_perfect_and_mean(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+
+def test_classification_report():
+    report = classification_report(["a", "b"], ["a", "a"], labels=["a", "b"])
+    assert report["__accuracy__"] == 0.5
+    assert report["a"].recall == 1.0
+    assert report["b"].recall == 0.0

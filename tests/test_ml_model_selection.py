@@ -1,0 +1,116 @@
+"""Tests for splitting, cross-validation, and grid search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.linear import LogisticRegression
+from repro.ml.model_selection import (
+    GridSearchCV,
+    GroupKFold,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100)[:, None].astype(float)
+        x_tr, x_te = train_test_split(X, test_size=0.2, random_state=0)
+        assert len(x_te) == 20
+        assert len(x_tr) == 80
+
+    def test_disjoint_and_complete(self):
+        X = np.arange(50).astype(float)[:, None]
+        x_tr, x_te = train_test_split(X, test_size=0.3, random_state=1)
+        together = sorted(x_tr[:, 0].tolist() + x_te[:, 0].tolist())
+        assert together == list(range(50))
+
+    def test_stratified_keeps_class_ratio(self):
+        y = ["a"] * 80 + ["b"] * 20
+        X = np.zeros((100, 1))
+        _x_tr, _x_te, y_tr, y_te = train_test_split(
+            X, y, test_size=0.25, random_state=0, stratify=y
+        )
+        assert y_te.count("b") == 5
+        assert y_tr.count("b") == 15
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(30).astype(float)[:, None]
+        y = [str(i) for i in range(30)]
+        x_tr, x_te, y_tr, y_te = train_test_split(X, y, random_state=2)
+        for row, label in zip(x_te, y_te):
+            assert str(int(row[0])) == label
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((3, 1)), [1, 2])
+
+
+class TestKFold:
+    @given(st.integers(10, 60), st.integers(2, 5))
+    @settings(max_examples=20)
+    def test_partition(self, n, k):
+        folds = list(KFold(n_splits=k, random_state=0).split(n))
+        assert len(folds) == k
+        all_test = np.concatenate([test for _train, test in folds])
+        assert sorted(all_test.tolist()) == list(range(n))
+        for train, test in folds:
+            assert set(train.tolist()).isdisjoint(test.tolist())
+
+    def test_bad_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_each_fold_has_each_class(self):
+        y = ["a"] * 50 + ["b"] * 10
+        for _train, test in StratifiedKFold(n_splits=5).split(y):
+            labels = {y[i] for i in test}
+            assert labels == {"a", "b"}
+
+
+class TestGroupKFold:
+    def test_groups_never_split(self):
+        groups = [f"g{i // 4}" for i in range(40)]  # 10 groups of 4
+        for train, test in GroupKFold(n_splits=5).split(groups):
+            train_groups = {groups[i] for i in train}
+            test_groups = {groups[i] for i in test}
+            assert train_groups.isdisjoint(test_groups)
+
+    def test_too_few_groups_raises(self):
+        with pytest.raises(ValueError, match="groups"):
+            list(GroupKFold(n_splits=5).split(["a", "b", "a"]))
+
+
+class TestGridSearch:
+    def test_explores_grid_and_fits_best(self, rng):
+        X = np.vstack([rng.normal(0, 1, (60, 3)), rng.normal(3, 1, (60, 3))])
+        y = ["a"] * 60 + ["b"] * 60
+        search = GridSearchCV(
+            LogisticRegression(), {"C": [1e-4, 1.0]}, random_state=0
+        )
+        search.fit(X, y)
+        assert search.best_params_["C"] in (1e-4, 1.0)
+        assert search.best_score_ > 0.85
+        assert search.score(X, y) > 0.9
+        assert len(search.cv_results_) == 2
+
+    def test_cv_mode(self, rng):
+        X = np.vstack([rng.normal(0, 1, (40, 2)), rng.normal(3, 1, (40, 2))])
+        y = ["a"] * 40 + ["b"] * 40
+        search = GridSearchCV(LogisticRegression(), {"C": [1.0]}, cv=3)
+        search.fit(X, y)
+        assert 0.5 < search.best_score_ <= 1.0
+
+
+def test_cross_val_score_shape(rng):
+    X = np.vstack([rng.normal(0, 1, (30, 2)), rng.normal(3, 1, (30, 2))])
+    y = ["a"] * 30 + ["b"] * 30
+    scores = cross_val_score(LogisticRegression(), X, y, cv=3)
+    assert scores.shape == (3,)
+    assert np.all((scores >= 0) & (scores <= 1))

@@ -1,0 +1,100 @@
+"""Tests for scalers and encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.base import NotFittedError
+from repro.ml.preprocessing import LabelEncoder, OneHotEncoder, StandardScaler
+
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 20), st.integers(1, 5)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_passthrough(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    @given(matrices)
+    def test_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X,
+                           atol=1e-6)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_dimension_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.zeros((3, 5)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder().fit(["b", "a", "b", "c"])
+        codes = enc.transform(["a", "b", "c"])
+        assert codes.tolist() == [0, 1, 2]
+        assert enc.inverse_transform(codes) == ["a", "b", "c"]
+
+    def test_unseen_raises(self):
+        enc = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(["z"])
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=30))
+    def test_roundtrip_property(self, labels):
+        enc = LabelEncoder().fit(labels)
+        assert enc.inverse_transform(enc.transform(labels)) == labels
+
+
+class TestOneHotEncoder:
+    def test_basic(self):
+        enc = OneHotEncoder().fit(["a", "b", "a"])
+        X = enc.transform(["a", "b", "a"])
+        assert X.shape == (3, 2)
+        assert X.sum(axis=1).tolist() == [1.0, 1.0, 1.0]
+
+    def test_unknown_ignored(self):
+        enc = OneHotEncoder(handle_unknown="ignore").fit(["a"])
+        assert enc.transform(["z"]).sum() == 0.0
+
+    def test_unknown_bucketed(self):
+        enc = OneHotEncoder(handle_unknown="bucket").fit(["a"])
+        X = enc.transform(["z", "a"])
+        assert X.shape == (2, 2)
+        assert X[0, 1] == 1.0 and X[1, 0] == 1.0
+
+    def test_max_categories_keeps_most_frequent(self):
+        enc = OneHotEncoder(max_categories=1).fit(["a", "a", "b"])
+        assert enc.categories_ == ["a"]
+
+    def test_none_treated_as_empty(self):
+        enc = OneHotEncoder().fit(["a", None])
+        X = enc.transform([None])
+        assert X.sum() == 1.0
+
+    def test_bad_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="boom")
+
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=40))
+    def test_rows_are_one_hot(self, values):
+        enc = OneHotEncoder().fit(values)
+        X = enc.transform(values)
+        assert np.all(X.sum(axis=1) == 1.0)
+        assert set(np.unique(X)) <= {0.0, 1.0}

@@ -1,0 +1,102 @@
+"""Tests for the text vectorizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.text import (
+    CountVectorizer,
+    HashingVectorizer,
+    TfidfVectorizer,
+    _stable_hash,
+    char_ngrams,
+    tokenize_words,
+    word_ngrams,
+)
+
+
+class TestAnalyzers:
+    def test_char_bigrams_with_boundaries(self):
+        assert char_ngrams("ab", 2) == ["^a", "ab", "b$"]
+
+    def test_char_ngrams_short_text(self):
+        assert char_ngrams("", 3) == ["^$"]
+
+    def test_tokenize_strips_punctuation(self):
+        assert tokenize_words("Hello, world! (x)") == ["hello", "world", "x"]
+
+    def test_word_bigrams(self):
+        assert word_ngrams("a b c", 2) == ["a b", "b c"]
+        assert word_ngrams("a", 2) == ["a"]
+        assert word_ngrams("", 2) == []
+
+
+class TestCountVectorizer:
+    def test_counts(self):
+        vec = CountVectorizer(analyzer="word", ngram=1, max_features=10)
+        X = vec.fit_transform(["a a b", "b c"])
+        assert X.shape == (2, 3)
+        a_col = vec.vocabulary_["a"]
+        assert X[0, a_col] == 2.0
+
+    def test_binary_mode(self):
+        vec = CountVectorizer(analyzer="word", ngram=1, binary=True)
+        X = vec.fit_transform(["a a a"])
+        assert X.max() == 1.0
+
+    def test_max_features_cap(self):
+        vec = CountVectorizer(analyzer="char", ngram=2, max_features=3)
+        vec.fit(["abcdefgh", "ijklmnop"])
+        assert len(vec.vocabulary_) == 3
+
+    def test_min_df_filters_rare(self):
+        vec = CountVectorizer(analyzer="word", ngram=1, min_df=2)
+        vec.fit(["a b", "a c"])
+        assert set(vec.vocabulary_) == {"a"}
+
+    def test_unknown_analyzer(self):
+        with pytest.raises(ValueError):
+            CountVectorizer(analyzer="sentence")
+
+
+class TestTfidf:
+    def test_l2_normalized_rows(self):
+        vec = TfidfVectorizer()
+        X = vec.fit_transform(["a b c", "a d e", "f"])
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_rare_terms_weighted_higher(self):
+        vec = TfidfVectorizer()
+        vec.fit(["common rare", "common x", "common y"])
+        common = vec.idf_[vec.vocabulary_["common"]]
+        rare = vec.idf_[vec.vocabulary_["rare"]]
+        assert rare > common
+
+
+class TestHashing:
+    def test_stateless_and_deterministic(self):
+        vec = HashingVectorizer(n_features=32)
+        a = vec.transform(["hello world"])
+        b = vec.transform(["hello world"])
+        assert np.array_equal(a, b)
+
+    def test_shape(self):
+        vec = HashingVectorizer(n_features=64)
+        assert vec.transform(["a", "b", "c"]).shape == (3, 64)
+
+    def test_different_texts_differ(self):
+        vec = HashingVectorizer(n_features=256)
+        a = vec.transform(["salary"])
+        b = vec.transform(["zip_code"])
+        assert not np.array_equal(a, b)
+
+    @given(st.text(max_size=30))
+    def test_stable_hash_is_64bit(self, text):
+        value = _stable_hash(text)
+        assert 0 <= value < 2**64
+
+    def test_stable_hash_known_value(self):
+        # FNV-1a must not drift across releases (hashed features depend on it)
+        assert _stable_hash("") == 0xCBF29CE484222325

@@ -1,0 +1,128 @@
+"""Tests + property tests for CART trees and random forests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture()
+def xor_data(rng):
+    """XOR: requires depth >= 2, impossible for a linear model."""
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ["a" if (x[0] > 0) != (x[1] > 0) else "b" for x in X]
+    return X, y
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_xor(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_one_is_a_stump(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert tree.depth_ <= 1
+        assert tree.n_nodes_ <= 3
+
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        tree = DecisionTreeClassifier().fit(X, ["a", "a", "a"])
+        assert tree.n_nodes_ == 1
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = ["a" if v > 0 else "b" for v in X[:, 0]]
+        tree = DecisionTreeClassifier(min_samples_leaf=25).fit(X, y)
+        assert tree.n_nodes_ <= 3
+
+    def test_deterministic_given_seed(self, xor_data):
+        X, y = xor_data
+        a = DecisionTreeClassifier(max_features=1, random_state=3).fit(X, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=3).fit(X, y)
+        assert a.predict(X) == b.predict(X)
+
+    def test_proba_shape_and_simplex(self, xor_data):
+        X, y = xor_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probs = tree.predict_proba(X)
+        assert probs.shape == (len(X), 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    @given(
+        st.integers(10, 60),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_training_accuracy_improves_with_depth(self, n, dim):
+        rng = np.random.default_rng(n * dim)
+        X = rng.normal(size=(n, dim))
+        y = ["a" if v > 0 else "b" for v in X[:, 0]]
+        if len(set(y)) < 2:
+            return
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=12).fit(X, y)
+        assert deep.score(X, y) >= shallow.score(X, y) - 1e-9
+
+
+class TestDecisionTreeRegressor:
+    def test_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        pred = tree.predict(X)
+        # quantile-capped thresholds may need a couple of splits to isolate
+        # the boundary exactly; with depth 4 the fit must be exact
+        assert np.abs(pred - y).max() < 1e-9
+
+    def test_smooth_function_approximation(self, rng):
+        X = rng.uniform(0, 1, size=(500, 1))
+        y = np.sin(2 * np.pi * X[:, 0])
+        tree = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        mse = float(np.mean((tree.predict(X) - y) ** 2))
+        assert mse < 0.01
+
+
+class TestRandomForest:
+    def test_classifier_beats_single_stump(self, xor_data):
+        X, y = xor_data
+        forest = RandomForestClassifier(n_estimators=20, max_depth=6).fit(X, y)
+        assert forest.score(X, y) > 0.95
+
+    def test_deterministic_given_seed(self, xor_data):
+        X, y = xor_data
+        a = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        assert a.predict(X) == b.predict(X)
+
+    def test_proba_simplex(self, xor_data):
+        X, y = xor_data
+        forest = RandomForestClassifier(n_estimators=7).fit(X, y)
+        probs = forest.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs.min() >= 0.0
+
+    def test_regressor(self, rng):
+        X = rng.uniform(0, 1, size=(400, 2))
+        y = 3.0 * X[:, 0] + np.sin(6 * X[:, 1])
+        forest = RandomForestRegressor(n_estimators=20, max_depth=10).fit(X, y)
+        mse = float(np.mean((forest.predict(X) - y) ** 2))
+        assert mse < 0.05
+
+    def test_no_bootstrap_option(self, xor_data):
+        X, y = xor_data
+        forest = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, max_features=None
+        ).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_permutation_importance_finds_signal(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = ["a" if v > 0 else "b" for v in X[:, 1]]
+        forest = RandomForestClassifier(n_estimators=15, max_depth=6).fit(X, y)
+        importances = forest.feature_importances(X, y, random_state=0)
+        assert int(np.argmax(importances)) == 1

@@ -1,0 +1,89 @@
+"""Tests for model persistence and corpus export/load."""
+
+import pytest
+
+from repro.core.models import RandomForestModel
+from repro.core.persistence import (
+    ModelPersistenceError,
+    load_model,
+    save_model,
+)
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.export import export_corpus, load_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    corpus = generate_corpus(n_examples=150, seed=3)
+    model = RandomForestModel(n_estimators=8, random_state=0)
+    model.fit(corpus.dataset)
+    return corpus, model
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, tiny_setup, tmp_path):
+        corpus, model = tiny_setup
+        path = tmp_path / "rf.model"
+        save_model(model, path)
+        loaded = load_model(path)
+        profiles = corpus.dataset.profiles[:20]
+        assert loaded.predict(profiles) == model.predict(profiles)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.model"
+        path.write_bytes(b"not a model at all")
+        with pytest.raises(ModelPersistenceError, match="not a repro model"):
+            load_model(path)
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        import pickle
+
+        from repro.core.persistence import _MAGIC
+
+        path = tmp_path / "weird.model"
+        path.write_bytes(
+            _MAGIC + pickle.dumps({"format_version": 1, "model": "nope"})
+        )
+        with pytest.raises(ModelPersistenceError, match="does not contain"):
+            load_model(path)
+
+    def test_wrong_version_rejected(self, tmp_path, tiny_setup):
+        import pickle
+
+        from repro.core.persistence import _MAGIC
+
+        _corpus, model = tiny_setup
+        path = tmp_path / "old.model"
+        path.write_bytes(
+            _MAGIC + pickle.dumps({"format_version": 99, "model": model})
+        )
+        with pytest.raises(ModelPersistenceError, match="version"):
+            load_model(path)
+
+
+class TestCorpusExport:
+    def test_roundtrip(self, tiny_setup, tmp_path):
+        corpus, _model = tiny_setup
+        manifest = export_corpus(corpus, tmp_path)
+        assert manifest.exists()
+        loaded = load_corpus(tmp_path)
+        assert loaded.n_files == corpus.n_files
+        assert loaded.n_examples == corpus.n_examples
+        assert loaded.truth == corpus.truth
+        # labels survive per profile
+        original = {
+            (p.source_file, p.name): p.label for p in corpus.dataset.profiles
+        }
+        for profile in loaded.dataset.profiles:
+            assert original[(profile.source_file, profile.name)] is profile.label
+
+    def test_loaded_corpus_trains_a_model(self, tiny_setup, tmp_path):
+        corpus, _model = tiny_setup
+        export_corpus(corpus, tmp_path)
+        loaded = load_corpus(tmp_path)
+        model = RandomForestModel(n_estimators=5).fit(loaded.dataset)
+        assert model.score(loaded.dataset) > 0.8
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="labels.csv"):
+            load_corpus(tmp_path)

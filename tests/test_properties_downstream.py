@@ -1,0 +1,75 @@
+"""Property tests for downstream featurization invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.downstream.featurize import featurize_split
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.types import ALL_FEATURE_TYPES, FeatureType
+
+cells = st.lists(
+    st.one_of(
+        st.none(),
+        st.integers(0, 999).map(str),
+        st.text(alphabet="abc xyz,;", min_size=1, max_size=12),
+    ),
+    min_size=4,
+    max_size=20,
+)
+
+
+@given(cells, cells, st.sampled_from(list(ALL_FEATURE_TYPES)))
+@settings(max_examples=60, deadline=None)
+def test_any_assignment_produces_finite_aligned_matrices(
+    train_cells, test_cells, feature_type
+):
+    train = Table([Column("c", train_cells)], name="tr")
+    test = Table([Column("c", test_cells)], name="te")
+    X_train, X_test = featurize_split(train, test, {"c": feature_type})
+    assert X_train.shape[0] == len(train_cells)
+    assert X_test.shape[0] == len(test_cells)
+    assert X_train.shape[1] == X_test.shape[1] >= 1
+    assert np.all(np.isfinite(X_train))
+    assert np.all(np.isfinite(X_test))
+
+
+@given(cells)
+@settings(max_examples=30, deadline=None)
+def test_ng_always_dropped_regardless_of_content(train_cells):
+    train = Table(
+        [Column("keep", ["1"] * len(train_cells)), Column("drop", train_cells)],
+        name="tr",
+    )
+    X_train, _ = featurize_split(
+        train, train,
+        {"keep": FeatureType.NUMERIC, "drop": FeatureType.NOT_GENERALIZABLE},
+    )
+    assert X_train.shape[1] == 1
+
+
+def test_featurization_is_deterministic():
+    train = Table([Column("c", ["a", "b", "a", "c"])], name="tr")
+    for feature_type in ALL_FEATURE_TYPES:
+        first = featurize_split(train, train, {"c": feature_type})
+        second = featurize_split(train, train, {"c": feature_type})
+        assert np.array_equal(first[0], second[0])
+
+
+@pytest.mark.parametrize(
+    "feature_type,min_width",
+    [
+        (FeatureType.NUMERIC, 1),
+        (FeatureType.CATEGORICAL, 2),
+        (FeatureType.SENTENCE, 2),
+        (FeatureType.CONTEXT_SPECIFIC, 2),
+    ],
+)
+def test_expected_widths(feature_type, min_width):
+    train = Table(
+        [Column("c", ["1 one", "2 two", "3 three", "4 four"])], name="tr"
+    )
+    X_train, _ = featurize_split(train, train, {"c": feature_type})
+    assert X_train.shape[1] >= min_width

@@ -1,0 +1,78 @@
+"""Cross-cutting property tests on the full profile → prediction path."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.featurize import profile_column
+from repro.core.stats import N_STATS
+from repro.tabular.column import Column
+from repro.tools import (
+    AutoGluonTool,
+    PandasTool,
+    RuleBaselineTool,
+    TFDVTool,
+    TransmogrifAITool,
+)
+from repro.types import ALL_FEATURE_TYPES
+
+# arbitrary raw columns: mixed tokens, numbers, missing cells
+arbitrary_cells = st.lists(
+    st.one_of(
+        st.none(),
+        st.integers(-10**6, 10**6).map(str),
+        st.floats(-1e6, 1e6, allow_nan=False).map(lambda v: f"{v:.4f}"),
+        st.text(alphabet="abcdef ;,/:._-0123456789", max_size=25),
+        st.sampled_from(["USD 42", "https://www.x.com", "2020-01-01",
+                         "a; b; c", "NA", ""]),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+column_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=20
+)
+
+_TOOLS = (
+    TFDVTool(), PandasTool(), TransmogrifAITool(), AutoGluonTool(),
+    RuleBaselineTool(),
+)
+
+
+@given(column_names, arbitrary_cells)
+@settings(max_examples=80, deadline=None)
+def test_every_tool_totally_classifies_any_column(name, cells):
+    """Tools never crash and always emit a vocabulary class."""
+    column = Column(name, cells)
+    for tool in _TOOLS:
+        prediction = tool.infer_column(column)
+        assert prediction in ALL_FEATURE_TYPES
+
+
+@given(column_names, arbitrary_cells)
+@settings(max_examples=80, deadline=None)
+def test_tools_are_deterministic(name, cells):
+    column = Column(name, cells)
+    for tool in _TOOLS:
+        assert tool.infer_column(column) == tool.infer_column(column)
+
+
+@given(column_names, arbitrary_cells)
+@settings(max_examples=80, deadline=None)
+def test_profiling_any_column_is_safe_and_finite(name, cells):
+    profile = profile_column(Column(name, cells))
+    assert profile.stats_vector.shape == (N_STATS,)
+    assert np.all(np.isfinite(profile.stats_vector))
+    assert len(profile.samples) <= 5
+    for sample in profile.samples:
+        assert sample is not None
+
+
+@given(arbitrary_cells)
+@settings(max_examples=40, deadline=None)
+def test_profile_samples_come_from_the_column(cells):
+    column = Column("x", cells)
+    profile = profile_column(column, rng=np.random.default_rng(0))
+    present = set(column.non_missing())
+    assert all(sample in present for sample in profile.samples)

@@ -1,0 +1,106 @@
+"""Deeper property tests on the ML/NN substrates (reference checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.svm import rbf_kernel
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.nn.layers import Conv1D, GlobalMaxPool1D
+
+
+class TestConvReference:
+    @given(
+        st.integers(1, 3),   # batch
+        st.integers(3, 8),   # seq
+        st.integers(1, 4),   # in channels
+        st.integers(1, 4),   # out channels
+        st.integers(1, 3),   # kernel
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive_convolution(self, batch, seq, cin, cout, kernel):
+        rng = np.random.default_rng(batch * 100 + seq)
+        conv = Conv1D(cin, cout, kernel, rng)
+        x = rng.normal(size=(batch, seq, cin))
+        got = conv.forward(x)
+        out_seq = max(seq, kernel) - kernel + 1
+        padded = x
+        if seq < kernel:
+            padded = np.pad(x, ((0, 0), (0, kernel - seq), (0, 0)))
+        expected = np.zeros((batch, out_seq, cout))
+        for b in range(batch):
+            for o in range(out_seq):
+                for f in range(cout):
+                    acc = conv.bias[f]
+                    for k in range(kernel):
+                        for c in range(cin):
+                            acc += padded[b, o + k, c] * conv.weight[k, c, f]
+                    expected[b, o, f] = acc
+        assert np.allclose(got, expected, atol=1e-10)
+
+
+class TestKernelProperties:
+    @given(st.integers(2, 12), st.floats(0.01, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_rbf_kernel_is_psd_with_unit_diagonal(self, n, gamma):
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 3))
+        K = rbf_kernel(X, X, gamma)
+        assert np.allclose(np.diag(K), 1.0)
+        assert np.allclose(K, K.T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-8
+        assert K.min() >= 0.0 and K.max() <= 1.0 + 1e-12
+
+
+class TestTreeInvariants:
+    @given(st.integers(20, 80), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_classifier_prediction_is_a_training_class(self, n, depth):
+        rng = np.random.default_rng(n * depth)
+        X = rng.normal(size=(n, 3))
+        y = [str(int(v > 0)) for v in X[:, 0]]
+        if len(set(y)) < 2:
+            return
+        tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+        queries = rng.normal(size=(30, 3)) * 10
+        for prediction in tree.predict(queries):
+            assert prediction in set(y)
+
+    @given(st.integers(20, 80))
+    @settings(max_examples=20, deadline=None)
+    def test_regressor_predictions_within_target_range(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 2))
+        y = rng.uniform(-5, 5, size=n)
+        tree = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        predictions = tree.predict(rng.normal(size=(40, 2)) * 10)
+        # leaf means can never leave the convex hull of the targets
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_depth_zero_equivalent_prior(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = ["a", "a", "a", "b"]
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        probs = tree.predict_proba(X)
+        assert np.allclose(probs[:, 0], 0.75)
+
+
+class TestPoolInvariants:
+    @given(st.integers(1, 4), st.integers(1, 6), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_global_max_pool_matches_numpy(self, batch, seq, channels):
+        rng = np.random.default_rng(batch + seq)
+        pool = GlobalMaxPool1D()
+        x = rng.normal(size=(batch, seq, channels))
+        assert np.allclose(pool.forward(x), x.max(axis=1))
+
+    def test_pool_gradient_routes_to_argmax_only(self):
+        pool = GlobalMaxPool1D()
+        x = np.array([[[1.0], [3.0], [2.0]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[7.0]]))
+        assert grad[0, 1, 0] == 7.0
+        assert grad.sum() == 7.0

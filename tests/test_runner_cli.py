@@ -1,0 +1,41 @@
+"""Smoke tests for the repro-bench CLI runner."""
+
+import pytest
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.runner import EXPERIMENTS, main, run_experiment
+
+
+def test_registry_covers_every_paper_artifact():
+    expected = {
+        "table1", "table2", "table3", "downstream", "table7", "table11",
+        "table12", "table14", "table15", "figure9", "table17", "table18",
+        "figure7", "labeling", "leaderboard",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_raises(small_context):
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("table99", small_context)
+
+
+def test_run_cheap_experiments(small_context):
+    # table18 needs no model fits; labeling trains one small forest
+    out = run_experiment("table18", small_context)
+    assert "by class" in out
+    out = run_experiment("labeling", small_context)
+    assert "5-fold CV accuracy" in out
+
+
+def test_cli_main_runs_one_experiment(capsys):
+    exit_code = main(["table18", "--scale", "300", "--seed", "1"])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "table18" in captured.out
+    assert "by class" in captured.out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["tableX"])

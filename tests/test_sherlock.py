@@ -1,0 +1,119 @@
+"""Tests for the Sherlock simulator (semantic types, mapping, model)."""
+
+import pytest
+
+from repro.core.featurize import profile_column
+from repro.tabular.column import Column
+from repro.tools.sherlock import (
+    BY_NAME,
+    SEMANTIC_TYPES,
+    SherlockModel,
+    SherlockTool,
+    generate_sherlock_training_data,
+    mapping_summary,
+    resolve_feature_type,
+    sample_columns_of_type,
+    types_mapped_to,
+)
+from repro.types import FeatureType
+
+
+class TestSemanticTypes:
+    def test_78_types(self):
+        assert len(SEMANTIC_TYPES) == 78
+        assert len(BY_NAME) == 78
+
+    def test_mapping_summary_shape_matches_paper(self):
+        # paper: 55 unique, 18 double, 3 triple, 2 quadruple (we are within 1)
+        summary = mapping_summary()
+        assert summary[1] in (55, 56)
+        assert summary.get(2, 0) in (17, 18)
+        assert summary.get(3, 0) == 3
+        assert summary.get(4, 0) == 2
+
+    def test_categorical_dominates_mappings(self):
+        # paper: 50 of 78 semantic types map to Categorical
+        assert len(types_mapped_to(FeatureType.CATEGORICAL)) >= 40
+
+    def test_every_type_has_a_style_and_primary_label(self):
+        for semantic_type in SEMANTIC_TYPES:
+            assert semantic_type.labels
+            assert semantic_type.style
+
+
+class TestMappingResolution:
+    def test_unique_mapping_passthrough(self):
+        profile = profile_column(Column("notes", ["some text here"] * 5))
+        assert (
+            resolve_feature_type(BY_NAME["description"], profile)
+            is FeatureType.SENTENCE
+        )
+
+    def test_small_domain_resolves_categorical(self):
+        profile = profile_column(Column("age", ["1", "2", "3"] * 20))
+        assert (
+            resolve_feature_type(BY_NAME["age"], profile)
+            is FeatureType.CATEGORICAL
+        )
+
+    def test_castable_resolves_numeric(self):
+        profile = profile_column(Column("age", [str(i) for i in range(60)]))
+        assert resolve_feature_type(BY_NAME["age"], profile) is FeatureType.NUMERIC
+
+    def test_embedded_resolves_en(self):
+        profile = profile_column(
+            Column("age", [f"{i}M" for i in range(10, 60)])
+        )
+        assert (
+            resolve_feature_type(BY_NAME["age"], profile)
+            is FeatureType.EMBEDDED_NUMBER
+        )
+
+    def test_year_dates_resolve_datetime(self):
+        # a wide domain of mon-year values escapes the small-domain rule and
+        # falls through to the timestamp check
+        months = "Jan Feb Mar Apr May Jun Jul Aug Sep Oct Nov Dec".split()
+        values = [f"{m}-{y:02d}" for m in months for y in range(5, 9)]
+        profile = profile_column(Column("year", values))
+        assert (
+            resolve_feature_type(BY_NAME["year"], profile) is FeatureType.DATETIME
+        )
+
+    def test_year_small_domain_resolves_categorical(self):
+        profile = profile_column(Column("year", ["May-07", "Jun-08", "Jul-09"] * 9))
+        assert (
+            resolve_feature_type(BY_NAME["year"], profile)
+            is FeatureType.CATEGORICAL
+        )
+
+
+class TestGenerator:
+    def test_training_data_covers_all_types(self):
+        dataset, labels = generate_sherlock_training_data(per_type=2, seed=0)
+        assert len(dataset) == 78 * 2
+        assert set(labels) == {st.name for st in SEMANTIC_TYPES}
+
+    def test_sample_columns_of_type(self):
+        columns = sample_columns_of_type("country", 5, seed=1)
+        assert len(columns) == 5
+        from repro.datagen import lexicon
+
+        for profile in columns:
+            assert all(s in lexicon.COUNTRIES for s in profile.samples)
+
+
+@pytest.mark.slow
+class TestSherlockEndToEnd:
+    def test_model_and_tool(self):
+        model = SherlockModel(per_type=6, n_estimators=10, seed=0).fit()
+        tool = SherlockTool(model)
+        profile = profile_column(
+            Column("gender", ["Male", "Female"] * 20)
+        )
+        prediction = tool.infer_profile(profile)
+        assert prediction in FeatureType
+
+    def test_unfitted_model_raises(self):
+        model = SherlockModel()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict([])

@@ -1,0 +1,134 @@
+"""Tests for syntactic datatype detection."""
+
+import pytest
+
+from repro.tabular.dtypes import (
+    SyntacticType,
+    column_syntactic_type,
+    is_boolean_literal,
+    is_float_literal,
+    is_integer_literal,
+    is_missing,
+    looks_like_datetime,
+    looks_like_email,
+    looks_like_embedded_number,
+    looks_like_list,
+    looks_like_url,
+    syntactic_type,
+    try_parse_float,
+)
+
+
+class TestMissing:
+    @pytest.mark.parametrize(
+        "cell", ["", "NA", "n/a", "NaN", "null", "NONE", "#NULL!", "?", "-"]
+    )
+    def test_missing_tokens(self, cell):
+        assert is_missing(cell)
+
+    @pytest.mark.parametrize("cell", ["0", "no", "nan3", "x", "None4"])
+    def test_not_missing(self, cell):
+        assert not is_missing(cell)
+
+
+class TestNumericParsing:
+    @pytest.mark.parametrize(
+        "cell,expected",
+        [("42", 42.0), ("-3.5", -3.5), ("+7", 7.0), ("1e3", 1000.0),
+         (".5", 0.5), ("005", 5.0), ("2.", 2.0)],
+    )
+    def test_parses(self, cell, expected):
+        assert try_parse_float(cell) == expected
+
+    @pytest.mark.parametrize(
+        "cell", ["USD 45", "5,00,000", "30 Mhz", "18.90%", "abc", "1.2.3", ""]
+    )
+    def test_rejects(self, cell):
+        assert try_parse_float(cell) is None
+
+    def test_rejects_overflowing_pseudo_hex(self):
+        # hex ids that look like scientific notation must not become inf
+        assert try_parse_float("12345678e9012345") is None
+
+    def test_integer_literal(self):
+        assert is_integer_literal("005")
+        assert is_integer_literal("-12")
+        assert not is_integer_literal("1.5")
+        assert not is_integer_literal("12e3")
+
+    def test_float_literal(self):
+        assert is_float_literal("1.5")
+        assert is_float_literal("12")
+        assert not is_float_literal("12f")
+
+    def test_boolean_literal(self):
+        assert is_boolean_literal("True")
+        assert is_boolean_literal("no")
+        assert not is_boolean_literal("0")
+
+
+class TestDatetime:
+    @pytest.mark.parametrize(
+        "cell",
+        ["2018-07-11", "7/11/2018", "03/04/1797", "March 4, 1797",
+         "21:15:03", "2020-01-01T10:00:00", "May-07", "12 Jan 2001",
+         "2020-01-01 10:00:00"],
+    )
+    def test_dates(self, cell):
+        assert looks_like_datetime(cell)
+
+    @pytest.mark.parametrize("cell", ["19980112", "hello", "1234", "12.5"])
+    def test_non_dates(self, cell):
+        assert not looks_like_datetime(cell)
+
+    def test_compact_needs_flag(self):
+        assert looks_like_datetime("19980112", allow_compact=True)
+        assert not looks_like_datetime("19981512", allow_compact=True)  # month 15
+
+
+class TestUrlEmailListEmbedded:
+    def test_urls(self):
+        assert looks_like_url("https://www.example.com")
+        assert looks_like_url("http://a.b.io/path?x=1")
+        assert not looks_like_url("www.example.com")  # no protocol
+        assert not looks_like_url("just text")
+
+    def test_email(self):
+        assert looks_like_email("a.b@example.co.uk")
+        assert not looks_like_email("a.b@")
+
+    def test_lists(self):
+        assert looks_like_list("ru; uk; mx")
+        assert looks_like_list("a|b|c")
+        assert looks_like_list("Action, Comedy")
+        assert not looks_like_list("plain")
+        assert not looks_like_list("1,846")  # grouped number, not a list
+
+    def test_embedded_numbers(self):
+        assert looks_like_embedded_number("USD 45")
+        assert looks_like_embedded_number("30 Mhz")
+        assert looks_like_embedded_number("18.90%")
+        assert looks_like_embedded_number("5,00,000")
+        assert not looks_like_embedded_number("45")
+        assert not looks_like_embedded_number("plain text")
+
+
+class TestColumnType:
+    def test_cell_types(self):
+        assert syntactic_type("42") is SyntacticType.INTEGER
+        assert syntactic_type("4.2") is SyntacticType.FLOAT
+        assert syntactic_type("true") is SyntacticType.BOOLEAN
+        assert syntactic_type("2020-01-01") is SyntacticType.DATE
+        assert syntactic_type("hello") is SyntacticType.STRING
+        assert syntactic_type(None) is SyntacticType.MISSING
+        assert syntactic_type("NA") is SyntacticType.MISSING
+
+    def test_column_majority(self):
+        assert column_syntactic_type(["1", "2", "3"]) is SyntacticType.INTEGER
+        assert column_syntactic_type(["1", "2.5", "3"]) is SyntacticType.FLOAT
+        assert column_syntactic_type(["a", "1", "2"]) is SyntacticType.STRING
+        assert column_syntactic_type([None, None]) is SyntacticType.MISSING
+        # ints widen to float, strings don't
+        assert (
+            column_syntactic_type(["1", "2", None, "3"]) is SyntacticType.INTEGER
+        )

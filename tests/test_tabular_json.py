@@ -1,0 +1,97 @@
+"""Tests for JSON/JSON-lines ingestion."""
+
+import pytest
+
+from repro.tabular.json_io import (
+    read_json,
+    read_json_text,
+    read_jsonl,
+    read_jsonl_text,
+)
+
+
+class TestJsonArray:
+    def test_records(self):
+        table = read_json_text('[{"a": 1, "b": "x"}, {"a": 2.5, "b": null}]')
+        assert table.column_names == ["a", "b"]
+        assert table["a"].cells == ["1", "2.5"]
+        assert table["b"].cells == ["x", None]
+
+    def test_ragged_records_unioned(self):
+        table = read_json_text('[{"a": 1}, {"b": 2}]')
+        assert table.column_names == ["a", "b"]
+        assert table["a"].cells == ["1", None]
+        assert table["b"].cells == [None, "2"]
+
+    def test_column_major(self):
+        table = read_json_text('{"x": [1, 2], "y": ["a", "b"]}')
+        assert table["x"].cells == ["1", "2"]
+
+    def test_single_object(self):
+        table = read_json_text('{"a": 1, "b": "x"}')
+        assert len(table) == 1
+
+    def test_booleans_and_nested(self):
+        table = read_json_text(
+            '[{"flag": true, "meta": {"k": 1}, "tags": [1, 2]}]'
+        )
+        assert table["flag"].cells == ["true"]
+        assert table["meta"].cells == ['{"k":1}']
+        assert table["tags"].cells == ["[1,2]"]
+
+    def test_scalar_root_rejected(self):
+        with pytest.raises(ValueError, match="array or object"):
+            read_json_text("42")
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_json_text("[]")
+
+    def test_non_object_elements_rejected(self):
+        with pytest.raises(ValueError, match="must be objects"):
+            read_json_text("[1, 2]")
+
+
+class TestJsonl:
+    def test_basic(self):
+        table = read_jsonl_text('{"a": 1}\n\n{"a": 2}\n')
+        assert table["a"].cells == ["1", "2"]
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl_text('{"a": 1}\nnot json\n')
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ValueError, match="expected an object"):
+            read_jsonl_text("[1]\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_jsonl_text("\n\n")
+
+
+class TestFiles:
+    def test_read_json_file(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text('[{"a": 1}]', encoding="utf-8")
+        table = read_json(path)
+        assert table.name == "data"
+
+    def test_read_jsonl_file(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n', encoding="utf-8")
+        table = read_jsonl(path)
+        assert len(table) == 2
+
+
+def test_json_feeds_the_pipeline(tmp_path):
+    """JSON ingestion composes with profiling like CSV does."""
+    from repro.core.featurize import profile_table
+
+    table = read_json_text(
+        '[{"salary": 1200.5, "zip": "92092"},'
+        ' {"salary": 3400.25, "zip": "78712"}]'
+    )
+    profiles = profile_table(table)
+    assert [p.name for p in profiles] == ["salary", "zip"]
+    assert profiles[0].stats["numeric_fraction"] == 1.0

@@ -1,0 +1,102 @@
+"""Tests for Table and CSV IO."""
+
+import pytest
+
+from repro.tabular.column import Column
+from repro.tabular.csv_io import (
+    read_csv,
+    read_csv_text,
+    sniff_delimiter,
+    to_csv_text,
+    write_csv,
+)
+from repro.tabular.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        [Column("a", ["1", "2"]), Column("b", ["x", None])], name="t"
+    )
+
+
+class TestTable:
+    def test_shape(self, table):
+        assert len(table) == 2
+        assert table.n_columns == 2
+        assert table.column_names == ["a", "b"]
+
+    def test_getitem_and_contains(self, table):
+        assert table["a"].cells[0] == "1"
+        assert "b" in table
+        with pytest.raises(KeyError, match="no column"):
+            table["missing"]
+
+    def test_rows(self, table):
+        assert list(table.rows()) == [["1", "x"], ["2", None]]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table([Column("a", ["1"]), Column("b", ["1", "2"])])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table([Column("a", ["1"]), Column("a", ["2"])])
+
+    def test_select_drop(self, table):
+        assert table.select(["b"]).column_names == ["b"]
+        assert table.drop(["b"]).column_names == ["a"]
+        with pytest.raises(KeyError):
+            table.drop(["zz"])
+
+    def test_with_column_appends_and_replaces(self, table):
+        grown = table.with_column(Column("c", ["9", "8"]))
+        assert grown.column_names == ["a", "b", "c"]
+        replaced = table.with_column(Column("a", ["7", "7"]))
+        assert replaced["a"].cells == ["7", "7"]
+        assert replaced.n_columns == 2
+
+    def test_from_dict(self):
+        t = Table.from_dict({"x": ["1"], "y": ["a"]})
+        assert t.column_names == ["x", "y"]
+
+    def test_from_rows_pads_ragged(self):
+        t = Table.from_rows(["a", "b"], [["1"], ["1", "2", "3"]])
+        assert list(t.rows()) == [["1", None], ["1", "2"]]
+
+
+class TestCsv:
+    def test_roundtrip_text(self, table):
+        text = to_csv_text(table)
+        back = read_csv_text(text, name="t")
+        assert back.column_names == table.column_names
+        assert list(back.rows()) == list(table.rows())
+
+    def test_roundtrip_file(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.name == "t"
+        assert list(back.rows()) == list(table.rows())
+
+    def test_quoted_cells_with_commas(self):
+        text = 'name,notes\nalice,"hello, world"\n'
+        t = read_csv_text(text)
+        assert t["notes"].cells[0] == "hello, world"
+
+    def test_empty_csv_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_csv_text("")
+
+    def test_duplicate_headers_deduped(self):
+        t = read_csv_text("a,a,a\n1,2,3\n")
+        assert t.column_names == ["a", "a.1", "a.2"]
+
+    def test_sniff_semicolon(self):
+        assert sniff_delimiter("a;b;c\n1;2;3\n") == ";"
+        assert sniff_delimiter("a,b\n1,2\n") == ","
+        assert sniff_delimiter("a\tb\n1\t2\n") == "\t"
+
+    def test_missing_cells_roundtrip_as_none(self, table):
+        back = read_csv_text(to_csv_text(table))
+        assert back["b"].cells[1] is None

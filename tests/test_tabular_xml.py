@@ -1,0 +1,76 @@
+"""Tests for XML ingestion."""
+
+import pytest
+
+from repro.tabular.xml_io import read_xml, read_xml_text
+
+
+class TestXml:
+    def test_element_cells(self):
+        table = read_xml_text(
+            "<rows><row><a>1</a><b>x</b></row><row><a>2</a><b>y</b></row></rows>"
+        )
+        assert table.column_names == ["a", "b"]
+        assert table["a"].cells == ["1", "2"]
+
+    def test_attribute_cells(self):
+        table = read_xml_text('<rows><row a="1" b="x"/><row a="2"/></rows>')
+        assert table["a"].cells == ["1", "2"]
+        assert table["b"].cells == ["x", None]
+
+    def test_mixed_attributes_and_elements(self):
+        table = read_xml_text('<r><row id="7"><name>alice</name></row></r>')
+        assert table.column_names == ["id", "name"]
+
+    def test_majority_tag_selection(self):
+        text = (
+            "<root><meta>ignored</meta>"
+            "<item><v>1</v></item><item><v>2</v></item></root>"
+        )
+        table = read_xml_text(text)
+        assert table["v"].cells == ["1", "2"]
+
+    def test_explicit_record_tag(self):
+        text = "<root><meta><v>0</v></meta><item><v>1</v></item></root>"
+        table = read_xml_text(text, record_tag="item")
+        assert table["v"].cells == ["1"]
+
+    def test_nested_structure_becomes_blob(self):
+        table = read_xml_text(
+            "<rows><row><meta><k>1</k></meta></row></rows>"
+        )
+        assert "<k>1</k>" in table["meta"].cells[0]
+
+    def test_empty_cell_is_missing(self):
+        table = read_xml_text("<rows><row><a></a><b>x</b></row></rows>")
+        assert table["a"].cells == [None]
+
+    def test_invalid_xml(self):
+        with pytest.raises(ValueError, match="invalid XML"):
+            read_xml_text("<unclosed>")
+
+    def test_no_rows(self):
+        with pytest.raises(ValueError, match="no row elements"):
+            read_xml_text("<rows/>")
+
+    def test_rows_without_columns(self):
+        with pytest.raises(ValueError, match="no children"):
+            read_xml_text("<rows><row/><row/></rows>")
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "data.xml"
+        path.write_text("<rows><row><a>1</a></row></rows>", encoding="utf-8")
+        table = read_xml(path)
+        assert table.name == "data"
+
+    def test_xml_feeds_the_pipeline(self):
+        from repro.core.featurize import profile_table
+
+        table = read_xml_text(
+            "<rows>"
+            "<row><salary>1200.5</salary><zip>92092</zip></row>"
+            "<row><salary>900.25</salary><zip>78712</zip></row>"
+            "</rows>"
+        )
+        profiles = profile_table(table)
+        assert profiles[0].stats["numeric_fraction"] == 1.0

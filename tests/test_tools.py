@@ -1,0 +1,188 @@
+"""Tests for the rule/syntax-based tool simulators.
+
+Each tool must reproduce the failure modes the paper documents — most
+importantly the semantic gap: integer-coded categoricals come out Numeric
+from syntax-reading tools.
+"""
+
+import pytest
+
+from repro.tabular.column import Column
+from repro.tools import (
+    AutoGluonTool,
+    PandasTool,
+    RuleBaselineTool,
+    TFDVTool,
+    TransmogrifAITool,
+)
+from repro.types import FeatureType
+
+
+def col(name, cells):
+    return Column(name, cells)
+
+
+ZIPCODES = col("ZipCode", ["92092", "78712", "10001", "60601", "94105"] * 10)
+SALARIES = col("Salary", [f"{1500.5 + i * 13.7:.2f}" for i in range(50)])
+DATES_ISO = col("HireDate", ["2020-01-15", "2019-07-04", "2021-11-30"] * 10)
+DATES_LONG = col("End", ["March 4, 1797", "July 9, 1850", "May 1, 1801"] * 10)
+SENTENCES = col(
+    "Review",
+    [
+        f"this product number {i} was really great and i liked it a lot"
+        for i in range(20)
+    ],
+)
+SHORT_CATS = col("Gender", ["M", "F"] * 25)
+MULTIWORD_CATS = col("Tenure", ["Own house, rent lot and more words here"] * 30)
+CONSTANT = col("Flag", ["1"] * 40)
+ALL_NAN = col("Empty", [None] * 40)
+PRIMARY_KEY = col("CustID", [str(1500 + i) for i in range(60)])
+EMBEDDED = col("Income", [f"USD {1000 + i}" for i in range(40)])
+
+
+class TestPandasTool:
+    tool = PandasTool()
+
+    def test_integers_are_numeric_even_zipcodes(self):
+        assert self.tool.infer_column(ZIPCODES) is FeatureType.NUMERIC
+
+    def test_floats_numeric(self):
+        assert self.tool.infer_column(SALARIES) is FeatureType.NUMERIC
+
+    def test_datetime_probe_is_broad(self):
+        assert self.tool.infer_column(DATES_ISO) is FeatureType.DATETIME
+        assert self.tool.infer_column(DATES_LONG) is FeatureType.DATETIME
+
+    def test_strings_become_object(self):
+        assert self.tool.infer_column(SHORT_CATS) is FeatureType.CONTEXT_SPECIFIC
+        assert self.tool.infer_column(EMBEDDED) is FeatureType.CONTEXT_SPECIFIC
+
+    def test_coverage_excludes_object(self):
+        assert self.tool.covers_column(ZIPCODES)
+        assert self.tool.covers_column(DATES_ISO)
+        assert not self.tool.covers_column(SHORT_CATS)
+
+
+class TestTFDVTool:
+    tool = TFDVTool()
+
+    def test_integer_categoricals_wrongly_numeric(self):
+        assert self.tool.infer_column(ZIPCODES) is FeatureType.NUMERIC
+
+    def test_primary_keys_wrongly_numeric(self):
+        assert self.tool.infer_column(PRIMARY_KEY) is FeatureType.NUMERIC
+
+    def test_string_categoricals_correct(self):
+        assert self.tool.infer_column(SHORT_CATS) is FeatureType.CATEGORICAL
+
+    def test_narrow_date_recall(self):
+        assert self.tool.infer_column(DATES_ISO) is FeatureType.DATETIME
+        # misses the long format -> low Datetime recall (paper Table 1)
+        assert self.tool.infer_column(DATES_LONG) is not FeatureType.DATETIME
+
+    def test_word_count_text_heuristic_low_precision(self):
+        assert self.tool.infer_column(SENTENCES) is FeatureType.SENTENCE
+        # multi-word categoricals satisfy the same rule -> precision loss
+        assert self.tool.infer_column(MULTIWORD_CATS) is FeatureType.SENTENCE
+
+    def test_empty_column_uncovered(self):
+        assert not self.tool.covers_column(ALL_NAN)
+
+
+class TestTransmogrifAITool:
+    tool = TransmogrifAITool()
+
+    def test_numeric_primitives(self):
+        assert self.tool.infer_column(ZIPCODES) is FeatureType.NUMERIC
+
+    def test_strict_timestamp_only(self):
+        assert self.tool.infer_column(DATES_ISO) is FeatureType.DATETIME
+        assert self.tool.infer_column(DATES_LONG) is not FeatureType.DATETIME
+
+    def test_strings_are_text(self):
+        assert (
+            self.tool.infer_column(SHORT_CATS) is FeatureType.CONTEXT_SPECIFIC
+        )
+
+    def test_coverage(self):
+        assert self.tool.covers_column(SALARIES)
+        assert not self.tool.covers_column(SENTENCES)
+
+
+class TestAutoGluonTool:
+    tool = AutoGluonTool()
+
+    def test_low_cardinality_ints_are_categorical(self):
+        codes = col("level", ["1", "2", "3"] * 20)
+        assert self.tool.infer_column(codes) is FeatureType.CATEGORICAL
+
+    def test_high_cardinality_ints_numeric(self):
+        assert self.tool.infer_column(PRIMARY_KEY) is FeatureType.NUMERIC
+
+    def test_discard_bucket(self):
+        assert self.tool.infer_column(CONSTANT) is FeatureType.NOT_GENERALIZABLE
+        assert self.tool.infer_column(ALL_NAN) is FeatureType.NOT_GENERALIZABLE
+
+    def test_dates_broad_but_not_compact(self):
+        assert self.tool.infer_column(DATES_ISO) is FeatureType.DATETIME
+        assert self.tool.infer_column(DATES_LONG) is FeatureType.DATETIME
+        compact = col("BirthDate", ["19980112", "20010930"] * 10)
+        assert self.tool.infer_column(compact) is not FeatureType.DATETIME
+
+    def test_text_heuristic(self):
+        assert self.tool.infer_column(SENTENCES) is FeatureType.SENTENCE
+
+
+class TestRuleBaseline:
+    tool = RuleBaselineTool()
+
+    def test_covers_all_nine_classes(self):
+        cases = {
+            FeatureType.NUMERIC: SALARIES,
+            FeatureType.DATETIME: DATES_ISO,
+            FeatureType.SENTENCE: SENTENCES,
+            FeatureType.CATEGORICAL: SHORT_CATS,
+            FeatureType.NOT_GENERALIZABLE: CONSTANT,
+            FeatureType.URL: col(
+                "u", [f"https://www.a.com/x{i}" for i in range(20)]
+            ),
+            FeatureType.LIST: col("tags", ["a; b; c", "d; e; f"] * 10),
+            FeatureType.EMBEDDED_NUMBER: EMBEDDED,
+        }
+        for expected, column in cases.items():
+            assert self.tool.infer_column(column) is expected
+
+    def test_semantic_gap_failure(self):
+        # integer-coded categories land in the Numeric rule (paper: CA recall ~0.46)
+        assert self.tool.infer_column(ZIPCODES) is FeatureType.NUMERIC
+
+    def test_all_nan_is_ng(self):
+        assert self.tool.infer_column(ALL_NAN) is FeatureType.NOT_GENERALIZABLE
+
+    def test_unique_integer_keys_are_ng(self):
+        assert self.tool.infer_column(PRIMARY_KEY) is FeatureType.NOT_GENERALIZABLE
+
+    def test_large_string_domain_is_context_specific(self):
+        unique_strings = col("name", [f"entity num {i} xyz" for i in range(60)])
+        prediction = self.tool.infer_column(unique_strings)
+        assert prediction in (
+            FeatureType.CONTEXT_SPECIFIC,
+            FeatureType.SENTENCE,
+        )
+
+    def test_infer_table(self):
+        from repro.tabular.table import Table
+
+        table = Table(
+            [
+                col("Salary", [f"{1500.5 + i:.2f}" for i in range(30)]),
+                col("HireDate", ["2020-01-15", "2019-07-04", "2021-11-30"] * 10),
+            ],
+            name="t",
+        )
+        out = self.tool.infer_table(table)
+        assert out == {
+            "Salary": FeatureType.NUMERIC,
+            "HireDate": FeatureType.DATETIME,
+        }

@@ -1,0 +1,68 @@
+"""Tests for the shared tool heuristics module."""
+
+import pytest
+
+from repro.tabular.column import Column
+from repro.tools.heuristics import (
+    DATE_FORMATS,
+    date_fraction,
+    distinct_fraction,
+    float_fraction,
+    fraction,
+    integer_fraction,
+    matches_formats,
+    mean_word_count,
+    missing_fraction,
+)
+
+
+class TestDateFormats:
+    @pytest.mark.parametrize(
+        "cell,fmt",
+        [("2020-01-02", "iso"), ("2020-01-02 10:11:12", "iso_ts"),
+         ("1/2/2020", "us_slash"), ("01/02/2020", "eu_slash"),
+         ("March 4, 1797", "long"), ("10:11:12", "time"),
+         ("May-07", "mon_year"), ("19980112", "compact")],
+    )
+    def test_each_format_matches_its_sample(self, cell, fmt):
+        assert matches_formats(cell, (fmt,))
+
+    def test_format_subsets_are_exclusive(self):
+        # a long date must not match the ISO-only subset
+        assert not matches_formats("March 4, 1797", ("iso", "iso_ts"))
+        assert not matches_formats("19980112", ("iso", "us_slash", "long"))
+
+    def test_all_formats_registered(self):
+        assert set(DATE_FORMATS) == {
+            "iso", "iso_ts", "us_slash", "eu_slash", "long", "time",
+            "mon_year", "compact",
+        }
+
+
+class TestFractions:
+    def test_fraction_predicate(self):
+        col = Column("x", ["a", "bb", None])
+        assert fraction(col, lambda c: len(c) == 1) == pytest.approx(0.5)
+
+    def test_fraction_empty_column(self):
+        assert fraction(Column("x", [None]), lambda c: True) == 0.0
+
+    def test_integer_and_float_fractions(self):
+        col = Column("x", ["1", "2.5", "abc", None])
+        assert integer_fraction(col) == pytest.approx(1 / 3)
+        assert float_fraction(col) == pytest.approx(2 / 3)
+
+    def test_date_fraction(self):
+        col = Column("x", ["2020-01-01", "not a date"])
+        assert date_fraction(col, ("iso",)) == pytest.approx(0.5)
+
+    def test_mean_word_count(self):
+        col = Column("x", ["one", "two words", None])
+        assert mean_word_count(col) == pytest.approx(1.5)
+        assert mean_word_count(Column("x", [None])) == 0.0
+
+    def test_distinct_and_missing_fractions(self):
+        col = Column("x", ["a", "a", "b", None])
+        assert distinct_fraction(col) == pytest.approx(0.5)
+        assert missing_fraction(col) == pytest.approx(0.25)
+        assert missing_fraction(Column("x", [])) == 1.0

@@ -1,0 +1,62 @@
+"""Tests for the 9-class vocabulary."""
+
+import pytest
+
+from repro.types import (
+    ALL_FEATURE_TYPES,
+    N_CLASSES,
+    PAPER_CLASS_DISTRIBUTION,
+    FeatureType,
+)
+
+
+def test_nine_classes():
+    assert N_CLASSES == 9
+    assert len(ALL_FEATURE_TYPES) == 9
+    assert len(set(ALL_FEATURE_TYPES)) == 9
+
+
+def test_short_codes_roundtrip():
+    for feature_type in ALL_FEATURE_TYPES:
+        assert FeatureType.from_short(feature_type.short) is feature_type
+
+
+def test_short_codes_match_paper():
+    assert FeatureType.NUMERIC.short == "NU"
+    assert FeatureType.CATEGORICAL.short == "CA"
+    assert FeatureType.DATETIME.short == "DT"
+    assert FeatureType.SENTENCE.short == "ST"
+    assert FeatureType.URL.short == "URL"
+    assert FeatureType.EMBEDDED_NUMBER.short == "EN"
+    assert FeatureType.LIST.short == "LST"
+    assert FeatureType.NOT_GENERALIZABLE.short == "NG"
+    assert FeatureType.CONTEXT_SPECIFIC.short == "CS"
+
+
+def test_from_short_case_insensitive():
+    assert FeatureType.from_short("nu") is FeatureType.NUMERIC
+    assert FeatureType.from_short("lst") is FeatureType.LIST
+
+
+def test_from_short_unknown_raises():
+    with pytest.raises(ValueError, match="unknown feature type"):
+        FeatureType.from_short("XX")
+
+
+def test_from_label():
+    assert FeatureType.from_label("Embedded Number") is FeatureType.EMBEDDED_NUMBER
+    assert FeatureType.from_label("not-generalizable") is FeatureType.NOT_GENERALIZABLE
+    with pytest.raises(ValueError):
+        FeatureType.from_label("Integer")
+
+
+def test_paper_distribution_sums_to_one():
+    # the paper's Section 2.5 percentages add to 99.9% (rounding)
+    assert abs(sum(PAPER_CLASS_DISTRIBUTION.values()) - 1.0) < 2e-3
+    assert set(PAPER_CLASS_DISTRIBUTION) == set(ALL_FEATURE_TYPES)
+
+
+def test_paper_distribution_matches_section_2_5():
+    assert PAPER_CLASS_DISTRIBUTION[FeatureType.NUMERIC] == pytest.approx(0.366)
+    assert PAPER_CLASS_DISTRIBUTION[FeatureType.CATEGORICAL] == pytest.approx(0.233)
+    assert PAPER_CLASS_DISTRIBUTION[FeatureType.URL] == pytest.approx(0.015)

@@ -1,0 +1,165 @@
+"""Tests for the weak-supervision extension (LFs, label models, amplify)."""
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import profile_column
+from repro.datagen.corpus import generate_corpus
+from repro.tabular.column import Column
+from repro.types import FeatureType
+from repro.weak import (
+    MajorityVote,
+    NamedLF,
+    WeightedVote,
+    amplify,
+    default_labeling_functions,
+    lf_from_tool,
+    lf_summary,
+    select_confident,
+    vote_matrix,
+)
+from repro.weak.label_model import WeakLabel
+
+
+def _profiled(columns):
+    return [profile_column(c) for c in columns]
+
+
+@pytest.fixture(scope="module")
+def weak_corpus():
+    corpus = generate_corpus(n_examples=300, seed=23)
+    by_key = {(t.name, c.name): c for t in corpus.files for c in t}
+    columns = [
+        by_key[(p.source_file, p.name)] for p in corpus.dataset.profiles
+    ]
+    return corpus, columns
+
+
+class TestLabelingFunctions:
+    def test_default_set_nonempty(self):
+        lfs = default_labeling_functions()
+        assert len(lfs) >= 10
+        names = [lf.name for lf in lfs]
+        assert len(set(names)) == len(names)
+
+    def test_signal_lfs_vote_and_abstain(self):
+        lfs = {lf.name: lf for lf in default_labeling_functions(False)}
+        url_col = Column("u", [f"https://www.a.com/{i}" for i in range(10)])
+        url_profile = profile_column(url_col)
+        assert lfs["url_samples"](url_col, url_profile) is FeatureType.URL
+        plain = Column("x", ["hello", "there"])
+        assert lfs["url_samples"](plain, profile_column(plain)) is None
+
+    def test_tool_lf_never_abstains(self, weak_corpus):
+        from repro.tools import TFDVTool
+
+        corpus, columns = weak_corpus
+        lf = lf_from_tool(TFDVTool())
+        votes = [
+            lf(column, profile)
+            for column, profile in zip(columns[:30], corpus.dataset.profiles[:30])
+        ]
+        assert all(v is not None for v in votes)
+
+
+class TestLabelModels:
+    def test_vote_matrix_shape(self, weak_corpus):
+        corpus, columns = weak_corpus
+        lfs = default_labeling_functions(False)
+        matrix = vote_matrix(lfs, columns[:20], corpus.dataset.profiles[:20])
+        assert len(matrix) == 20
+        assert all(len(row) == len(lfs) for row in matrix)
+
+    def test_majority_vote_accuracy_beats_chance(self, weak_corpus):
+        corpus, columns = weak_corpus
+        model = MajorityVote(default_labeling_functions())
+        weak_labels = model.predict(columns, corpus.dataset.profiles)
+        truth = corpus.dataset.labels
+        voted = [
+            (w.label, t) for w, t in zip(weak_labels, truth)
+            if w.label is not None
+        ]
+        assert voted
+        accuracy = sum(1 for w, t in voted if w == t) / len(voted)
+        assert accuracy > 0.45  # far above 1/9 chance
+
+    def test_weighted_beats_or_matches_majority(self, weak_corpus):
+        corpus, columns = weak_corpus
+        n_dev = 120
+        lfs = default_labeling_functions()
+        truth = corpus.dataset.labels
+        weighted = WeightedVote(lfs).fit(
+            columns[:n_dev], corpus.dataset.profiles[:n_dev], truth[:n_dev]
+        )
+        majority = MajorityVote(lfs)
+        rest_cols = columns[n_dev:]
+        rest_profiles = corpus.dataset.profiles[n_dev:]
+        rest_truth = truth[n_dev:]
+
+        def accuracy(weak_labels):
+            voted = [
+                (w.label, t) for w, t in zip(weak_labels, rest_truth)
+                if w.label is not None
+            ]
+            return sum(1 for w, t in voted if w == t) / len(voted)
+
+        acc_weighted = accuracy(weighted.predict(rest_cols, rest_profiles))
+        acc_majority = accuracy(majority.predict(rest_cols, rest_profiles))
+        assert acc_weighted >= acc_majority - 0.05
+
+    def test_weighted_requires_fit(self, weak_corpus):
+        corpus, columns = weak_corpus
+        model = WeightedVote(default_labeling_functions())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(columns[:2], corpus.dataset.profiles[:2])
+
+    def test_lf_summary_bounds(self, weak_corpus):
+        corpus, columns = weak_corpus
+        rows = lf_summary(
+            default_labeling_functions(False),
+            columns,
+            corpus.dataset.profiles,
+            corpus.dataset.labels,
+        )
+        for row in rows:
+            assert 0.0 <= row["coverage"] <= 1.0
+            assert 0.0 <= row["accuracy"] <= 1.0
+
+    def test_empty_lfs_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityVote([])
+
+
+class TestSelectConfident:
+    def test_filters(self):
+        weak_labels = [
+            WeakLabel(FeatureType.NUMERIC, 3, 0.9),
+            WeakLabel(FeatureType.NUMERIC, 1, 0.9),  # too few votes
+            WeakLabel(FeatureType.NUMERIC, 3, 0.3),  # low confidence
+            WeakLabel(None, 0, 0.0),  # abstained
+        ]
+        assert select_confident(weak_labels) == [0]
+
+
+class TestAmplify:
+    def test_amplification_improves_or_holds(self, weak_corpus):
+        corpus, columns = weak_corpus
+        n_dev = 80
+        dev = corpus.dataset.subset(range(n_dev))
+        dev_columns = columns[:n_dev]
+        unlabeled_profiles = corpus.dataset.profiles[n_dev:]
+        unlabeled_columns = columns[n_dev:]
+
+        result = amplify(
+            dev, dev_columns, unlabeled_profiles, unlabeled_columns,
+            n_estimators=12,
+        )
+        assert result.n_dev == n_dev
+        assert result.n_weakly_labeled > 0
+        assert result.weak_label_accuracy > 0.6
+
+        eval_corpus = generate_corpus(n_examples=200, seed=24)
+        dev_only_acc = result.dev_only_model.score(eval_corpus.dataset)
+        amplified_acc = result.amplified_model.score(eval_corpus.dataset)
+        # weak labels should not wreck the model; typically they help
+        assert amplified_acc >= dev_only_acc - 0.08
