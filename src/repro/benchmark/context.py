@@ -21,6 +21,7 @@ from repro.core.models import (
 )
 from repro.datagen.corpus import LabeledCorpus, generate_corpus
 from repro.ml.model_selection import train_test_split
+from repro.obs import telemetry
 from repro.tabular.column import Column
 from repro.tools import (
     AutoGluonTool,
@@ -59,8 +60,15 @@ class BenchmarkContext:
     @property
     def corpus(self) -> LabeledCorpus:
         if self._corpus is None:
-            self._corpus = generate_corpus(
-                n_examples=self.n_examples, seed=self.seed
+            with telemetry.span(
+                "context.corpus", n_examples=self.n_examples, seed=self.seed
+            ):
+                self._corpus = generate_corpus(
+                    n_examples=self.n_examples, seed=self.seed
+                )
+            telemetry.info(
+                "context.corpus_built", n_examples=self.n_examples,
+                seed=self.seed,
             )
         return self._corpus
 
@@ -70,15 +78,17 @@ class BenchmarkContext:
 
     def _ensure_split(self) -> tuple[LabeledDataset, LabeledDataset]:
         if self._split is None:
-            labels = [label.value for label in self.dataset.labels]
-            index = np.arange(len(self.dataset))
-            train_idx, test_idx = train_test_split(
-                index, test_size=0.2, random_state=self.seed, stratify=labels
-            )
-            self._split = (
-                self.dataset.subset(train_idx),
-                self.dataset.subset(test_idx),
-            )
+            with telemetry.span("context.split", n_examples=len(self.dataset)):
+                labels = [label.value for label in self.dataset.labels]
+                index = np.arange(len(self.dataset))
+                train_idx, test_idx = train_test_split(
+                    index, test_size=0.2, random_state=self.seed,
+                    stratify=labels,
+                )
+                self._split = (
+                    self.dataset.subset(train_idx),
+                    self.dataset.subset(test_idx),
+                )
         return self._split
 
     @property
@@ -110,8 +120,16 @@ class BenchmarkContext:
         key = f"{name}:{','.join(feature_set)}"
         if key not in self._models:
             model = self._build_model(name, feature_set)
-            model.fit(self.train)
+            with telemetry.span(
+                "context.fit", model=name, features=",".join(feature_set),
+                n_train=len(self.train),
+            ) as sp:
+                model.fit(self.train)
             self._models[key] = model
+            telemetry.count("context.model_fits")
+            telemetry.info("context.model_fit", model=key, wall_s=sp.wall_s)
+        else:
+            telemetry.count("context.model_cache_hits")
         return self._models[key]
 
     def _build_model(self, name: str, feature_set) -> TypeInferenceModel:
@@ -163,6 +181,13 @@ class BenchmarkContext:
         columns = self.raw_columns(dataset)
         out: dict[str, list[FeatureType]] = {}
         for name, tool in self.tools().items():
-            out[name] = [tool.infer_column(column) for column in columns]
-        out["sherlock"] = self.sherlock.infer_profiles(dataset.profiles)
+            with telemetry.span(
+                "context.tool_predict", tool=name, n_columns=len(columns)
+            ):
+                out[name] = [tool.infer_column(column) for column in columns]
+        with telemetry.span(
+            "context.tool_predict", tool="sherlock",
+            n_columns=len(dataset.profiles),
+        ):
+            out["sherlock"] = self.sherlock.infer_profiles(dataset.profiles)
         return out

@@ -9,10 +9,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.benchmark.context import BenchmarkContext
 from repro.benchmark.runner import EXPERIMENTS, run_experiment
+from repro.obs import (
+    RunManifest,
+    Tracer,
+    add_observability_flags,
+    configure_telemetry,
+    telemetry,
+)
+from repro.obs.export import write_json
 
 #: Experiments cheap enough for the default report (heavier ones opt-in).
 DEFAULT_EXPERIMENTS = (
@@ -27,7 +34,7 @@ DEFAULT_EXPERIMENTS = (
 
 
 def build_report(
-    context: BenchmarkContext, experiments=DEFAULT_EXPERIMENTS
+    context: BenchmarkContext, experiments=DEFAULT_EXPERIMENTS, manifest=None
 ) -> str:
     """Run the experiments and render one markdown report."""
     sections = [
@@ -39,10 +46,13 @@ def build_report(
         f"CNN: {context.cnn_epochs} epochs",
         "",
     ]
+    timer = Tracer()
     for name in experiments:
-        start = time.perf_counter()
-        body = run_experiment(name, context)
-        elapsed = time.perf_counter() - start
+        with timer.span(f"experiment.{name}") as sp:
+            body = run_experiment(name, context)
+        elapsed = sp.wall_s
+        if manifest is not None:
+            manifest.add_experiment(name, wall_s=sp.wall_s, cpu_s=sp.cpu_s)
         sections.append(f"## {name} ({elapsed:.1f}s)")
         sections.append("")
         sections.append("```")
@@ -63,13 +73,29 @@ def main(argv: list[str] | None = None) -> int:
         "--experiments", nargs="*", default=list(DEFAULT_EXPERIMENTS),
         choices=sorted(EXPERIMENTS),
     )
+    add_observability_flags(parser)
     args = parser.parse_args(argv)
 
+    observing = configure_telemetry(args)
+
+    manifest = RunManifest(
+        command="repro-report",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        seed=args.seed,
+        scale=args.scale,
+    )
     context = BenchmarkContext(n_examples=args.scale, seed=args.seed)
-    report = build_report(context, tuple(args.experiments))
+    report = build_report(context, tuple(args.experiments), manifest=manifest)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(report)
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
+
+    if observing:
+        if args.metrics_out:
+            write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.manifest:
+            manifest.finalize(telemetry)
+            manifest.write(args.manifest)
     return 0
 
 

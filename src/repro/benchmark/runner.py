@@ -2,16 +2,30 @@
 
 Each experiment regenerates one of the paper's tables or figures and prints
 the same rows/series.  ``repro-bench all`` runs everything.
+
+Observability: ``--log-level``, ``--metrics-out PATH``, and
+``--manifest PATH`` enable the :mod:`repro.obs` telemetry layer, so
+``repro-bench all --manifest run.json`` emits a machine-readable record of an
+entire reproduction run (per-experiment wall time, per-stage span breakdown,
+counter values).  With the flags omitted, telemetry stays in no-op mode and
+output is identical to previous releases.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable
 
 from repro.benchmark.context import BenchmarkContext
+from repro.obs import (
+    RunManifest,
+    Tracer,
+    add_observability_flags,
+    configure_telemetry,
+    telemetry,
+)
+from repro.obs.export import write_json
 
 
 def _table1(context: BenchmarkContext) -> str:
@@ -181,20 +195,44 @@ def main(argv: list[str] | None = None) -> int:
         help="labeled-corpus size (default 2400; paper scale is 9921)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    add_observability_flags(parser)
     args = parser.parse_args(argv)
+
+    observing = configure_telemetry(args)
 
     kwargs = {"seed": args.seed}
     if args.scale is not None:
         kwargs["n_examples"] = args.scale
     context = BenchmarkContext(**kwargs)
 
+    manifest = RunManifest(
+        command="repro-bench",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        seed=args.seed,
+        scale=args.scale,
+    )
+
+    # A local, always-on tracer times each experiment; the printed elapsed
+    # seconds and the manifest entries read the same span, so they agree.
+    timer = Tracer()
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        start = time.perf_counter()
-        output = run_experiment(name, context)
-        elapsed = time.perf_counter() - start
-        print(f"\n######## {name} ({elapsed:.1f}s) ########")
+        telemetry.info("experiment.start", experiment=name)
+        with timer.span(f"experiment.{name}") as sp:
+            output = run_experiment(name, context)
+        print(f"\n######## {name} ({sp.wall_s:.1f}s) ########")
         print(output)
+        manifest.add_experiment(name, wall_s=sp.wall_s, cpu_s=sp.cpu_s)
+        telemetry.info("experiment.done", experiment=name, wall_s=sp.wall_s)
+
+    if observing:
+        if args.metrics_out:
+            write_json(args.metrics_out, telemetry.metrics.snapshot())
+            telemetry.info("metrics.written", path=args.metrics_out)
+        if args.manifest:
+            manifest.finalize(telemetry)
+            manifest.write(args.manifest)
+            telemetry.info("manifest.written", path=args.manifest)
     return 0
 
 

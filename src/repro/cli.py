@@ -21,18 +21,29 @@ from repro.core.models import RandomForestModel
 from repro.core.persistence import load_model, save_model
 from repro.core.pipeline import TypeInferencePipeline
 from repro.datagen.corpus import generate_corpus
+from repro.obs import (
+    RunManifest,
+    add_observability_flags,
+    configure_telemetry,
+    telemetry,
+)
+from repro.obs.export import write_json
 
 DEFAULT_TRAIN_EXAMPLES = 1500
 
 
 def _obtain_model(args) -> RandomForestModel:
     if args.model and os.path.exists(args.model):
-        return load_model(args.model)
+        with telemetry.span("infer.load_model", path=args.model):
+            return load_model(args.model)
     model = RandomForestModel(
         n_estimators=args.trees, random_state=args.seed
     )
-    corpus = generate_corpus(n_examples=args.train_examples, seed=args.seed)
-    model.fit(corpus.dataset)
+    with telemetry.span(
+        "infer.train", n_examples=args.train_examples, trees=args.trees
+    ):
+        corpus = generate_corpus(n_examples=args.train_examples, seed=args.seed)
+        model.fit(corpus.dataset)
     return model
 
 
@@ -56,10 +67,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--train-examples", type=int, default=DEFAULT_TRAIN_EXAMPLES
     )
+    add_observability_flags(parser)
     args = parser.parse_args(argv)
 
     if not os.path.exists(args.csv):
         parser.error(f"no such file: {args.csv}")
+
+    observing = configure_telemetry(args)
+    manifest = RunManifest(
+        command="repro-infer",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        seed=args.seed,
+        scale=args.train_examples,
+    )
 
     model = _obtain_model(args)
     if args.save:
@@ -67,6 +87,13 @@ def main(argv: list[str] | None = None) -> int:
 
     pipeline = TypeInferencePipeline(model)
     predictions = pipeline.predict_csv(args.csv)
+
+    if observing:
+        if args.metrics_out:
+            write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.manifest:
+            manifest.finalize(telemetry)
+            manifest.write(args.manifest)
 
     if args.as_json:
         print(

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.stats import DescriptiveStats, compute_stats
+from repro.obs import telemetry
 from repro.tabular.column import Column
 from repro.tabular.table import Table
 from repro.types import FeatureType
@@ -52,11 +53,13 @@ def profile_column(
     (the paper's procedure); without one, the first 5 distinct values are
     used, which keeps profiling deterministic.
     """
-    if rng is None:
-        samples = column.head_distinct(N_SAMPLE_VALUES)
-    else:
-        samples = column.sample_distinct(N_SAMPLE_VALUES, rng)
-    stats = compute_stats(column, samples=samples)
+    with telemetry.span("featurize.column", column=column.name):
+        if rng is None:
+            samples = column.head_distinct(N_SAMPLE_VALUES)
+        else:
+            samples = column.sample_distinct(N_SAMPLE_VALUES, rng)
+        stats = compute_stats(column, samples=samples)
+    telemetry.count("featurize.columns")
     return ColumnProfile(
         name=column.name,
         samples=samples,
@@ -70,9 +73,15 @@ def profile_table(
     table: Table, rng: np.random.Generator | None = None
 ) -> list[ColumnProfile]:
     """Base-featurize every column of a raw table."""
-    return [
-        profile_column(column, source_file=table.name, rng=rng) for column in table
-    ]
+    with telemetry.span(
+        "featurize.table", table=table.name, n_columns=len(table.column_names)
+    ):
+        profiles = [
+            profile_column(column, source_file=table.name, rng=rng)
+            for column in table
+        ]
+    telemetry.count("featurize.tables")
+    return profiles
 
 
 @dataclass

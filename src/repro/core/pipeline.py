@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.featurize import ColumnProfile, profile_table
 from repro.core.models import TypeInferenceModel
+from repro.obs import telemetry
 from repro.tabular.csv_io import read_csv, read_csv_text
 from repro.tabular.table import Table
 from repro.types import FeatureType
@@ -48,27 +49,36 @@ class TypeInferencePipeline:
     def predict_profiles(
         self, profiles: list[ColumnProfile]
     ) -> list[ColumnPrediction]:
-        probs = self.model.predict_proba(profiles)
-        classes = self.model.classes_
-        out = []
-        for profile, row in zip(profiles, probs):
-            best = int(np.argmax(row))
-            out.append(
-                ColumnPrediction(
-                    column=profile.name,
-                    feature_type=classes[best],
-                    confidence=float(row[best]),
+        with telemetry.span("pipeline.predict_profiles", n_columns=len(profiles)):
+            probs = self.model.predict_proba(profiles)
+            classes = self.model.classes_
+            out = []
+            for profile, row in zip(profiles, probs):
+                best = int(np.argmax(row))
+                out.append(
+                    ColumnPrediction(
+                        column=profile.name,
+                        feature_type=classes[best],
+                        confidence=float(row[best]),
+                    )
                 )
-            )
+        if telemetry.enabled:
+            for prediction in out:
+                telemetry.count(f"pipeline.class.{prediction.feature_type.short}")
+                telemetry.observe("pipeline.confidence", prediction.confidence)
+                if prediction.needs_review:
+                    telemetry.count("pipeline.needs_review")
         return out
 
     def predict_table(self, table: Table) -> list[ColumnPrediction]:
         """Infer feature types for every column of an in-memory table."""
-        return self.predict_profiles(profile_table(table))
+        with telemetry.span("pipeline.predict_table", table=table.name):
+            return self.predict_profiles(profile_table(table))
 
     def predict_csv(self, path) -> list[ColumnPrediction]:
         """Infer feature types for every column of a CSV file on disk."""
-        return self.predict_table(read_csv(path))
+        with telemetry.span("pipeline.predict_csv", path=str(path)):
+            return self.predict_table(read_csv(path))
 
     def predict_csv_text(self, text: str) -> list[ColumnPrediction]:
         """Infer feature types for CSV content provided as a string."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import telemetry
 from repro.tabular.column import Column
 from repro.tabular.dtypes import (
     looks_like_datetime,
@@ -127,10 +128,14 @@ def compute_stats(column: Column, samples: list[str] | None = None) -> Descripti
     ``samples`` are the (up to five) sampled distinct values the regex/date
     probes run over; when omitted the first five distinct values are used.
     """
+    telemetry.count("stats.columns")
+    telemetry.count("stats.cells", len(column))
     present = column.non_missing()
     total = len(column)
     n_nans = column.n_missing()
     distinct = column.distinct()
+    if not present:
+        telemetry.count("stats.empty_columns")
     if samples is None:
         samples = distinct[:5]
 

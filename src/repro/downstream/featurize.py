@@ -130,10 +130,21 @@ def featurize_split(
             train_block, test_block = route(train_col, test_col)
             train_blocks.append(train_block)
             test_blocks.append(test_block)
-    if not train_blocks:
-        # degenerate assignment (everything dropped): constant feature
+    X_train = (
+        np.hstack(train_blocks)
+        if train_blocks
+        else np.empty((len(train_table), 0))
+    )
+    X_test = (
+        np.hstack(test_blocks) if test_blocks else np.empty((len(test_table), 0))
+    )
+    if X_train.shape[1] == 0:
+        # Degenerate assignment: everything dropped, or every retained block
+        # produced zero features (e.g. TF-IDF fit on an all-missing column).
+        # Emit an intercept column so downstream models always see >= 1
+        # feature and X_train/X_test stay aligned.
         return (
-            np.zeros((len(train_table), 1)),
-            np.zeros((len(test_table), 1)),
+            np.ones((len(train_table), 1)),
+            np.ones((len(test_table), 1)),
         )
-    return np.hstack(train_blocks), np.hstack(test_blocks)
+    return X_train, X_test

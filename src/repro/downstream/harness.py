@@ -18,6 +18,7 @@ from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.linear import LogisticRegression, RidgeRegression
 from repro.ml.metrics import accuracy_score, rmse
 from repro.ml.preprocessing import StandardScaler
+from repro.obs import telemetry
 from repro.tabular.column import Column
 from repro.tabular.table import Table
 
@@ -70,6 +71,28 @@ def evaluate_assignment(
     """Train/evaluate one downstream model under a type assignment."""
     if model_kind not in MODEL_KINDS:
         raise ValueError(f"model_kind must be one of {MODEL_KINDS}")
+    with telemetry.span(
+        "downstream.evaluate",
+        dataset=dataset.name,
+        model=model_kind,
+        task=dataset.task,
+    ):
+        score = _evaluate_assignment(dataset, assignments, model_kind,
+                                     test_size, seed)
+    if telemetry.enabled:
+        telemetry.count("downstream.evaluations")
+        telemetry.count(f"downstream.model.{model_kind}")
+        telemetry.observe(f"downstream.score.{dataset.task}", score.value)
+    return score
+
+
+def _evaluate_assignment(
+    dataset: DownstreamDataset,
+    assignments: TypeAssignment,
+    model_kind: str,
+    test_size: float,
+    seed: int,
+) -> DownstreamScore:
     n = len(dataset.table)
     rng = np.random.default_rng(seed)
     order = rng.permutation(n)

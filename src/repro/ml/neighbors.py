@@ -22,6 +22,7 @@ from repro.ml.distances import (
     levenshtein_one_vs_many,
     pairwise_euclidean,
 )
+from repro.obs import telemetry
 
 
 def _vote(labels: Sequence, distances: np.ndarray) -> object:
@@ -53,12 +54,18 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> list:
         self._check_fitted("_X")
         X = check_array(X)
-        distances = pairwise_euclidean(X, self._X)
-        k = min(self.n_neighbors, len(self._y))
-        out = []
-        for row in distances:
-            nearest = np.argsort(row, kind="stable")[:k]
-            out.append(_vote([self._y[i] for i in nearest], row[nearest]))
+        with telemetry.span(
+            "knn.predict", n_queries=X.shape[0], n_train=len(self._y)
+        ) as sp:
+            distances = pairwise_euclidean(X, self._X)
+            k = min(self.n_neighbors, len(self._y))
+            out = []
+            for row in distances:
+                nearest = np.argsort(row, kind="stable")[:k]
+                out.append(_vote([self._y[i] for i in nearest], row[nearest]))
+        if telemetry.enabled:
+            telemetry.count("knn.queries", X.shape[0])
+            telemetry.observe("knn.batch_s", sp.wall_s)
         return out
 
     def predict_proba(self, X) -> np.ndarray:
@@ -120,10 +127,18 @@ class NameStatsKNN(BaseEstimator, ClassifierMixin):
         stats = np.asarray(stats, dtype=float)
         k = min(self.n_neighbors, len(self._y))
         out = []
-        for name, stats_row in zip(names, stats):
-            distances = self._distances(str(name), stats_row)
-            nearest = np.argsort(distances, kind="stable")[:k]
-            out.append(_vote([self._y[i] for i in nearest], distances[nearest]))
+        with telemetry.span(
+            "knn.name_stats.predict", n_queries=len(names), n_train=len(self._y)
+        ) as sp:
+            for name, stats_row in zip(names, stats):
+                distances = self._distances(str(name), stats_row)
+                nearest = np.argsort(distances, kind="stable")[:k]
+                out.append(
+                    _vote([self._y[i] for i in nearest], distances[nearest])
+                )
+        if telemetry.enabled:
+            telemetry.count("knn.queries", len(names))
+            telemetry.observe("knn.batch_s", sp.wall_s)
         return out
 
     def score(self, names: Sequence[str], stats: np.ndarray, y: Sequence) -> float:

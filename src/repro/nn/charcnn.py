@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin
 from repro.ml.preprocessing import LabelEncoder
+from repro.obs import telemetry
 from repro.nn.encoding import VOCAB_SIZE, encode_batch
 from repro.nn.layers import (
     Conv1D,
@@ -182,22 +183,35 @@ class CharCNNClassifier(BaseEstimator, ClassifierMixin):
 
         coded = self._encode_fields(text_fields)
         self.history_: list[float] = []
-        for _epoch in range(self.epochs):
+        for epoch in range(self.epochs):
             order = rng.permutation(n)
             epoch_loss = 0.0
-            for start in range(0, n, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                batch_fields = [codes[batch] for codes in coded]
-                batch_stats = (
-                    stats_matrix[batch] if stats_matrix is not None else None
+            with telemetry.span("charcnn.epoch", epoch=epoch, n_examples=n) as sp:
+                for start in range(0, n, self.batch_size):
+                    batch = order[start : start + self.batch_size]
+                    batch_fields = [codes[batch] for codes in coded]
+                    batch_stats = (
+                        stats_matrix[batch] if stats_matrix is not None else None
+                    )
+                    with telemetry.span("charcnn.batch", size=len(batch)):
+                        optimizer.zero_grad()
+                        logits = self._forward(
+                            batch_fields, batch_stats, training=True
+                        )
+                        loss, grad = softmax_cross_entropy(logits, targets[batch])
+                        self._backward(grad, self._has_stats)
+                        optimizer.step()
+                    telemetry.count("charcnn.batches")
+                    epoch_loss += loss * len(batch)
+            mean_loss = epoch_loss / n
+            self.history_.append(mean_loss)
+            if telemetry.enabled:
+                telemetry.gauge("charcnn.loss", mean_loss)
+                telemetry.observe("charcnn.epoch_s", sp.wall_s)
+                telemetry.debug(
+                    "charcnn.epoch", epoch=epoch, loss=mean_loss,
+                    wall_s=sp.wall_s,
                 )
-                optimizer.zero_grad()
-                logits = self._forward(batch_fields, batch_stats, training=True)
-                loss, grad = softmax_cross_entropy(logits, targets[batch])
-                self._backward(grad, self._has_stats)
-                optimizer.step()
-                epoch_loss += loss * len(batch)
-            self.history_.append(epoch_loss / n)
         return self
 
     def predict_proba(self, text_fields: list[list[str]], stats) -> np.ndarray:

@@ -1,0 +1,58 @@
+"""JSON / JSONL emitters for telemetry artifacts.
+
+Everything written here is plain-dict JSON so downstream analysis needs only
+``json.loads`` — no repro imports.  ``write_json`` and ``write_jsonl`` create
+parent directories on demand, making ``--metrics-out runs/today/metrics.json``
+work without ceremony.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from repro.obs.trace import SpanRecord, aggregate_spans
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def write_json(path: str, payload) -> None:
+    """Write one JSON document (pretty-printed, trailing newline)."""
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def write_jsonl(path: str, records: Iterable[dict]) -> int:
+    """Write records as JSON Lines; returns the number written."""
+    _ensure_parent(path)
+    n = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=False))
+            handle.write("\n")
+            n += 1
+    return n
+
+
+def spans_to_records(spans: list[SpanRecord]) -> list[dict]:
+    """Span records as JSON-ready dicts (insertion order preserved)."""
+    return [span.to_dict() for span in spans]
+
+
+def spans_summary(spans: list[SpanRecord]) -> dict[str, dict]:
+    """Aggregated per-name span summary, sorted by total wall time."""
+    summary = aggregate_spans(spans)
+    return dict(
+        sorted(summary.items(), key=lambda item: -item[1]["wall_s"])
+    )
+
+
+def write_spans_jsonl(path: str, spans: list[SpanRecord]) -> int:
+    return write_jsonl(path, spans_to_records(spans))

@@ -1,0 +1,70 @@
+"""Structured key=value logger with level control.
+
+One line per event: ``ts=<iso8601> level=<lvl> event=<name> k=v ...``.
+Values containing whitespace or ``=`` are quoted, so every line splits back
+into fields unambiguously — greppable by humans, parseable by scripts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool):
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    if any(ch in text for ch in ' ="') or text == "":
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+class StructLogger:
+    """Leveled key=value logger writing one event per line."""
+
+    def __init__(self, level: str = "warning", stream: TextIO | None = None):
+        self._threshold = LEVELS["warning"]
+        self.set_level(level)
+        self.stream = stream
+        self.emitted = 0
+
+    def set_level(self, level: str) -> None:
+        try:
+            self._threshold = LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+            ) from None
+        self.level = level.lower()
+
+    def is_enabled_for(self, level: str) -> bool:
+        return LEVELS.get(level.lower(), 0) >= self._threshold
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if not self.is_enabled_for(level):
+            return
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        parts = [f"ts={timestamp}Z", f"level={level.lower()}", f"event={event}"]
+        parts.extend(f"{key}={_format_value(v)}" for key, v in fields.items())
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(" ".join(parts), file=stream)
+        self.emitted += 1
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)

@@ -1,0 +1,167 @@
+"""Counter/gauge/histogram registry with percentile summaries.
+
+Instruments count things (columns featurized, model fits), track last-seen
+values (epoch loss), and summarize distributions (prediction confidence,
+per-batch seconds) with p50/p90/p99.  The registry snapshot is plain dicts,
+ready for ``json.dump`` into ``--metrics-out`` files and run manifests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Histogram sample cap; past it samples are thinned 2:1 (deterministically).
+DEFAULT_MAX_SAMPLES = 8192
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. current epoch loss)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values, q in [0, 100]."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class Histogram:
+    """Distribution summary over observed values.
+
+    Exact count/sum/min/max are always maintained; percentiles come from a
+    bounded sample list.  When the list fills, every second sample is dropped
+    and the keep-stride doubles — deterministic, no clock or RNG involved.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_stride", "_seen_since_kept", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen_since_kept = 0
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._seen_since_kept += 1
+        if self._seen_since_kept >= self._stride:
+            self._seen_since_kept = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(sorted(self._samples), q)
+
+    def summary(self) -> dict:
+        ordered = sorted(self._samples)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": percentile(ordered, 50.0),
+            "p90": percentile(ordered, 90.0),
+            "p99": percentile(ordered, 99.0),
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named counters, gauges, histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric, sorted by name (JSON-ready)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

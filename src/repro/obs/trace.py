@@ -1,0 +1,179 @@
+"""Nested spans with wall-clock + CPU time.
+
+A :class:`Tracer` records :class:`SpanRecord`\\ s as instrumented code runs.
+Spans nest: entering a span pushes it on a per-thread stack, so each finished
+record knows its parent's name and its own depth.  Aggregation over records
+(:func:`aggregate_spans`) yields the per-stage breakdown manifests and the
+profiling script report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Hard cap on retained records; beyond it spans are counted but dropped.
+DEFAULT_MAX_RECORDS = 100_000
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    started_at: float  # epoch seconds (wall clock at __enter__)
+    wall_s: float
+    cpu_s: float
+    depth: int
+    parent: str | None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "started_at": self.started_at,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class Span:
+    """Context manager measuring one named region.
+
+    After ``__exit__`` the measured ``wall_s``/``cpu_s`` are readable on the
+    object, so callers (e.g. the benchmark runner) can print the same elapsed
+    time the tracer recorded.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attrs", "started_at", "wall_s", "cpu_s",
+        "_wall0", "_cpu0", "depth", "parent",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.started_at = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self.depth = len(stack)
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self.started_at = time.time()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unbalanced exits; recover rather than corrupt
+            stack.remove(self)
+        if exc_type is not None:
+            self.attrs = {**self.attrs, "error": exc_type.__name__}
+        self.tracer._record(self)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered while the span is open."""
+        self.attrs = {**self.attrs, **attrs}
+        return self
+
+
+class Tracer:
+    """Collects span records; always-on (the no-op gate lives in the facade)."""
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS):
+        self.max_records = max_records
+        self.records: list[SpanRecord] = []
+        self.dropped = 0
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self.records) >= self.max_records:
+                self.dropped += 1
+                return
+            self.records.append(
+                SpanRecord(
+                    name=span.name,
+                    started_at=span.started_at,
+                    wall_s=span.wall_s,
+                    cpu_s=span.cpu_s,
+                    depth=span.depth,
+                    parent=span.parent,
+                    attrs=span.attrs,
+                )
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.records = []
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NoopSpan:
+    """Shared do-nothing span returned when telemetry is disabled.
+
+    Keeps ``wall_s``/``cpu_s`` attributes (always 0.0) so code written against
+    :class:`Span` runs unchanged.
+    """
+
+    __slots__ = ()
+    started_at = 0.0
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs) -> "NoopSpan":
+        return self
+
+
+NOOP_SPAN = NoopSpan()
+
+
+def aggregate_spans(records: list[SpanRecord]) -> dict[str, dict]:
+    """Per-name summary: count and wall/CPU totals, mean and max wall time."""
+    out: dict[str, dict] = {}
+    for record in records:
+        entry = out.setdefault(
+            record.name,
+            {"count": 0, "wall_s": 0.0, "cpu_s": 0.0, "max_wall_s": 0.0},
+        )
+        entry["count"] += 1
+        entry["wall_s"] += record.wall_s
+        entry["cpu_s"] += record.cpu_s
+        entry["max_wall_s"] = max(entry["max_wall_s"], record.wall_s)
+    for entry in out.values():
+        entry["mean_wall_s"] = entry["wall_s"] / entry["count"]
+    return out

@@ -1,9 +1,12 @@
 """Smoke tests for the repro-bench CLI runner."""
 
+import json
+
 import pytest
 
 from repro.benchmark.context import BenchmarkContext
 from repro.benchmark.runner import EXPERIMENTS, main, run_experiment
+from repro.obs import telemetry
 
 
 def test_registry_covers_every_paper_artifact():
@@ -39,3 +42,41 @@ def test_cli_main_runs_one_experiment(capsys):
 def test_cli_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["tableX"])
+
+
+def test_cli_observability_flags_write_manifest_and_metrics(tmp_path, capsys):
+    manifest_path = tmp_path / "run.json"
+    metrics_path = tmp_path / "metrics.json"
+    try:
+        exit_code = main(
+            [
+                "table18", "--scale", "300", "--seed", "1",
+                "--manifest", str(manifest_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+    finally:
+        telemetry.disable().reset()
+    assert exit_code == 0
+    assert "by class" in capsys.readouterr().out
+
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["command"] == "repro-bench"
+    assert manifest["seed"] == 1 and manifest["scale"] == 300
+    assert [e["name"] for e in manifest["experiments"]] == ["table18"]
+    assert manifest["experiments"][0]["wall_s"] > 0
+    # per-stage spans from the instrumented library code
+    assert manifest["spans"]["context.corpus"]["count"] == 1
+    assert manifest["spans"]["featurize.column"]["count"] > 0
+    assert manifest["metrics"]["counters"]["featurize.columns"] > 0
+
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["featurize.columns"] > 0
+
+
+def test_cli_without_obs_flags_keeps_telemetry_disabled(capsys, tmp_path):
+    exit_code = main(["table18", "--scale", "300", "--seed", "1"])
+    assert exit_code == 0
+    assert telemetry.enabled is False
+    assert len(telemetry.spans) == 0
+    assert len(telemetry.metrics) == 0
