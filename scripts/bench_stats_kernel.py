@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Microbenchmark: per-cell reference stats vs the vectorized batch kernel.
+
+Times (a) the pre-vectorization per-cell algorithm (the same reference
+implementation the parity tests use as oracle) looped over every column,
+and (b) ``compute_stats_batch`` over the same columns with a shared
+``StatsScanCache`` — the exact code path ``generate_corpus`` uses — on
+two workloads:
+
+* ``labeled-corpus``: the default benchmark corpus (``generate_corpus``).
+  Roughly half its cells are distinct (unique-valued numeric columns),
+  which caps the win from distinct-value dedup.
+* ``downstream-suite``: the 30 downstream datasets (``make_suite``) —
+  categorical-heavy, ~0.3 distinct/cell, where dedup dominates.
+
+Verifies the outputs agree before reporting, and writes a JSON record
+suitable for inclusion in BENCH_*.json.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_stats_kernel.py [--scale 2400] [--out X.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.stats import (
+    DescriptiveStats,
+    StatsScanCache,
+    _delimiter_count,
+    _finite,
+    _moments,
+    _stopword_count,
+    _whitespace_count,
+    _word_count,
+    compute_stats_batch,
+)
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.downstream import make_suite
+from repro.tabular.dtypes import (
+    looks_like_datetime,
+    looks_like_email,
+    looks_like_list,
+    looks_like_url,
+    try_parse_float,
+)
+
+
+def reference_compute_stats(column) -> DescriptiveStats:
+    """The pre-vectorization per-cell algorithm (see seed stats.py)."""
+    present = column.non_missing()
+    total = len(column)
+    n_nans = column.n_missing()
+    distinct = column.distinct()
+    samples = distinct[:5]
+
+    numeric = [try_parse_float(cell) for cell in present]
+    numeric = [v for v in numeric if v is not None]
+    if numeric:
+        arr = np.asarray(numeric, dtype=float)
+        with np.errstate(over="ignore", invalid="ignore"):
+            mean_value = _finite(arr.mean())
+            std_value = _finite(arr.std())
+        min_value = _finite(arr.min())
+        max_value = _finite(arr.max())
+    else:
+        mean_value = std_value = min_value = max_value = 0.0
+
+    mean_word, std_word = _moments([_word_count(c) for c in present])
+    mean_stop, std_stop = _moments([_stopword_count(c) for c in present])
+    mean_char, std_char = _moments([len(c) for c in present])
+    mean_ws, std_ws = _moments([_whitespace_count(c) for c in present])
+    mean_delim, std_delim = _moments([_delimiter_count(c) for c in present])
+
+    vector = np.array(
+        [
+            float(total),
+            float(n_nans),
+            n_nans / total if total else 0.0,
+            float(len(distinct)),
+            len(distinct) / total if total else 0.0,
+            mean_value,
+            std_value,
+            min_value,
+            max_value,
+            mean_word,
+            std_word,
+            mean_stop,
+            std_stop,
+            mean_char,
+            std_char,
+            mean_ws,
+            std_ws,
+            mean_delim,
+            std_delim,
+            len(numeric) / len(present) if present else 0.0,
+            float(any(looks_like_url(s) for s in samples)),
+            float(any(looks_like_email(s) for s in samples)),
+            float(any(_delimiter_count(s) >= 2 for s in samples)),
+            float(any(looks_like_list(s) for s in samples)),
+            float(any(looks_like_datetime(s) for s in samples)),
+        ]
+    )
+    return DescriptiveStats(vector)
+
+
+def bench_tables(name: str, tables: list[list], repeat: int) -> dict:
+    """Time reference vs batch kernel over per-table column lists."""
+    columns = [column for table in tables for column in table]
+    n_cells = sum(len(column) for column in columns)
+    n_distinct = sum(len(set(column.cells)) for column in columns)
+    print(f"{name}: {len(columns)} columns, {n_cells} cells, "
+          f"{n_distinct} distinct, {len(tables)} tables", flush=True)
+
+    old_best = new_best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        old = [reference_compute_stats(column) for column in columns]
+        old_best = min(old_best, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        scan_cache = StatsScanCache()
+        new = []
+        for table in tables:  # table-at-a-time, as generate_corpus runs it
+            new.extend(compute_stats_batch(table, scan_cache=scan_cache))
+        new_best = min(new_best, time.perf_counter() - t0)
+
+    max_diff = max(
+        float(np.max(np.abs(a.values - b.values))) for a, b in zip(old, new)
+    )
+    record = {
+        "workload": name,
+        "n_columns": len(columns),
+        "n_cells": n_cells,
+        "n_distinct_values": n_distinct,
+        "old_per_cell_s": round(old_best, 4),
+        "new_batch_s": round(new_best, 4),
+        "speedup": round(old_best / new_best, 2),
+        "max_abs_diff": max_diff,
+    }
+    print(f"  per-cell reference: {old_best:.3f}s   "
+          f"batch kernel: {new_best:.3f}s   "
+          f"speedup: {record['speedup']:.2f}x   "
+          f"max|diff|: {max_diff:.2e}")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=2400,
+                        help="corpus size in columns (benchmark default 2400)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions (best is reported)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the result record as JSON")
+    args = parser.parse_args(argv)
+
+    corpus = generate_corpus(n_examples=args.scale, seed=args.seed)
+    corpus_record = bench_tables(
+        "labeled-corpus",
+        [list(table) for table in corpus.files],
+        args.repeat,
+    )
+
+    suite = make_suite(seed=args.seed)
+    suite_record = bench_tables(
+        "downstream-suite",
+        [list(dataset.table) for dataset in suite],
+        args.repeat,
+    )
+
+    workloads = [corpus_record, suite_record]
+    failed = [w for w in workloads if w["max_abs_diff"] > 1e-9]
+    if failed:
+        for w in failed:
+            print(f"PARITY FAILURE ({w['workload']}): "
+                  f"max abs diff {w['max_abs_diff']:.3e}")
+        return 1
+
+    record = {
+        "benchmark": "compute_stats",
+        "scale": args.scale,
+        "seed": args.seed,
+        "workloads": workloads,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

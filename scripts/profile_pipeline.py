@@ -6,19 +6,84 @@ Generates a synthetic labeled corpus, trains the default Random Forest, runs
 by total wall time plus the counter/histogram snapshot — a quick answer to
 "where does prediction actually spend its time?".
 
+``--compare OLD.json NEW.json`` instead diffs two previously written span
+dumps (or ``repro-bench --manifest`` files) and prints per-span and
+per-experiment speedups, so a before/after pair — e.g. the manifests kept
+in ``BENCH_*.json`` — can be read in one command.
+
 Usage:
     PYTHONPATH=src python scripts/profile_pipeline.py [--scale 600] [--top 15]
+    PYTHONPATH=src python scripts/profile_pipeline.py --compare OLD.json NEW.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.benchmark.context import BenchmarkContext
 from repro.core.pipeline import TypeInferencePipeline
 from repro.obs import telemetry
 from repro.obs.export import spans_summary, write_json
+
+
+def _load_spans(path: str) -> tuple[dict, list[dict]]:
+    """Span summary + experiment list from a span dump or run manifest."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "spans" in payload or "experiments" in payload:  # a run manifest
+        return payload.get("spans", {}), payload.get("experiments", [])
+    return payload, []
+
+
+def _print_speedups(title: str, rows: list[tuple[str, float, float]]) -> None:
+    if not rows:
+        return
+    print(f"\n{title}")
+    print(f"{'name':<32} {'old (s)':>10} {'new (s)':>10} {'speedup':>9}")
+    for name, old_s, new_s in rows:
+        if new_s > 0:
+            speedup = f"{old_s / new_s:>8.2f}x"
+        else:
+            speedup = "      inf"
+        print(f"{name:<32} {old_s:>10.3f} {new_s:>10.3f} {speedup}")
+
+
+def compare(old_path: str, new_path: str) -> int:
+    """Print per-span and per-experiment speedups between two dumps."""
+    old_spans, old_experiments = _load_spans(old_path)
+    new_spans, new_experiments = _load_spans(new_path)
+
+    span_rows = [
+        (name, old_spans[name]["wall_s"], new_spans[name]["wall_s"])
+        for name in old_spans
+        if name in new_spans
+    ]
+    span_rows.sort(key=lambda row: -row[1])
+    _print_speedups("spans (shared names, by old wall time)", span_rows)
+    only_old = sorted(set(old_spans) - set(new_spans))
+    only_new = sorted(set(new_spans) - set(old_spans))
+    if only_old:
+        print(f"only in {old_path}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {new_path}: {', '.join(only_new)}")
+
+    old_wall = {e["name"]: e["wall_s"] for e in old_experiments}
+    new_wall = {e["name"]: e["wall_s"] for e in new_experiments}
+    experiment_rows = [
+        (name, old_wall[name], new_wall[name])
+        for name in old_wall
+        if name in new_wall
+    ]
+    _print_speedups("experiments", experiment_rows)
+    if experiment_rows:
+        total_old = sum(row[1] for row in experiment_rows)
+        total_new = sum(row[2] for row in experiment_rows)
+        if total_new > 0:
+            print(f"{'TOTAL':<32} {total_old:>10.3f} {total_new:>10.3f} "
+                  f"{total_old / total_new:>8.2f}x")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,7 +96,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="number of span names to print")
     parser.add_argument("--spans-out", default=None, metavar="PATH",
                         help="also dump the aggregated spans as JSON")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD.json", "NEW.json"),
+                        default=None,
+                        help="diff two span dumps / run manifests and print "
+                             "per-span speedups instead of profiling")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        return compare(*args.compare)
 
     context = BenchmarkContext(
         n_examples=args.scale, seed=args.seed, rf_estimators=args.trees

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache import ArtifactCache, set_active_cache
 from repro.core.featurize import LabeledDataset
 from repro.core.models import (
     CNNModel,
@@ -46,15 +47,23 @@ class BenchmarkContext:
         seed: int = 0,
         rf_estimators: int = 50,
         cnn_epochs: int = 10,
+        cache: "ArtifactCache | None" = None,
     ):
         self.n_examples = n_examples
         self.seed = seed
         self.rf_estimators = rf_estimators
         self.cnn_epochs = cnn_epochs
+        self.cache = cache
+        set_active_cache(cache)
         self._corpus: LabeledCorpus | None = None
         self._split: tuple[LabeledDataset, LabeledDataset] | None = None
         self._models: dict[str, TypeInferenceModel] = {}
         self._sherlock: SherlockTool | None = None
+        self._column_index: dict[tuple[str, str], Column] | None = None
+
+    def _data_params(self) -> dict:
+        """The code-relevant parameters addressing corpus/split artifacts."""
+        return {"n_examples": self.n_examples, "seed": self.seed}
 
     # -- data ------------------------------------------------------------------
     @property
@@ -63,9 +72,15 @@ class BenchmarkContext:
             with telemetry.span(
                 "context.corpus", n_examples=self.n_examples, seed=self.seed
             ):
-                self._corpus = generate_corpus(
+                build = lambda: generate_corpus(  # noqa: E731
                     n_examples=self.n_examples, seed=self.seed
                 )
+                if self.cache is not None:
+                    self._corpus = self.cache.fetch(
+                        "corpus", self._data_params(), build
+                    )
+                else:
+                    self._corpus = build()
             telemetry.info(
                 "context.corpus_built", n_examples=self.n_examples,
                 seed=self.seed,
@@ -76,15 +91,23 @@ class BenchmarkContext:
     def dataset(self) -> LabeledDataset:
         return self.corpus.dataset
 
+    def _split_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        labels = [label.value for label in self.dataset.labels]
+        index = np.arange(len(self.dataset))
+        return train_test_split(
+            index, test_size=0.2, random_state=self.seed, stratify=labels
+        )
+
     def _ensure_split(self) -> tuple[LabeledDataset, LabeledDataset]:
         if self._split is None:
             with telemetry.span("context.split", n_examples=len(self.dataset)):
-                labels = [label.value for label in self.dataset.labels]
-                index = np.arange(len(self.dataset))
-                train_idx, test_idx = train_test_split(
-                    index, test_size=0.2, random_state=self.seed,
-                    stratify=labels,
-                )
+                if self.cache is not None:
+                    params = {**self._data_params(), "test_size": 0.2}
+                    train_idx, test_idx = self.cache.fetch(
+                        "split", params, self._split_indices
+                    )
+                else:
+                    train_idx, test_idx = self._split_indices()
                 self._split = (
                     self.dataset.subset(train_idx),
                     self.dataset.subset(test_idx),
@@ -99,19 +122,27 @@ class BenchmarkContext:
     def test(self) -> LabeledDataset:
         return self._ensure_split()[1]
 
+    def _column_lookup(self) -> dict[tuple[str, str], Column]:
+        """(file name, column name) → raw Column, built once per context."""
+        if self._column_index is None:
+            self._column_index = {
+                (table.name, column.name): column
+                for table in self.corpus.files
+                for column in table
+            }
+        return self._column_index
+
     def raw_column(self, profile) -> Column:
         """The raw column a profile was featurized from."""
-        for table in self.corpus.files:
-            if table.name == profile.source_file and profile.name in table:
-                return table[profile.name]
-        raise KeyError(f"no raw column for {profile.source_file}/{profile.name}")
+        try:
+            return self._column_lookup()[(profile.source_file, profile.name)]
+        except KeyError:
+            raise KeyError(
+                f"no raw column for {profile.source_file}/{profile.name}"
+            ) from None
 
     def raw_columns(self, dataset: LabeledDataset) -> list[Column]:
-        by_key = {
-            (table.name, column.name): column
-            for table in self.corpus.files
-            for column in table
-        }
+        by_key = self._column_lookup()
         return [by_key[(p.source_file, p.name)] for p in dataset.profiles]
 
     # -- models ------------------------------------------------------------------
@@ -119,18 +150,35 @@ class BenchmarkContext:
         """A fitted type-inference model, cached by (name, feature set)."""
         key = f"{name}:{','.join(feature_set)}"
         if key not in self._models:
-            model = self._build_model(name, feature_set)
             with telemetry.span(
                 "context.fit", model=name, features=",".join(feature_set),
                 n_train=len(self.train),
             ) as sp:
-                model.fit(self.train)
+                if self.cache is not None:
+                    params = {
+                        **self._data_params(),
+                        "model": name,
+                        "features": list(feature_set),
+                        "rf_estimators": self.rf_estimators,
+                        "cnn_epochs": self.cnn_epochs,
+                    }
+                    model = self.cache.fetch(
+                        "model", params, lambda: self._fit_model(name, feature_set)
+                    )
+                else:
+                    model = self._fit_model(name, feature_set)
             self._models[key] = model
-            telemetry.count("context.model_fits")
             telemetry.info("context.model_fit", model=key, wall_s=sp.wall_s)
         else:
             telemetry.count("context.model_cache_hits")
         return self._models[key]
+
+    def _fit_model(self, name: str, feature_set) -> TypeInferenceModel:
+        """Actually fit a model (the cache-miss path); counted as a fit."""
+        model = self._build_model(name, feature_set)
+        model.fit(self.train)
+        telemetry.count("context.model_fits")
+        return model
 
     def _build_model(self, name: str, feature_set) -> TypeInferenceModel:
         if name == "rf":

@@ -1,0 +1,89 @@
+"""Parallel experiment engine behind ``repro-bench all --jobs N``.
+
+Experiments are independent given the shared artifacts (every experiment
+seeds fresh RNGs from ``context.seed``), so they can run in worker
+processes.  A warm-up phase first materializes the artifacts most
+experiments share — the corpus, the 80:20 split, and the paper's RF — in
+the parent process; forked workers inherit them copy-on-write, and with an
+:class:`~repro.cache.ArtifactCache` enabled they are also persisted for
+later runs.  Each worker process runs exactly one experiment
+(``maxtasksperchild=1``), so its telemetry span records cover that
+experiment alone; the parent merges the per-worker summaries into the run
+manifest under ``workers``.
+
+Output determinism: results are yielded in the canonical experiment order
+regardless of completion order, so the rendered experiment text is
+byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from typing import Iterator, Sequence
+
+from repro.benchmark.context import BenchmarkContext
+from repro.obs import telemetry
+from repro.obs.export import spans_summary
+
+#: Set in the parent just before forking; workers read it after the fork.
+_CONTEXT: BenchmarkContext | None = None
+
+
+def warm_up(context: BenchmarkContext) -> None:
+    """Materialize the artifacts every worker needs before forking."""
+    with telemetry.span("parallel.warmup"):
+        context.corpus
+        context.train  # builds the split
+        context.our_rf
+    telemetry.info("parallel.warmup_done", n_examples=context.n_examples)
+
+
+def _run_one(name: str) -> dict:
+    from repro.benchmark.runner import run_experiment
+
+    span_base = len(telemetry.spans)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    output = run_experiment(name, _CONTEXT)
+    record = {
+        "name": name,
+        "output": output,
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+        "pid": os.getpid(),
+    }
+    if telemetry.enabled:
+        record["spans"] = spans_summary(telemetry.spans[span_base:])
+        record["metrics"] = telemetry.metrics.snapshot()
+    return record
+
+
+def run_parallel(
+    names: Sequence[str], context: BenchmarkContext, jobs: int
+) -> Iterator[dict]:
+    """Run experiments in ``jobs`` worker processes, yielding results in
+    the order of ``names`` as they become available.
+
+    Falls back to in-process serial execution when only one job is asked
+    for or the platform cannot fork.
+    """
+    global _CONTEXT
+    warm_up(context)
+    if jobs <= 1 or len(names) <= 1 or "fork" not in mp.get_all_start_methods():
+        _CONTEXT = context
+        try:
+            for name in names:
+                yield _run_one(name)
+        finally:
+            _CONTEXT = None
+        return
+    _CONTEXT = context
+    try:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=jobs, maxtasksperchild=1) as pool:
+            # imap preserves submission order while workers overlap
+            yield from pool.imap(_run_one, names, chunksize=1)
+    finally:
+        _CONTEXT = None

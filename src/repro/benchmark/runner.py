@@ -14,10 +14,12 @@ output is identical to previous releases.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
 from repro.benchmark.context import BenchmarkContext
+from repro.cache import ArtifactCache
 from repro.obs import (
     RunManifest,
     Tracer,
@@ -195,6 +197,22 @@ def main(argv: list[str] | None = None) -> int:
         help="labeled-corpus size (default 2400; paper scale is 9921)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    perf = parser.add_argument_group("performance")
+    perf.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments in N worker processes after a warm-up phase "
+             "builds the shared artifacts (corpus, split, OurRF)",
+    )
+    perf.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed artifact cache directory (default: "
+             "$REPRO_CACHE_DIR if set, else caching is off)",
+    )
+    perf.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache even if --cache-dir/$REPRO_CACHE_DIR "
+             "is set",
+    )
     add_observability_flags(parser)
     args = parser.parse_args(argv)
 
@@ -203,27 +221,53 @@ def main(argv: list[str] | None = None) -> int:
     kwargs = {"seed": args.seed}
     if args.scale is not None:
         kwargs["n_examples"] = args.scale
-    context = BenchmarkContext(**kwargs)
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    context = BenchmarkContext(**kwargs, cache=cache)
 
     manifest = RunManifest(
         command="repro-bench",
         argv=list(argv) if argv is not None else sys.argv[1:],
         seed=args.seed,
         scale=args.scale,
+        jobs=args.jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
     )
 
-    # A local, always-on tracer times each experiment; the printed elapsed
-    # seconds and the manifest entries read the same span, so they agree.
-    timer = Tracer()
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        telemetry.info("experiment.start", experiment=name)
-        with timer.span(f"experiment.{name}") as sp:
-            output = run_experiment(name, context)
-        print(f"\n######## {name} ({sp.wall_s:.1f}s) ########")
-        print(output)
-        manifest.add_experiment(name, wall_s=sp.wall_s, cpu_s=sp.cpu_s)
-        telemetry.info("experiment.done", experiment=name, wall_s=sp.wall_s)
+    if args.jobs > 1 and len(names) > 1:
+        from repro.benchmark.parallel import run_parallel
+
+        workers: list[dict] = []
+        for record in run_parallel(names, context, jobs=args.jobs):
+            print(f"\n######## {record['name']} ({record['wall_s']:.1f}s) ########")
+            print(record["output"])
+            manifest.add_experiment(
+                record["name"], wall_s=record["wall_s"],
+                cpu_s=record["cpu_s"], pid=record["pid"],
+            )
+            telemetry.info(
+                "experiment.done", experiment=record["name"],
+                wall_s=record["wall_s"], pid=record["pid"],
+            )
+            workers.append({k: v for k, v in record.items() if k != "output"})
+        if observing:
+            manifest.extra["workers"] = workers
+    else:
+        # A local, always-on tracer times each experiment; the printed
+        # elapsed seconds and the manifest entries read the same span, so
+        # they agree.
+        timer = Tracer()
+        for name in names:
+            telemetry.info("experiment.start", experiment=name)
+            with timer.span(f"experiment.{name}") as sp:
+                output = run_experiment(name, context)
+            print(f"\n######## {name} ({sp.wall_s:.1f}s) ########")
+            print(output)
+            manifest.add_experiment(name, wall_s=sp.wall_s, cpu_s=sp.cpu_s)
+            telemetry.info("experiment.done", experiment=name, wall_s=sp.wall_s)
 
     if observing:
         if args.metrics_out:

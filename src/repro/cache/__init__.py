@@ -1,0 +1,19 @@
+"""Content-addressed artifact cache for benchmark runs."""
+
+from repro.cache.artifacts import (
+    ArtifactCache,
+    ArtifactCacheError,
+    active_cache,
+    artifact_key,
+    code_digest,
+    set_active_cache,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactCacheError",
+    "active_cache",
+    "artifact_key",
+    "code_digest",
+    "set_active_cache",
+]

@@ -1,0 +1,181 @@
+"""Content-addressed on-disk artifact cache.
+
+Benchmark artifacts (generated corpora, train/test split indices, fitted
+models) are stored under ``<root>/<kind>/<key>.pkl``.  The ``key`` is a
+sha256 digest over the artifact kind, its code-relevant parameters (seed,
+scale, hyper-parameters), and the source text of every module whose logic
+determines the artifact's content.  Invalidation is therefore implicit in
+the address: changing a parameter or editing producing code yields a new
+key, and stale entries are simply never read again.
+
+Traffic is observable through the ``cache.hit`` / ``cache.miss`` /
+``cache.store`` telemetry counters (plus per-kind variants like
+``cache.hit.corpus``); see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable
+
+from repro.obs import telemetry
+
+_MAGIC = b"REPRO-SORTINGHAT-ARTIFACT\x00"
+_FORMAT_VERSION = 1
+
+#: Modules (or whole packages) whose source defines each artifact kind.
+#: A corpus depends on the generators and the featurization kernels; a
+#: split additionally on the splitter; a fitted model on everything the
+#: training path can reach.
+KIND_MODULES: dict[str, tuple[str, ...]] = {
+    "corpus": ("repro.datagen", "repro.core", "repro.tabular"),
+    "split": ("repro.datagen", "repro.core", "repro.tabular", "repro.ml.model_selection"),
+    "model": ("repro.datagen", "repro.core", "repro.tabular", "repro.ml", "repro.nn"),
+    # A downstream score is a pure function of (dataset content, assignment,
+    # model kind, split seed) — the dataset content is hashed into the key
+    # directly, so the generators are not part of the closure.
+    "score": ("repro.downstream", "repro.ml", "repro.core", "repro.tabular"),
+}
+
+
+class ArtifactCacheError(RuntimeError):
+    """Raised when a cache entry exists but cannot be read."""
+
+
+@lru_cache(maxsize=None)
+def code_digest(module_names: tuple[str, ...]) -> str:
+    """sha256 over the source files of the named modules/packages.
+
+    A package name hashes every ``*.py`` beneath it (sorted by relative
+    path), so the digest changes whenever any file of the producing code
+    changes.
+    """
+    digest = hashlib.sha256()
+    for name in module_names:
+        module = importlib.import_module(name)
+        if hasattr(module, "__path__"):
+            root = Path(next(iter(module.__path__)))
+            files = sorted(root.rglob("*.py"), key=lambda p: str(p.relative_to(root)))
+        else:
+            files = [Path(module.__file__)]
+        for path in files:
+            digest.update(str(path.name).encode("utf-8"))
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def artifact_key(
+    kind: str, params: dict, modules: tuple[str, ...] | None = None
+) -> str:
+    """The content address of one artifact.
+
+    ``params`` must be JSON-serializable (tuples/paths coerce via ``str``);
+    key order does not matter.
+    """
+    if modules is None:
+        modules = KIND_MODULES[kind]
+    payload = {
+        "kind": kind,
+        "params": params,
+        "code": code_digest(tuple(modules)),
+        "format": _FORMAT_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:40]
+
+
+class ArtifactCache:
+    """Pickle store addressed by :func:`artifact_key` digests.
+
+    Only load caches you produced yourself — entries are pickles.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.pkl"
+
+    def get(self, kind: str, key: str):
+        """The cached object, or None on a miss (counted in telemetry)."""
+        path = self.path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                header = handle.read(len(_MAGIC))
+                if header != _MAGIC:
+                    raise ArtifactCacheError(f"{path} is not a cache artifact")
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            telemetry.count("cache.miss")
+            telemetry.count(f"cache.miss.{kind}")
+            return None
+        except (
+            OSError, pickle.UnpicklingError, EOFError, ArtifactCacheError
+        ) as exc:
+            # Unreadable entries (e.g. truncated by a crash) degrade to a
+            # miss; the fresh put below overwrites them.
+            telemetry.info("cache.corrupt", kind=kind, key=key, error=str(exc))
+            telemetry.count("cache.miss")
+            telemetry.count(f"cache.miss.{kind}")
+            return None
+        telemetry.count("cache.hit")
+        telemetry.count(f"cache.hit.{kind}")
+        return payload["artifact"]
+
+    def put(self, kind: str, key: str, artifact) -> Path:
+        """Persist one artifact atomically (write-temp + rename)."""
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {"format_version": _FORMAT_VERSION, "artifact": artifact},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        telemetry.count("cache.store")
+        telemetry.count(f"cache.store.{kind}")
+        return path
+
+    def fetch(self, kind: str, params: dict, build: Callable[[], object]):
+        """Get-or-build: the cached artifact for ``params``, else ``build()``
+        persisted under its content address."""
+        key = artifact_key(kind, params)
+        artifact = self.get(kind, key)
+        if artifact is None:
+            artifact = build()
+            self.put(kind, key, artifact)
+        return artifact
+
+
+#: Process-wide cache handle for call sites that sit below the benchmark
+#: context (e.g. the downstream harness).  Set by ``BenchmarkContext`` and
+#: inherited by forked ``--jobs`` workers.
+_ACTIVE_CACHE: ArtifactCache | None = None
+
+
+def set_active_cache(cache: ArtifactCache | None) -> None:
+    """Install (or clear, with ``None``) the process-wide artifact cache."""
+    global _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+
+
+def active_cache() -> ArtifactCache | None:
+    """The process-wide artifact cache, or None when caching is off."""
+    return _ACTIVE_CACHE

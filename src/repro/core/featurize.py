@@ -11,7 +11,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.stats import DescriptiveStats, compute_stats
+from repro.core.stats import (
+    DescriptiveStats,
+    StatsScanCache,
+    compute_stats,
+    compute_stats_batch,
+)
 from repro.obs import telemetry
 from repro.tabular.column import Column
 from repro.tabular.table import Table
@@ -69,6 +74,47 @@ def profile_column(
     )
 
 
+def profile_columns(
+    columns: list[Column],
+    source_file: str = "",
+    labels: list[FeatureType | None] | None = None,
+    rng: np.random.Generator | None = None,
+    scan_cache: StatsScanCache | None = None,
+) -> list[ColumnProfile]:
+    """Base-featurize a batch of raw columns through the vectorized kernel.
+
+    Sample values are drawn per column in order (so the ``rng`` stream is
+    identical to featurizing the columns one at a time), then the descriptive
+    stats of the whole batch are computed in one
+    :func:`~repro.core.stats.compute_stats_batch` call, which amortizes the
+    character-scan kernel across every column of the table.  A ``scan_cache``
+    carried across calls additionally dedups the scan work across tables.
+    """
+    if labels is None:
+        labels = [None] * len(columns)
+    samples_list: list[list[str]] = []
+    for column in columns:
+        with telemetry.span("featurize.column", column=column.name):
+            if rng is None:
+                samples_list.append(column.head_distinct(N_SAMPLE_VALUES))
+            else:
+                samples_list.append(column.sample_distinct(N_SAMPLE_VALUES, rng))
+    stats_list = compute_stats_batch(columns, list(samples_list), scan_cache)
+    telemetry.count("featurize.columns", len(columns))
+    return [
+        ColumnProfile(
+            name=column.name,
+            samples=samples,
+            stats=stats,
+            source_file=source_file,
+            label=label,
+        )
+        for column, samples, stats, label in zip(
+            columns, samples_list, stats_list, labels
+        )
+    ]
+
+
 def profile_table(
     table: Table, rng: np.random.Generator | None = None
 ) -> list[ColumnProfile]:
@@ -76,10 +122,9 @@ def profile_table(
     with telemetry.span(
         "featurize.table", table=table.name, n_columns=len(table.column_names)
     ):
-        profiles = [
-            profile_column(column, source_file=table.name, rng=rng)
-            for column in table
-        ]
+        profiles = profile_columns(
+            list(table), source_file=table.name, rng=rng
+        )
     telemetry.count("featurize.tables")
     return profiles
 

@@ -190,17 +190,9 @@ class KNNModel(TypeInferenceModel):
         return self.knn.predict([p.name for p in profiles], stats)
 
     def predict_proba(self, profiles: list[ColumnProfile]) -> np.ndarray:
-        # Vote fractions over the k neighbors.
+        # Vote fractions over the k neighbors (batched distance matrix).
         stats = self._stats(profiles, fit=False)
-        index = {label: i for i, label in enumerate(self.classes_)}
-        k = min(self.knn.n_neighbors, len(self.knn._y))
-        probs = np.zeros((len(profiles), len(self.classes_)))
-        for row, (profile, stats_row) in enumerate(zip(profiles, stats)):
-            distances = self.knn._distances(profile.name, stats_row)
-            nearest = np.argsort(distances, kind="stable")[:k]
-            for i in nearest:
-                probs[row, index[self.knn._y[i]]] += 1.0
-        return probs / k
+        return self.knn.predict_proba([p.name for p in profiles], stats)
 
     @property
     def classes_(self) -> list[FeatureType]:

@@ -9,6 +9,8 @@ plus a timestamp check over the five sample values.
 
 from __future__ import annotations
 
+import math
+import re
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +35,10 @@ STOPWORDS = frozenset(
 )
 
 _DELIMITERS = ",;|:"
+
+#: Every date format requires at least one digit, so a failed digit search
+#: lets the probe skip the (comparatively pricey) combined date regex.
+_HAS_DIGIT_SEARCH = re.compile(r"\d").search
 
 #: Names of the 25 features, in vector order.
 STAT_NAMES: tuple[str, ...] = (
@@ -65,10 +71,37 @@ STAT_NAMES: tuple[str, ...] = (
 
 N_STATS = len(STAT_NAMES)
 
+#: name → vector index, precomputed once (``tuple.index`` is a linear scan).
+STAT_INDEX: dict[str, int] = {name: i for i, name in enumerate(STAT_NAMES)}
+
 #: Indices of the three type-specific boolean probes ablated in Table 12.
-URL_FEATURE_INDEX = STAT_NAMES.index("sample_has_url")
-LIST_FEATURE_INDEX = STAT_NAMES.index("sample_has_list")
-DATETIME_FEATURE_INDEX = STAT_NAMES.index("sample_has_date")
+URL_FEATURE_INDEX = STAT_INDEX["sample_has_url"]
+LIST_FEATURE_INDEX = STAT_INDEX["sample_has_list"]
+DATETIME_FEATURE_INDEX = STAT_INDEX["sample_has_date"]
+
+#: Indices of the unbounded (log-compressed) stats, in vector order.
+UNBOUNDED_STAT_INDICES: tuple[int, ...] = tuple(
+    STAT_INDEX[name]
+    for name in (
+        "total_values",
+        "num_nans",
+        "num_distinct",
+        "mean_value",
+        "std_value",
+        "min_value",
+        "max_value",
+        "mean_char_count",
+        "std_char_count",
+        "mean_word_count",
+        "std_word_count",
+        "mean_stopword_count",
+        "std_stopword_count",
+        "mean_whitespace_count",
+        "std_whitespace_count",
+        "mean_delimiter_count",
+        "std_delimiter_count",
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -82,7 +115,7 @@ class DescriptiveStats:
             raise ValueError(f"expected {N_STATS} stats, got {self.values.shape}")
 
     def __getitem__(self, name: str) -> float:
-        return float(self.values[STAT_NAMES.index(name)])
+        return float(self.values[STAT_INDEX[name]])
 
     def as_dict(self) -> dict[str, float]:
         return {name: float(v) for name, v in zip(STAT_NAMES, self.values)}
@@ -94,9 +127,13 @@ _FLOAT_CAP = 1e18  # larger magnitudes are clamped (squares overflow float64)
 def _finite(value) -> float:
     """Clamp to a finite, capped float (guards against 1e300-scale outliers)."""
     value = float(value)
-    if not np.isfinite(value):
+    if not math.isfinite(value):
         return 0.0
-    return float(np.clip(value, -_FLOAT_CAP, _FLOAT_CAP))
+    if value > _FLOAT_CAP:
+        return _FLOAT_CAP
+    if value < -_FLOAT_CAP:
+        return -_FLOAT_CAP
+    return value
 
 
 def _moments(counts: list[float]) -> tuple[float, float]:
@@ -122,79 +159,406 @@ def _delimiter_count(text: str) -> int:
     return sum(1 for ch in text if ch in _DELIMITERS)
 
 
+#: LUT coverage: Unicode whitespace ends at U+3000; codepoints above fall
+#: back to the per-value scalar path (they never occur in benchmark corpora).
+_LUT_MAX = 0x3000
+
+_LUTS: dict[str, np.ndarray] | None = None
+
+
+#: Base-33 positional weights for the token hash; position clamps at 7.
+_POW33 = 33 ** np.arange(8, dtype=np.int64)
+
+
+def _stopword_hashes() -> np.ndarray:
+    """Base-33 positional hashes of the stop words (digits 1..26 = a..z)."""
+    hashes = {
+        sum((ord(ch) - 96) * 33**p for p, ch in enumerate(word))
+        for word in STOPWORDS
+    }
+    return np.array(sorted(hashes), dtype=np.int64)
+
+
+def _char_luts() -> dict[str, np.ndarray]:
+    """Lazily-built codepoint lookup tables driving the vectorized kernel."""
+    global _LUTS
+    if _LUTS is None:
+        size = _LUT_MAX + 2  # one extra slot for clipped (out-of-range) codes
+        ws = np.zeros(size, dtype=bool)
+        digit = np.zeros(size, dtype=bool)
+        # token-hash digit: 0 for whitespace (no contribution), 1..26 for
+        # chars whose str.lower() is a single a..z (the only chars that can
+        # appear in a stop word), 28 otherwise (poisons the hash)
+        stop_digit = np.full(size, 28, dtype=np.int64)
+        for code in range(_LUT_MAX + 1):
+            ch = chr(code)
+            if ch.isspace():
+                ws[code] = True
+                stop_digit[code] = 0
+            else:
+                low = ch.lower()
+                if len(low) == 1 and "a" <= low <= "z":
+                    stop_digit[code] = ord(low) - 96
+            if ch.isdecimal():  # what regex \d can match below the cap
+                digit[code] = True
+        delim = np.zeros(size, dtype=bool)
+        for ch in _DELIMITERS:
+            delim[ord(ch)] = True
+        numeric_ok = digit.copy()
+        numeric_ok |= ws  # strippable padding around a numeric literal
+        for ch in "+-.eE":
+            numeric_ok[ord(ch)] = True
+        _LUTS = {
+            "ws": ws, "digit": digit, "delim": delim,
+            "numeric_ok": numeric_ok, "stop_digit": stop_digit,
+            "stop_hashes": _stopword_hashes(),
+        }
+    return _LUTS
+
+
+def _scan_value(text: str) -> tuple[float, float, float, float, float, float]:
+    """Scalar reference scan of one value: the 5 shape counts + parse."""
+    tokens = text.split()
+    value = try_parse_float(text)
+    return (
+        float(len(tokens)),
+        float(sum(1 for t in tokens if t.lower() in STOPWORDS)),
+        float(len(text)),
+        float(len(text) - sum(map(len, tokens))),
+        float(sum(text.count(ch) for ch in _DELIMITERS)),
+        np.nan if value is None else value,
+    )
+
+
+def _scan_distinct(values: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized scan of the distinct values producing all measures at once.
+
+    Returns ``(counts, parsed)`` where ``counts`` is a (5, n_distinct) float
+    matrix of word/stopword/char/whitespace/delimiter counts and ``parsed``
+    holds ``try_parse_float`` results (NaN where the value is not numeric).
+
+    All character classification runs as LUT lookups over one flat codepoint
+    array covering every distinct value; per-value totals are recovered with
+    segment sums (prefix-sum differences).  Python falls back per value only
+    where it must: stop-word membership for values containing letters, the
+    numeric parse for values that pass the numeric-charset prefilter, and
+    codepoints beyond the LUT range.
+    """
+    d = len(values)
+    luts = _char_luts()
+    lengths = np.fromiter(map(len, values), count=d, dtype=np.intp)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    flat = "".join(values)
+    codes = np.frombuffer(flat.encode("utf-32-le"), dtype=np.uint32)
+    exotic_codes = codes > _LUT_MAX
+    idx = codes.astype(np.intp)
+    np.minimum(idx, _LUT_MAX + 1, out=idx)
+
+    total_chars = len(codes)
+    # int32 prefix: totals stay below 2**31 and the cumsum is memory-bound
+    prefix = np.empty(total_chars + 1, dtype=np.int32)
+
+    def segment_sum(mask: np.ndarray) -> np.ndarray:
+        prefix[0] = 0
+        np.cumsum(mask, out=prefix[1:])
+        return prefix[ends] - prefix[starts]
+
+    ws_mask = luts["ws"][idx]
+    # a word starts at a non-space char preceded by a space or a boundary
+    word_start = ~ws_mask
+    prev_ws = np.empty(total_chars, dtype=bool)
+    if total_chars:
+        prev_ws[0] = True
+        prev_ws[1:] = ws_mask[:-1]
+        prev_ws[starts] = True
+    word_start &= prev_ws
+
+    counts = np.empty((5, d), dtype=float)
+    counts[2] = lengths
+    counts[3] = segment_sum(ws_mask)
+    counts[4] = segment_sum(luts["delim"][idx])
+
+    # numeric parse candidates: >=1 digit, every char in the numeric charset.
+    # Within that charset ``float()`` accepts exactly what the literal regex
+    # in ``try_parse_float`` does, so the regex is skipped.
+    parsed = np.full(d, np.nan)
+    candidate = (segment_sum(luts["digit"][idx]) > 0) & (
+        segment_sum(luts["numeric_ok"][idx]) == lengths
+    )
+
+    # The word-count prefix sum runs last so its cumsum doubles as the
+    # per-char token id (prefix[i+1] - 1) for the stop-word hashing below.
+    counts[0] = segment_sum(word_start)
+
+    # Stop-word counting without touching Python strings: hash every token
+    # positionally in base 33 over per-char lowercase digits (whitespace
+    # contributes 0, non-letter chars poison the hash with digit 28) and
+    # membership-test the hashes against the precomputed stop-word set.
+    # Tokens longer than any stop word pick up a contribution >= 33**6,
+    # which already exceeds every stop-word hash, so no length mask is
+    # needed; the position clamp at 7 only guards against int64 overflow.
+    token_starts = np.flatnonzero(word_start)
+    if token_starts.size:
+        dig = luts["stop_digit"][idx]
+        token_id = prefix[1:]  # cumsum(word_start), mutated in place
+        token_id -= 1
+        np.maximum(token_id, 0, out=token_id)  # leading-whitespace chars
+        pos = np.arange(total_chars, dtype=np.int64) - token_starts[token_id]
+        np.minimum(pos, 7, out=pos)
+        token_hash = np.add.reduceat(dig * _POW33[pos], token_starts)
+        stop_hashes = luts["stop_hashes"]
+        loc = np.searchsorted(stop_hashes, token_hash)
+        np.minimum(loc, len(stop_hashes) - 1, out=loc)
+        is_stop = stop_hashes[loc] == token_hash
+        value_of_token = np.searchsorted(ends, token_starts, side="right")
+        counts[1] = np.bincount(value_of_token[is_stop], minlength=d)
+    else:
+        counts[1] = 0.0
+    isfinite = math.isfinite
+    for i in np.flatnonzero(candidate):
+        try:
+            value = float(values[i])
+        except ValueError:
+            continue
+        if isfinite(value):
+            parsed[i] = value
+
+    # values with out-of-LUT codepoints rerun through the scalar reference
+    if exotic_codes.any():
+        for i in np.flatnonzero(segment_sum(exotic_codes) > 0):
+            scan = _scan_value(values[i])
+            counts[:, i] = scan[:5]
+            parsed[i] = scan[5]
+    return counts, parsed
+
+
+def _probe_samples(
+    samples: list[str], cache: dict[str, tuple[bool, bool, bool, bool, bool]]
+) -> tuple[float, float, float, float, float]:
+    """The five boolean sample probes, memoized per distinct sample value."""
+    url = email = delim_seq = lst = date = False
+    for s in samples:
+        hit = cache.get(s)
+        if hit is None:
+            # cheap literal prefilters the regexes require anyway: URLs
+            # need "://", emails "@", lists one of ",;|", dates a digit
+            hit = (
+                "://" in s and looks_like_url(s),
+                "@" in s and looks_like_email(s),
+                _delimiter_count(s) >= 2,
+                ("," in s or ";" in s or "|" in s) and looks_like_list(s),
+                _HAS_DIGIT_SEARCH(s) is not None and looks_like_datetime(s),
+            )
+            cache[s] = hit
+        url = url or hit[0]
+        email = email or hit[1]
+        delim_seq = delim_seq or hit[2]
+        lst = lst or hit[3]
+        date = date or hit[4]
+        if url and email and delim_seq and lst and date:
+            break
+    return float(url), float(email), float(delim_seq), float(lst), float(date)
+
+
+class _Interner(dict):
+    """value → code dict that assigns the next code on first lookup.
+
+    ``list(map(interner.__getitem__, cells))`` interns and encodes a whole
+    column in one C-speed pass; only novel values drop into Python via
+    ``__missing__``.
+    """
+
+    def __init__(self, values: list[str]):
+        super().__init__()
+        self.value_list = values
+
+    def __missing__(self, key: str) -> int:
+        code = len(self)
+        self[key] = code
+        self.value_list.append(key)
+        return code
+
+
+class StatsScanCache:
+    """Cross-batch memo of per-value scan results.
+
+    Featurizing a corpus scans each *distinct cell value of the corpus* once:
+    the cache holds the interning table plus the scanned count/parse arrays,
+    so later tables reuse the work of earlier ones (category vocabularies,
+    small integers, and common tokens repeat heavily across files).  Pass one
+    instance through successive :func:`compute_stats_batch` calls.
+
+    ``counts``/``parsed`` are views into capacity-doubled buffers, so the
+    per-batch growth in :meth:`scan_novel` is amortized O(1) per value.
+    """
+
+    def __init__(self):
+        self.values: list[str] = []
+        self.value_index: dict[str, int] = _Interner(self.values)
+        self._counts_buf = np.zeros((5, 0))
+        self._parsed_buf = np.zeros(0)
+        self.counts = self._counts_buf
+        self.parsed = self._parsed_buf
+        self.probe_cache: dict[str, tuple[bool, bool, bool, bool, bool]] = {}
+
+    def scan_novel(self) -> None:
+        """Scan any interned values that do not have measures yet."""
+        n_scanned = self.counts.shape[1]
+        total = len(self.values)
+        if total == n_scanned:
+            return
+        counts, parsed = _scan_distinct(self.values[n_scanned:])
+        if total > self._counts_buf.shape[1]:
+            capacity = max(total, 2 * self._counts_buf.shape[1])
+            grown = np.zeros((5, capacity))
+            grown[:, :n_scanned] = self._counts_buf[:, :n_scanned]
+            self._counts_buf = grown
+            grown_parsed = np.zeros(capacity)
+            grown_parsed[:n_scanned] = self._parsed_buf[:n_scanned]
+            self._parsed_buf = grown_parsed
+        self._counts_buf[:, n_scanned:total] = counts
+        self._parsed_buf[n_scanned:total] = parsed
+        self.counts = self._counts_buf[:, :total]
+        self.parsed = self._parsed_buf[:total]
+
+
+def compute_stats_batch(
+    columns: list[Column],
+    samples_list: list[list[str] | None] | None = None,
+    scan_cache: StatsScanCache | None = None,
+) -> list[DescriptiveStats]:
+    """Compute the 25 descriptive statistics for a batch of raw columns.
+
+    The batched kernel shares one vectorized scan across every column: cell
+    values are interned into one distinct table (values repeated across
+    columns — category levels, small integers — are scanned once), the flat
+    codepoint array of the distinct values goes through the LUT/segment
+    kernel in :func:`_scan_distinct`, and per-column moments are recovered
+    from frequency-weighted exact sums.  Sample probes are memoized.  With a
+    ``scan_cache``, interning and scan results persist across calls so a
+    whole corpus pays each distinct value once.  Results are identical to
+    calling :func:`compute_stats` per column; the batch amortizes the numpy
+    call overhead over the whole table.
+    """
+    if samples_list is None:
+        samples_list = [None] * len(columns)
+    if len(samples_list) != len(columns):
+        raise ValueError("samples_list must align with columns")
+
+    cache = scan_cache if scan_cache is not None else StatsScanCache()
+    interned = cache.value_index.__getitem__
+    values = cache.values
+
+    n_cols = len(columns)
+    codes_flat: list[int] = []
+    extend_flat = codes_flat.extend
+    per_column: list[tuple[list[int], int, list[str] | None]] = []
+    for column, samples in zip(columns, samples_list):
+        cells = column.cells
+        present = [cell for cell in cells if cell is not None]
+        # one C-speed pass encodes the column; __missing__ interns novelty
+        codes = list(map(interned, present))
+        if not codes:
+            telemetry.count("stats.empty_columns")
+        extend_flat(codes)
+        per_column.append((codes, len(cells) - len(present), samples))
+    if telemetry.enabled:
+        telemetry.count("stats.columns", n_cols)
+        telemetry.count("stats.cells", sum(len(c) for c in columns))
+
+    cache.scan_novel()
+    counts = cache.counts
+    parsed = cache.parsed
+
+    # One reduceat over the whole batch recovers every column's count
+    # moments: the gathered per-cell counts are small integers, so segment
+    # sums are exact in float64 and the closed-form variance matches the
+    # per-column two-pass reference bit for bit.
+    n_present = np.fromiter(
+        (len(codes) for codes, _, _ in per_column), count=n_cols, dtype=np.intp
+    )
+    starts = np.zeros(n_cols, dtype=np.intp)
+    if n_cols > 1:
+        np.cumsum(n_present[:-1], out=starts[1:])
+    nonempty = np.flatnonzero(n_present)
+    means = np.zeros((5, n_cols))
+    stds = np.zeros((5, n_cols))
+    if nonempty.size:
+        code_arr = np.asarray(codes_flat, dtype=np.intp)
+        gathered = counts[:, code_arr]
+        seg = starts[nonempty]
+        sums = np.add.reduceat(gathered, seg, axis=1)
+        sumsq = np.add.reduceat(gathered * gathered, seg, axis=1)
+        seg_n = n_present[nonempty].astype(float)
+        seg_means = sums / seg_n
+        variances = np.maximum(sumsq / seg_n - seg_means * seg_means, 0.0)
+        means[:, nonempty] = seg_means
+        stds[:, nonempty] = np.sqrt(variances)
+        parsed_flat = parsed[code_arr]
+    else:
+        parsed_flat = np.zeros(0)
+
+    matrix = np.zeros((n_cols, N_STATS))
+    totals = np.fromiter(map(len, columns), count=n_cols, dtype=float)
+    matrix[:, 0] = totals
+    matrix[:, 1] = totals - n_present
+    distincts = np.fromiter(
+        (len(set(codes)) for codes, _, _ in per_column), count=n_cols, dtype=float
+    )
+    matrix[:, 3] = distincts
+    sized = totals > 0
+    matrix[sized, 2] = matrix[sized, 1] / totals[sized]
+    matrix[sized, 4] = distincts[sized] / totals[sized]
+    matrix[:, 9:19:2] = means.T  # mean word/stop/char/ws/delim counts
+    matrix[:, 10:20:2] = stds.T
+
+    probe_cache = cache.probe_cache
+    out: list[DescriptiveStats] = []
+    for i, (codes, _, samples) in enumerate(per_column):
+        row = matrix[i]
+        npres = len(codes)
+        if npres:
+            start = starts[i]
+            chunk = parsed_flat[start : start + npres]
+            numeric = chunk[~np.isnan(chunk)]
+            if numeric.size:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    row[5] = _finite(numeric.mean())
+                    row[6] = _finite(numeric.std())
+                row[7] = _finite(numeric.min())
+                row[8] = _finite(numeric.max())
+            row[19] = numeric.size / npres
+        if samples is None:
+            samples = _first_distinct(codes, values, 5)
+        row[20:25] = _probe_samples(samples, probe_cache)
+        out.append(DescriptiveStats(row))
+    return out
+
+
+def _first_distinct(codes: list[int], values: list[str], k: int) -> list[str]:
+    """First ``k`` distinct values of a column, in first-seen cell order."""
+    seen: set[int] = set()
+    out: list[str] = []
+    for code in codes:
+        if code not in seen:
+            seen.add(code)
+            out.append(values[code])
+            if len(out) == k:
+                break
+    return out
+
+
 def compute_stats(column: Column, samples: list[str] | None = None) -> DescriptiveStats:
     """Compute the 25 descriptive statistics for one raw column.
 
     ``samples`` are the (up to five) sampled distinct values the regex/date
     probes run over; when omitted the first five distinct values are used.
+    Batch-of-one wrapper over :func:`compute_stats_batch`; featurize a whole
+    table through the batch API when possible — it amortizes the vectorized
+    scan across columns.
     """
-    telemetry.count("stats.columns")
-    telemetry.count("stats.cells", len(column))
-    present = column.non_missing()
-    total = len(column)
-    n_nans = column.n_missing()
-    distinct = column.distinct()
-    if not present:
-        telemetry.count("stats.empty_columns")
-    if samples is None:
-        samples = distinct[:5]
-
-    numeric = [try_parse_float(cell) for cell in present]
-    numeric = [v for v in numeric if v is not None]
-    if numeric:
-        arr = np.asarray(numeric, dtype=float)
-        with np.errstate(over="ignore", invalid="ignore"):
-            mean_value = _finite(arr.mean())
-            std_value = _finite(arr.std())
-        min_value = _finite(arr.min())
-        max_value = _finite(arr.max())
-    else:
-        mean_value = std_value = min_value = max_value = 0.0
-
-    mean_word, std_word = _moments([_word_count(c) for c in present])
-    mean_stop, std_stop = _moments([_stopword_count(c) for c in present])
-    mean_char, std_char = _moments([len(c) for c in present])
-    mean_ws, std_ws = _moments([_whitespace_count(c) for c in present])
-    mean_delim, std_delim = _moments([_delimiter_count(c) for c in present])
-
-    numeric_fraction = len(numeric) / len(present) if present else 0.0
-
-    has_url = float(any(looks_like_url(s) for s in samples))
-    has_email = float(any(looks_like_email(s) for s in samples))
-    has_delim_seq = float(any(_delimiter_count(s) >= 2 for s in samples))
-    has_list = float(any(looks_like_list(s) for s in samples))
-    has_date = float(any(looks_like_datetime(s) for s in samples))
-
-    vector = np.array(
-        [
-            float(total),
-            float(n_nans),
-            n_nans / total if total else 0.0,
-            float(len(distinct)),
-            len(distinct) / total if total else 0.0,
-            mean_value,
-            std_value,
-            min_value,
-            max_value,
-            mean_word,
-            std_word,
-            mean_stop,
-            std_stop,
-            mean_char,
-            std_char,
-            mean_ws,
-            std_ws,
-            mean_delim,
-            std_delim,
-            numeric_fraction,
-            has_url,
-            has_email,
-            has_delim_seq,
-            has_list,
-            has_date,
-        ]
-    )
-    return DescriptiveStats(vector)
+    return compute_stats_batch([column], [samples])[0]
 
 
 def compress_stats(matrix: np.ndarray) -> np.ndarray:
@@ -206,28 +570,7 @@ def compress_stats(matrix: np.ndarray) -> np.ndarray:
     bounded columns (fractions, booleans) pass through unchanged.
     """
     matrix = np.asarray(matrix, dtype=float).copy()
-    unbounded = [
-        STAT_NAMES.index(name)
-        for name in (
-            "total_values",
-            "num_nans",
-            "num_distinct",
-            "mean_value",
-            "std_value",
-            "min_value",
-            "max_value",
-            "mean_char_count",
-            "std_char_count",
-            "mean_word_count",
-            "std_word_count",
-            "mean_stopword_count",
-            "std_stopword_count",
-            "mean_whitespace_count",
-            "std_whitespace_count",
-            "mean_delimiter_count",
-            "std_delimiter_count",
-        )
-    ]
+    unbounded = list(UNBOUNDED_STAT_INDICES)
     cols = matrix[:, unbounded]
     matrix[:, unbounded] = np.sign(cols) * np.log1p(np.abs(cols))
     return matrix

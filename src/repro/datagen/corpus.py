@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.featurize import LabeledDataset, profile_column
+from repro.core.featurize import LabeledDataset, profile_columns
+from repro.core.stats import StatsScanCache
 from repro.datagen.values import generate_column
 from repro.tabular.column import Column
 from repro.tabular.table import Table
@@ -88,6 +89,7 @@ def generate_corpus(
     labels = sample_class_sequence(n_examples, rng)
 
     corpus = LabeledCorpus()
+    scan_cache = StatsScanCache()  # dedup value scans across the whole corpus
     cursor = 0
     file_index = 0
     while cursor < len(labels):
@@ -107,11 +109,15 @@ def generate_corpus(
             corpus.truth[(file_name, name)] = label
         table = Table(columns, name=file_name)
         corpus.files.append(table)
-        for column, label in zip(table, labels[cursor : cursor + n_cols]):
-            profile = profile_column(
-                column, source_file=file_name, label=label, rng=rng
+        corpus.dataset.profiles.extend(
+            profile_columns(
+                list(table),
+                source_file=file_name,
+                labels=list(labels[cursor : cursor + n_cols]),
+                rng=rng,
+                scan_cache=scan_cache,
             )
-            corpus.dataset.profiles.append(profile)
+        )
         cursor += n_cols
         file_index += 1
     return corpus

@@ -8,10 +8,13 @@ classification or RMSE for regression.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache import active_cache, artifact_key
+from repro.core.newrf import Representation
 from repro.datagen.downstream import DownstreamDataset
 from repro.downstream.featurize import TypeAssignment, featurize_split
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
@@ -61,6 +64,32 @@ def _split_table(table: Table, test_mask: np.ndarray) -> tuple[Table, Table]:
     return Table(train_cols, name=table.name), Table(test_cols, name=table.name)
 
 
+def _dataset_digest(dataset: DownstreamDataset) -> str:
+    """Content hash of a downstream dataset (features + target)."""
+    digest = hashlib.sha256()
+    digest.update(f"{dataset.name}\x1e{dataset.task}\x1e".encode("utf-8"))
+    digest.update("\x1f".join(repr(v) for v in dataset.target).encode("utf-8"))
+    for column in dataset.table:
+        digest.update(f"\x1e{column.name}\x1e".encode("utf-8"))
+        digest.update(
+            "\x1f".join("\x00" if c is None else c for c in column.cells)
+            .encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def _canonical_assignment(assignments: TypeAssignment) -> list[list]:
+    """A JSON-stable form of a type assignment for cache addressing."""
+    out = []
+    for name in sorted(assignments):
+        value = assignments[name]
+        if isinstance(value, Representation):
+            out.append([name, value.feature_type.value, bool(value.double)])
+        else:
+            out.append([name, value.value])
+    return out
+
+
 def evaluate_assignment(
     dataset: DownstreamDataset,
     assignments: TypeAssignment,
@@ -68,9 +97,36 @@ def evaluate_assignment(
     test_size: float = 0.2,
     seed: int = 0,
 ) -> DownstreamScore:
-    """Train/evaluate one downstream model under a type assignment."""
+    """Train/evaluate one downstream model under a type assignment.
+
+    Each call is a pure function of its arguments (the split and model
+    RNGs are seeded locally), so with an active artifact cache the score
+    is served from disk by content address instead of retraining.
+    """
     if model_kind not in MODEL_KINDS:
         raise ValueError(f"model_kind must be one of {MODEL_KINDS}")
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = artifact_key(
+            "score",
+            {
+                "dataset": _dataset_digest(dataset),
+                "assignment": _canonical_assignment(assignments),
+                "model_kind": model_kind,
+                "test_size": test_size,
+                "seed": seed,
+            },
+        )
+        score = cache.get("score", key)
+        if score is not None:
+            if telemetry.enabled:
+                telemetry.count("downstream.evaluations")
+                telemetry.count(f"downstream.model.{model_kind}")
+                telemetry.observe(
+                    f"downstream.score.{dataset.task}", score.value
+                )
+            return score
     with telemetry.span(
         "downstream.evaluate",
         dataset=dataset.name,
@@ -79,6 +135,8 @@ def evaluate_assignment(
     ):
         score = _evaluate_assignment(dataset, assignments, model_kind,
                                      test_size, seed)
+    if cache is not None:
+        cache.put("score", key, score)
     if telemetry.enabled:
         telemetry.count("downstream.evaluations")
         telemetry.count(f"downstream.model.{model_kind}")

@@ -53,24 +53,16 @@ def _encode_padded(strings: Sequence[str], max_len: int) -> np.ndarray:
     return out
 
 
-def levenshtein_one_vs_many(query: str, corpus: Sequence[str]) -> np.ndarray:
-    """Edit distance from ``query`` to every string in ``corpus``.
-
-    Vectorized across the corpus: one (len(query) x max_len) DP where each
-    cell is a corpus-sized vector.  Exact (matches :func:`levenshtein`).
-    """
-    n = len(corpus)
-    if n == 0:
-        return np.zeros(0, dtype=np.int64)
-    lengths = np.array([len(s) for s in corpus], dtype=np.int64)
-    max_len = int(lengths.max()) if n else 0
-    if max_len == 0:
-        return np.full(n, len(query), dtype=np.int64)
+def _levenshtein_dp(
+    query: str,
+    matrix: np.ndarray,
+    lengths: np.ndarray,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """Corpus-vectorized DP for one query over a pre-encoded corpus matrix."""
+    n = matrix.shape[0]
     if not query:
         return lengths.copy()
-    matrix = _encode_padded(corpus, max_len)
-
-    positions = np.arange(max_len + 1, dtype=np.int64)[None, :]
     previous = np.tile(positions, (n, 1))
     for i, ch in enumerate(query, start=1):
         cost = (matrix != ord(ch)).astype(np.int64)
@@ -85,12 +77,81 @@ def levenshtein_one_vs_many(query: str, corpus: Sequence[str]) -> np.ndarray:
     return previous[np.arange(n), lengths]
 
 
+def levenshtein_one_vs_many(query: str, corpus: Sequence[str]) -> np.ndarray:
+    """Edit distance from ``query`` to every string in ``corpus``.
+
+    Vectorized across the corpus: one (len(query) x max_len) DP where each
+    cell is a corpus-sized vector.  Exact (matches :func:`levenshtein`).
+    """
+    n = len(corpus)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    lengths = np.array([len(s) for s in corpus], dtype=np.int64)
+    max_len = int(lengths.max()) if n else 0
+    if max_len == 0:
+        return np.full(n, len(query), dtype=np.int64)
+    matrix = _encode_padded(corpus, max_len)
+    positions = np.arange(max_len + 1, dtype=np.int64)[None, :]
+    return _levenshtein_dp(query, matrix, lengths, positions)
+
+
+def levenshtein_many_vs_many(
+    queries: Sequence[str], corpus: Sequence[str]
+) -> np.ndarray:
+    """Edit distances from each query to every corpus string, shape (q, n).
+
+    Row i equals ``levenshtein_one_vs_many(queries[i], corpus)``, but the
+    corpus is encoded once for the whole batch and repeated query strings
+    (attribute names recur across files) run the DP only once.
+    """
+    n = len(corpus)
+    out = np.empty((len(queries), n), dtype=np.int64)
+    if n == 0 or not queries:
+        return out
+    lengths = np.array([len(s) for s in corpus], dtype=np.int64)
+    max_len = int(lengths.max())
+    if max_len == 0:
+        for i, query in enumerate(queries):
+            out[i] = len(query)
+        return out
+    matrix = _encode_padded(corpus, max_len)
+    positions = np.arange(max_len + 1, dtype=np.int64)[None, :]
+    seen: dict[str, int] = {}
+    for i, query in enumerate(queries):
+        first = seen.setdefault(query, i)
+        if first != i:
+            out[i] = out[first]
+        else:
+            out[i] = _levenshtein_dp(query, matrix, lengths, positions)
+    return out
+
+
 def euclidean_one_vs_many(query: np.ndarray, corpus: np.ndarray) -> np.ndarray:
     """Euclidean distance from one vector to each row of ``corpus``."""
     query = np.asarray(query, dtype=float)
     corpus = np.asarray(corpus, dtype=float)
     diff = corpus - query[None, :]
     return np.sqrt(np.sum(diff * diff, axis=1))
+
+
+def euclidean_many_vs_many(
+    queries: np.ndarray, corpus: np.ndarray, chunk: int = 256
+) -> np.ndarray:
+    """Row-wise euclidean distances, shape (q, n).
+
+    Row i is bit-identical to ``euclidean_one_vs_many(queries[i], corpus)``:
+    the kernel broadcasts the same direct differences (no a²+b²−2ab
+    rearrangement, which changes rounding), chunking queries to bound the
+    (chunk, n, d) temporary.
+    """
+    queries = np.asarray(queries, dtype=float)
+    corpus = np.asarray(corpus, dtype=float)
+    out = np.empty((queries.shape[0], corpus.shape[0]))
+    for start in range(0, queries.shape[0], chunk):
+        block = queries[start : start + chunk]
+        diff = corpus[None, :, :] - block[:, None, :]
+        out[start : start + chunk] = np.sqrt(np.sum(diff * diff, axis=2))
+    return out
 
 
 def pairwise_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -18,11 +18,26 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, check_array, check_X_y
 from repro.ml.distances import (
+    euclidean_many_vs_many,
     euclidean_one_vs_many,
+    levenshtein_many_vs_many,
     levenshtein_one_vs_many,
     pairwise_euclidean,
 )
 from repro.obs import telemetry
+
+
+def _vote_fractions(
+    distances: np.ndarray, y: Sequence, classes: Sequence, k: int
+) -> np.ndarray:
+    """Neighbor-vote fractions per query row of a (q, n_train) matrix."""
+    index = {label: i for i, label in enumerate(classes)}
+    y_codes = np.array([index[label] for label in y], dtype=np.intp)
+    nearest = np.argsort(distances, axis=1, kind="stable")[:, :k]
+    probs = np.zeros((distances.shape[0], len(classes)))
+    rows = np.repeat(np.arange(distances.shape[0]), nearest.shape[1])
+    np.add.at(probs, (rows, y_codes[nearest].ravel()), 1.0)
+    return probs / k
 
 
 def _vote(labels: Sequence, distances: np.ndarray) -> object:
@@ -59,10 +74,11 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         ) as sp:
             distances = pairwise_euclidean(X, self._X)
             k = min(self.n_neighbors, len(self._y))
-            out = []
-            for row in distances:
-                nearest = np.argsort(row, kind="stable")[:k]
-                out.append(_vote([self._y[i] for i in nearest], row[nearest]))
+            order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+            out = [
+                _vote([self._y[i] for i in nearest], row[nearest])
+                for nearest, row in zip(order, distances)
+            ]
         if telemetry.enabled:
             telemetry.count("knn.queries", X.shape[0])
             telemetry.observe("knn.batch_s", sp.wall_s)
@@ -73,13 +89,7 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         X = check_array(X)
         distances = pairwise_euclidean(X, self._X)
         k = min(self.n_neighbors, len(self._y))
-        index = {label: i for i, label in enumerate(self.classes_)}
-        probs = np.zeros((X.shape[0], len(self.classes_)))
-        for row_id, row in enumerate(distances):
-            nearest = np.argsort(row, kind="stable")[:k]
-            for i in nearest:
-                probs[row_id, index[self._y[i]]] += 1.0
-        return probs / k
+        return _vote_fractions(distances, self._y, self.classes_, k)
 
 
 class NameStatsKNN(BaseEstimator, ClassifierMixin):
@@ -122,24 +132,50 @@ class NameStatsKNN(BaseEstimator, ClassifierMixin):
             total += self.gamma * euclidean_one_vs_many(stats_row, self._stats)
         return total
 
+    def distance_matrix(
+        self, names: Sequence[str], stats: np.ndarray
+    ) -> np.ndarray:
+        """Weighted distances from every query to every training column.
+
+        Bit-identical to stacking :meth:`_distances` per query: both terms
+        broadcast the same per-row kernels over the full train matrix, and
+        repeated query names share one edit-distance computation.
+        """
+        stats = np.asarray(stats, dtype=float)
+        total = np.zeros((len(names), len(self._y)))
+        if self.use_name:
+            total += levenshtein_many_vs_many(
+                [str(n) for n in names], self._names
+            ).astype(float)
+        if self.use_stats:
+            total += self.gamma * euclidean_many_vs_many(stats, self._stats)
+        return total
+
     def predict(self, names: Sequence[str], stats: np.ndarray) -> list:
         self._check_fitted("_names")
-        stats = np.asarray(stats, dtype=float)
         k = min(self.n_neighbors, len(self._y))
-        out = []
         with telemetry.span(
             "knn.name_stats.predict", n_queries=len(names), n_train=len(self._y)
         ) as sp:
-            for name, stats_row in zip(names, stats):
-                distances = self._distances(str(name), stats_row)
-                nearest = np.argsort(distances, kind="stable")[:k]
-                out.append(
-                    _vote([self._y[i] for i in nearest], distances[nearest])
-                )
+            distances = self.distance_matrix(names, stats)
+            order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+            out = [
+                _vote([self._y[i] for i in nearest], row[nearest])
+                for nearest, row in zip(order, distances)
+            ]
         if telemetry.enabled:
             telemetry.count("knn.queries", len(names))
             telemetry.observe("knn.batch_s", sp.wall_s)
         return out
+
+    def predict_proba(
+        self, names: Sequence[str], stats: np.ndarray
+    ) -> np.ndarray:
+        """Neighbor-vote fractions over ``classes_`` per query."""
+        self._check_fitted("_names")
+        k = min(self.n_neighbors, len(self._y))
+        distances = self.distance_matrix(names, stats)
+        return _vote_fractions(distances, self._y, self.classes_, k)
 
     def score(self, names: Sequence[str], stats: np.ndarray, y: Sequence) -> float:
         pred = self.predict(names, stats)

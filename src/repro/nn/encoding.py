@@ -19,18 +19,35 @@ VOCAB_SIZE = len(VOCABULARY) + 2  # + PAD + UNK
 
 _CHAR_TO_CODE = {ch: i + 2 for i, ch in enumerate(VOCABULARY)}
 
+# Codepoint → code lookup table; the vocabulary is pure ASCII, so any
+# codepoint ≥ 128 clips onto the (unmapped) last slot and reads UNK.
+_CODE_LUT = np.full(129, UNK_CODE, dtype=np.int64)
+for _ch, _code in _CHAR_TO_CODE.items():
+    _CODE_LUT[ord(_ch)] = _code
+
 
 def encode_text(text: str, max_len: int) -> np.ndarray:
     """Encode one string into a fixed-length int code vector (right-padded)."""
-    codes = np.full(max_len, PAD_CODE, dtype=np.int64)
-    for i, ch in enumerate(text.lower()[:max_len]):
-        codes[i] = _CHAR_TO_CODE.get(ch, UNK_CODE)
-    return codes
+    return encode_batch([text], max_len)[0]
 
 
 def encode_batch(texts: list[str], max_len: int) -> np.ndarray:
-    """Encode a batch of strings, shape (batch, max_len)."""
+    """Encode a batch of strings, shape (batch, max_len).
+
+    Vectorized: the lowercased, clipped strings are joined into one flat
+    codepoint array, mapped through the vocabulary LUT in a single gather,
+    and scattered back to rows via cumulative-length offsets.
+    """
     out = np.full((len(texts), max_len), PAD_CODE, dtype=np.int64)
-    for row, text in enumerate(texts):
-        out[row] = encode_text(text, max_len)
+    clipped = [text.lower()[:max_len] for text in texts]
+    flat = "".join(clipped)
+    if not flat:
+        return out
+    codes = np.frombuffer(flat.encode("utf-32-le"), dtype=np.uint32)
+    mapped = _CODE_LUT[np.minimum(codes, 128)]
+    lengths = np.array([len(text) for text in clipped], dtype=np.intp)
+    ends = np.cumsum(lengths)
+    rows = np.repeat(np.arange(len(texts), dtype=np.intp), lengths)
+    cols = np.arange(len(codes), dtype=np.intp) - np.repeat(ends - lengths, lengths)
+    out[rows, cols] = mapped
     return out

@@ -1,0 +1,265 @@
+"""Parity tests for the performance layer.
+
+Three invariants the perf work must not bend:
+
+* the vectorized/batched stats kernel matches a straightforward per-cell
+  reference implementation (the pre-vectorization algorithm) on a
+  property-style sample of generated corpora;
+* a cached :class:`~repro.benchmark.context.BenchmarkContext` produces
+  artifacts equal to a cold one, and the cache round-trips through disk;
+* ``repro-bench`` experiment output with ``--jobs N`` is identical to the
+  serial runner (modulo the measured seconds in the section headers).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+
+import numpy as np
+import pytest
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.runner import main
+from repro.cache import ArtifactCache, artifact_key
+from repro.core.stats import (
+    STAT_NAMES,
+    DescriptiveStats,
+    StatsScanCache,
+    _delimiter_count,
+    _finite,
+    _moments,
+    _stopword_count,
+    _whitespace_count,
+    _word_count,
+    compute_stats,
+    compute_stats_batch,
+)
+from repro.datagen.corpus import generate_corpus
+from repro.tabular.column import Column
+from repro.tabular.dtypes import (
+    looks_like_datetime,
+    looks_like_email,
+    looks_like_list,
+    looks_like_url,
+    try_parse_float,
+)
+
+
+def reference_compute_stats(column, samples=None):
+    """The pre-vectorization per-cell algorithm, kept as the test oracle."""
+    present = column.non_missing()
+    total = len(column)
+    n_nans = column.n_missing()
+    distinct = column.distinct()
+    if samples is None:
+        samples = distinct[:5]
+
+    numeric = [try_parse_float(cell) for cell in present]
+    numeric = [v for v in numeric if v is not None]
+    if numeric:
+        arr = np.asarray(numeric, dtype=float)
+        with np.errstate(over="ignore", invalid="ignore"):
+            mean_value = _finite(arr.mean())
+            std_value = _finite(arr.std())
+        min_value = _finite(arr.min())
+        max_value = _finite(arr.max())
+    else:
+        mean_value = std_value = min_value = max_value = 0.0
+
+    mean_word, std_word = _moments([_word_count(c) for c in present])
+    mean_stop, std_stop = _moments([_stopword_count(c) for c in present])
+    mean_char, std_char = _moments([len(c) for c in present])
+    mean_ws, std_ws = _moments([_whitespace_count(c) for c in present])
+    mean_delim, std_delim = _moments([_delimiter_count(c) for c in present])
+
+    vector = np.array(
+        [
+            float(total),
+            float(n_nans),
+            n_nans / total if total else 0.0,
+            float(len(distinct)),
+            len(distinct) / total if total else 0.0,
+            mean_value,
+            std_value,
+            min_value,
+            max_value,
+            mean_word,
+            std_word,
+            mean_stop,
+            std_stop,
+            mean_char,
+            std_char,
+            mean_ws,
+            std_ws,
+            mean_delim,
+            std_delim,
+            len(numeric) / len(present) if present else 0.0,
+            float(any(looks_like_url(s) for s in samples)),
+            float(any(looks_like_email(s) for s in samples)),
+            float(any(_delimiter_count(s) >= 2 for s in samples)),
+            float(any(looks_like_list(s) for s in samples)),
+            float(any(looks_like_datetime(s) for s in samples)),
+        ]
+    )
+    return DescriptiveStats(vector)
+
+
+def _assert_stats_close(actual, expected, label=""):
+    np.testing.assert_allclose(
+        actual.values, expected.values, rtol=1e-9, atol=1e-9,
+        err_msg=f"stats mismatch {label}",
+    )
+
+
+class TestVectorizedStatsParity:
+    def test_property_style_corpus_sample(self):
+        # Columns drawn from every generator class across several seeds.
+        for seed in (0, 7, 1234):
+            corpus = generate_corpus(n_examples=120, seed=seed)
+            columns = [c for table in corpus.files for c in table]
+            batch = compute_stats_batch(columns)
+            for column, stats in zip(columns, batch):
+                _assert_stats_close(
+                    stats, reference_compute_stats(column), column.name
+                )
+
+    def test_handcrafted_edge_cases(self):
+        columns = [
+            Column("empty", []),
+            Column("all_missing", [None, None]),
+            Column("constant_huge", ["880000000000000000.0"] * 9),
+            Column("mixed", ["1.5", "x,y;z", None, "  ", "a b the c", "-2e3"]),
+            Column("unicode", ["véhicule", "straße", "１２３", "٣٤", "x　y"]),
+            Column("numbers", ["1.", ".5e2", "5e", "e12", "+1", "1_000",
+                               "inf", "nan", "0x1A", "1-2", "1.2.3"]),
+            Column("urls", ["http://a.b/c", "x@y.com", "[1, 2]",
+                            "2020-01-02", "a,b,c,d"]),
+        ]
+        batch = compute_stats_batch(columns)
+        for column, stats in zip(columns, batch):
+            _assert_stats_close(
+                stats, reference_compute_stats(column), column.name
+            )
+
+    def test_single_equals_batch(self):
+        corpus = generate_corpus(n_examples=60, seed=3)
+        columns = [c for table in corpus.files for c in table]
+        batch = compute_stats_batch(columns)
+        for column, stats in zip(columns, batch):
+            assert (compute_stats(column).values == stats.values).all()
+
+    def test_scan_cache_across_batches_is_equivalent(self):
+        corpus = generate_corpus(n_examples=100, seed=5)
+        columns = [c for table in corpus.files for c in table]
+        whole = compute_stats_batch(columns)
+        cache = StatsScanCache()
+        chunked = []
+        for table in corpus.files:
+            chunked.extend(compute_stats_batch(list(table), scan_cache=cache))
+        for a, b in zip(whole, chunked):
+            assert (a.values == b.values).all()
+
+
+class TestArtifactCacheParity:
+    def test_cached_context_equals_cold(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = BenchmarkContext(n_examples=120, seed=2)
+        first = BenchmarkContext(n_examples=120, seed=2, cache=cache)
+        warm = BenchmarkContext(n_examples=120, seed=2, cache=cache)
+
+        # first populates the cache, warm reads it back from disk
+        for context in (first, warm):
+            assert context.corpus.n_examples == cold.corpus.n_examples
+            np.testing.assert_array_equal(
+                context.dataset.stats_matrix(), cold.dataset.stats_matrix()
+            )
+            assert context.dataset.names == cold.dataset.names
+            assert context.dataset.labels == cold.dataset.labels
+            assert context.train.names == cold.train.names
+            assert context.test.names == cold.test.names
+        assert (tmp_path / "cache" / "corpus").exists()
+
+    def test_cached_model_predictions_equal(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = BenchmarkContext(n_examples=120, seed=2, rf_estimators=5)
+        cached = BenchmarkContext(
+            n_examples=120, seed=2, rf_estimators=5, cache=cache
+        )
+        cached.our_rf  # populate
+        warm = BenchmarkContext(
+            n_examples=120, seed=2, rf_estimators=5, cache=cache
+        )
+        profiles = cold.test.profiles
+        assert (
+            warm.our_rf.predict(profiles)
+            == cold.our_rf.predict(profiles)
+            == cached.our_rf.predict(profiles)
+        )
+
+    def test_cached_downstream_score_equals_cold(self, tmp_path):
+        from repro.cache import set_active_cache
+        from repro.datagen.downstream import SPEC_BY_NAME, make_dataset
+        from repro.downstream.harness import evaluate_assignment
+        from repro.downstream.suite import truth_assignments
+
+        dataset = make_dataset(SPEC_BY_NAME["Hayes"], seed=4)
+        assignment = truth_assignments(dataset)
+        cold = evaluate_assignment(dataset, assignment, "linear", seed=0)
+        cache = ArtifactCache(tmp_path / "cache")
+        set_active_cache(cache)
+        try:
+            first = evaluate_assignment(dataset, assignment, "linear", seed=0)
+            warm = evaluate_assignment(dataset, assignment, "linear", seed=0)
+        finally:
+            set_active_cache(None)
+        assert cold == first == warm
+        assert (tmp_path / "cache" / "score").exists()
+
+    def test_key_changes_with_params(self):
+        base = artifact_key("corpus", {"n_examples": 100, "seed": 0})
+        assert base == artifact_key("corpus", {"seed": 0, "n_examples": 100})
+        assert base != artifact_key("corpus", {"n_examples": 100, "seed": 1})
+        assert base != artifact_key("split", {"n_examples": 100, "seed": 0})
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = artifact_key("corpus", {"n_examples": 1})
+        cache.put("corpus", key, {"payload": 1})
+        cache.path("corpus", key).write_bytes(b"garbage")
+        assert cache.get("corpus", key) is None
+        cache.put("corpus", key, {"payload": 2})
+        assert cache.get("corpus", key) == {"payload": 2}
+
+
+def _run_cli(argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        assert main(argv) == 0
+    # mask the measured elapsed seconds in "######## name (12.3s) ########"
+    return re.sub(r"\(\d+\.\d+s\)", "(Xs)", buffer.getvalue())
+
+
+@pytest.mark.slow
+class TestSerialVsParallel:
+    def test_jobs_output_identical(self, tmp_path):
+        base = ["--scale", "300", "--seed", "1",
+                "--cache-dir", str(tmp_path / "cache")]
+        serial = _run_cli(["table18"] + base)
+        # single-experiment runs take the serial path even with --jobs
+        parallel = _run_cli(["table18"] + base + ["--jobs", "2"])
+        assert serial == parallel
+
+    def test_parallel_engine_matches_run_experiment(self, tmp_path):
+        from repro.benchmark.parallel import run_parallel
+        from repro.benchmark.runner import run_experiment
+
+        names = ["table18", "table14", "table17"]
+        cache = ArtifactCache(tmp_path / "cache")
+        context = BenchmarkContext(n_examples=300, seed=1, cache=cache)
+        records = list(run_parallel(names, context, jobs=2))
+        assert [r["name"] for r in records] == names
+        fresh = BenchmarkContext(n_examples=300, seed=1)
+        for record in records:
+            assert record["output"] == run_experiment(record["name"], fresh)
