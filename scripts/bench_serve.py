@@ -1,0 +1,382 @@
+#!/usr/bin/env python
+"""Load generator + benchmark for the ``repro.serve`` inference service.
+
+Full mode (default) produces the PR's evidence file (``BENCH_pr3.json``):
+
+1. trains and saves a model artifact, and writes a synthetic CSV workload;
+2. baseline: sequential ``repro-infer --model`` subprocess per table — the
+   pre-serving deployment story (every invocation pays interpreter start,
+   model load, and a cold featurizer);
+3. server: one warm ``repro-serve`` process, the same tables fired by
+   concurrent clients — reports columns/sec, p50/p90/p99 latency, batch-size
+   distribution, and shed counts from ``/metrics``;
+4. parity: server predictions must be byte-identical (modulo timing fields)
+   to the offline ``TypeInferencePipeline`` on every table.
+
+Smoke mode (``--smoke``, used by the CI ``serve-smoke`` job) fires N
+concurrent requests at a server (``--server URL``, or a self-started one)
+and fails on any 5xx response or a wall-time ceiling breach.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py --out BENCH_pr3.json
+    PYTHONPATH=src python scripts/bench_serve.py --smoke --server http://127.0.0.1:8123
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import percentile  # noqa: E402
+from repro.serve.client import ServeClient, ServeClientError  # noqa: E402
+
+SMOKE_CSV = "id,amount,category\n" + "\n".join(
+    f"{i},{round(3.5 * i, 2)},{['a', 'b', 'c'][i % 3]}" for i in range(30)
+)
+
+
+# --------------------------------------------------------------------------
+# workload synthesis
+# --------------------------------------------------------------------------
+def make_workload(root: Path, n_tables: int, n_rows: int, seed: int) -> list[Path]:
+    """Write ``n_tables`` mixed-type CSVs; returns their paths."""
+    root.mkdir(parents=True, exist_ok=True)
+    rng = random.Random(seed)
+    cities = ["berlin", "oslo", "lima", "pune", "quito", "osaka"]
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
+    paths = []
+    for t in range(n_tables):
+        columns: dict[str, list[str]] = {
+            "record_id": [str(10_000 + i) for i in range(n_rows)],
+            "amount": [f"{rng.uniform(1, 9999):.2f}" for _ in range(n_rows)],
+            "city": [rng.choice(cities) for _ in range(n_rows)],
+            "signup_date": [
+                f"20{rng.randint(10, 23):02d}-{rng.randint(1, 12):02d}-"
+                f"{rng.randint(1, 28):02d}"
+                for _ in range(n_rows)
+            ],
+            "rating": [str(rng.randint(1, 5)) for _ in range(n_rows)],
+            "note": [
+                " ".join(rng.choice(words) for _ in range(rng.randint(4, 9)))
+                for _ in range(n_rows)
+            ],
+            "homepage": [
+                f"https://example.org/{rng.choice(words)}/{i}"
+                for i in range(n_rows)
+            ],
+            "price_label": [f"${rng.uniform(1, 99):.2f}" for _ in range(n_rows)],
+        }
+        lines = [",".join(columns)]
+        for i in range(n_rows):
+            lines.append(",".join(columns[name][i] for name in columns))
+        path = root / f"table_{t:03d}.csv"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def train_artifact(path: Path, n_examples: int, trees: int, seed: int) -> None:
+    from repro.core.models import RandomForestModel
+    from repro.core.persistence import save_model
+    from repro.datagen.corpus import generate_corpus
+
+    corpus = generate_corpus(n_examples=n_examples, seed=seed)
+    model = RandomForestModel(n_estimators=trees, random_state=seed)
+    model.fit(corpus.dataset)
+    save_model(model, path)
+
+
+# --------------------------------------------------------------------------
+# baseline: sequential repro-infer subprocesses
+# --------------------------------------------------------------------------
+def run_sequential(model_path: Path, csvs: list[Path]) -> dict:
+    walls = []
+    n_columns = 0
+    for csv_path in csvs:
+        start = time.monotonic()
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", str(csv_path),
+             "--model", str(model_path), "--json"],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": _pythonpath()},
+        )
+        walls.append(time.monotonic() - start)
+        if result.returncode != 0:
+            raise RuntimeError(f"repro-infer failed: {result.stderr}")
+        n_columns += len(json.loads(result.stdout))
+    total = sum(walls)
+    return {
+        "mode": "sequential repro-infer --model (one subprocess per table)",
+        "tables": len(csvs),
+        "columns": n_columns,
+        "wall_s": round(total, 3),
+        "columns_per_s": round(n_columns / total, 2),
+        "per_invocation_s": {
+            "p50": round(percentile(sorted(walls), 50), 3),
+            "p99": round(percentile(sorted(walls), 99), 3),
+        },
+    }
+
+
+def _pythonpath() -> str:
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = os.environ.get("PYTHONPATH")
+    return src + (os.pathsep + existing if existing else "")
+
+
+# --------------------------------------------------------------------------
+# server under load
+# --------------------------------------------------------------------------
+class ManagedServer:
+    """A repro-serve subprocess on an ephemeral port."""
+
+    def __init__(self, args: list[str]):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0", *args],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+            env={**os.environ, "PYTHONPATH": _pythonpath()},
+        )
+        banner = self.proc.stdout.readline()
+        try:
+            self.url = next(
+                tok for tok in banner.split() if tok.startswith("http://")
+            )
+        except StopIteration:
+            self.proc.kill()
+            raise RuntimeError(f"repro-serve did not start: {banner!r}")
+
+    def stop(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait()
+
+
+def run_server_load(
+    url: str, csvs: list[Path], concurrency: int, passes: int
+) -> dict:
+    client = ServeClient(url, timeout_s=120)
+    texts = [(p.stem, p.read_text(encoding="utf-8")) for p in csvs]
+    jobs = texts * passes
+    latencies: list[float] = []
+    responses: dict[str, dict] = {}
+    errors: list[str] = []
+
+    def fire(job):
+        name, text = job
+        start = time.monotonic()
+        try:
+            response = client.infer_csv_text(text, table=name)
+        except ServeClientError as exc:
+            errors.append(f"{name}: {exc}")
+            return
+        latencies.append(time.monotonic() - start)
+        responses[name] = response
+
+    start = time.monotonic()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(fire, jobs))
+    wall = time.monotonic() - start
+
+    metrics = client.metrics()
+    n_columns = sum(
+        len(r["predictions"]) for r in responses.values()
+    ) * passes if responses else 0
+    ordered = sorted(latencies)
+    return {
+        "mode": f"repro-serve, {concurrency} concurrent clients, "
+                f"{passes} passes over the workload",
+        "tables": len(csvs),
+        "requests": len(jobs),
+        "errors": errors,
+        "columns": n_columns,
+        "wall_s": round(wall, 3),
+        "columns_per_s": round(n_columns / wall, 2) if wall else None,
+        "latency_s": {
+            "p50": round(percentile(ordered, 50), 4),
+            "p90": round(percentile(ordered, 90), 4),
+            "p99": round(percentile(ordered, 99), 4),
+            "max": round(ordered[-1], 4) if ordered else None,
+        },
+        "batch_size": metrics["histograms"].get("serve.batch_size"),
+        "shed": metrics["counters"].get("serve.shed", 0),
+        "deadline_exceeded": metrics["counters"].get(
+            "serve.deadline_exceeded", 0
+        ),
+        "responses": responses,
+    }
+
+
+def check_parity(model_path: Path, csvs: list[Path], responses: dict) -> dict:
+    """Server output must match the offline pipeline byte-for-byte."""
+    from repro.core.persistence import load_model
+    from repro.core.pipeline import TypeInferencePipeline
+
+    pipeline = TypeInferencePipeline(load_model(model_path))
+    mismatches = []
+    for csv_path in csvs:
+        offline = json.dumps(
+            [p.as_dict() for p in pipeline.predict_csv(csv_path)]
+        )
+        served = json.dumps(responses[csv_path.stem]["predictions"])
+        if offline != served:
+            mismatches.append(csv_path.name)
+    return {
+        "tables_checked": len(csvs),
+        "byte_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+# --------------------------------------------------------------------------
+# modes
+# --------------------------------------------------------------------------
+def run_full(args) -> int:
+    out: dict = {
+        "benchmark": "repro.serve throughput vs sequential repro-infer",
+        "python": sys.version.split()[0],
+        "knobs": {
+            "tables": args.tables, "rows": args.rows,
+            "concurrency": args.concurrency, "passes": args.passes,
+            "train_examples": args.train_examples, "trees": args.trees,
+            "max_wait_ms": args.max_wait_ms,
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        root = Path(tmp)
+        model_path = root / "bench.model"
+        print(f"training artifact ({args.train_examples} examples, "
+              f"{args.trees} trees) ...", flush=True)
+        train_artifact(model_path, args.train_examples, args.trees, args.seed)
+        csvs = make_workload(root / "tables", args.tables, args.rows, args.seed)
+
+        print(f"sequential baseline over {len(csvs)} tables ...", flush=True)
+        out["sequential"] = run_sequential(model_path, csvs)
+        print(f"  {out['sequential']['columns_per_s']} columns/s", flush=True)
+
+        print("starting warm server ...", flush=True)
+        server = ManagedServer(
+            ["--model", str(model_path),
+             "--max-wait-ms", str(args.max_wait_ms), "--wait-ready"]
+        )
+        try:
+            ServeClient(server.url).wait_ready(timeout_s=120)
+            load = run_server_load(
+                server.url, csvs, args.concurrency, args.passes
+            )
+        finally:
+            exit_code = server.stop()
+        responses = load.pop("responses")
+        out["server"] = load
+        out["server"]["clean_shutdown"] = exit_code == 0
+        print(f"  {load['columns_per_s']} columns/s", flush=True)
+
+        out["parity"] = check_parity(model_path, csvs, responses)
+        speedup = (
+            load["columns_per_s"] / out["sequential"]["columns_per_s"]
+        )
+        out["speedup_columns_per_s"] = round(speedup, 2)
+
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(
+        {k: out[k] for k in ("speedup_columns_per_s", "parity")}, indent=2
+    ))
+    print(f"wrote {args.out}")
+    if load["errors"] or not out["parity"]["byte_identical"]:
+        return 1
+    if speedup < 5.0:
+        print(f"WARNING: speedup {speedup:.1f}x below the 5x acceptance bar")
+        return 1
+    return 0
+
+
+def run_smoke(args) -> int:
+    owned: ManagedServer | None = None
+    if args.server:
+        url = args.server
+    else:
+        server_args = ["--train-examples", "300", "--trees", "10",
+                       "--max-wait-ms", str(args.max_wait_ms)]
+        if args.cache_dir:
+            server_args += ["--cache-dir", args.cache_dir]
+        owned = ManagedServer(server_args)
+        url = owned.url
+    client = ServeClient(url, timeout_s=120)
+    try:
+        health = client.wait_ready(timeout_s=args.ceiling_s)
+        print(f"server ready (model {health['model']['fingerprint'][:12]})",
+              flush=True)
+        statuses: list[int] = []
+
+        def fire(index: int) -> None:
+            try:
+                client.infer_csv_text(SMOKE_CSV, table=f"smoke{index}")
+                statuses.append(200)
+            except ServeClientError as exc:
+                statuses.append(exc.status)
+
+        start = time.monotonic()
+        with ThreadPoolExecutor(max_workers=args.requests) as pool:
+            list(pool.map(fire, range(args.requests)))
+        wall = time.monotonic() - start
+    finally:
+        if owned is not None:
+            code = owned.stop()
+            print(f"server drained with exit code {code}")
+
+    bad = [s for s in statuses if s >= 500 or s == 0]
+    print(f"smoke: {len(statuses)} requests in {wall:.2f}s, "
+          f"statuses={sorted(set(statuses))}")
+    if bad:
+        print(f"FAIL: {len(bad)} requests got 5xx/transport errors")
+        return 1
+    if wall > args.ceiling_s:
+        print(f"FAIL: wall {wall:.1f}s over ceiling {args.ceiling_s:.0f}s")
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument("--tables", type=int, default=12)
+    parser.add_argument("--rows", type=int, default=60)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--passes", type=int, default=3,
+                        help="how many times the workload is replayed "
+                             "against the server")
+    parser.add_argument("--train-examples", type=int, default=600)
+    parser.add_argument("--trees", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-wait-ms", type=float, default=10.0)
+    smoke = parser.add_argument_group("smoke mode (CI)")
+    smoke.add_argument("--smoke", action="store_true",
+                       help="fire --requests concurrent requests, assert "
+                            "non-5xx and a wall ceiling")
+    smoke.add_argument("--server", default=None, metavar="URL",
+                       help="target a running server (default: start one)")
+    smoke.add_argument("--cache-dir", default=None,
+                       help="cache dir for the self-started smoke server")
+    smoke.add_argument("--requests", type=int, default=20)
+    smoke.add_argument("--ceiling-s", type=float, default=120.0)
+    args = parser.parse_args(argv)
+    return run_smoke(args) if args.smoke else run_full(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

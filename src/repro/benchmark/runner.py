@@ -182,7 +182,58 @@ def run_experiment(name: str, context: BenchmarkContext) -> str:
     return experiment(context)
 
 
+def parse_size(text: str) -> int:
+    """'500M' / '2G' / '750k' / plain bytes → int bytes."""
+    text = text.strip()
+    multipliers = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+    suffix = text[-1:].lower()
+    if suffix in multipliers:
+        return int(float(text[:-1]) * multipliers[suffix])
+    return int(text)
+
+
+def _cache_main(argv: list[str]) -> int:
+    """``repro-bench cache prune --max-bytes 500M [--cache-dir PATH]``.
+
+    Keeps long-lived deployments (cron'd benchmarks, ``repro-serve`` nodes
+    training through a cache) from growing the artifact dir unboundedly:
+    least-recently-*used* entries are evicted first (reads bump mtime).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-bench cache",
+        description="Manage the content-addressed artifact cache.",
+    )
+    parser.add_argument("action", choices=["prune"])
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--max-bytes", required=True, metavar="SIZE", type=parse_size,
+        help="evict LRU entries until the cache fits SIZE "
+             "(suffixes k/M/G/T accepted)",
+    )
+    args = parser.parse_args(argv)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        parser.error("no cache directory: pass --cache-dir or set "
+                     "$REPRO_CACHE_DIR")
+    report = ArtifactCache(cache_dir).prune(args.max_bytes)
+    print(
+        f"pruned {report['removed']} of {report['entries_before']} entries "
+        f"({report['bytes_removed']} bytes) from {report['root']}; "
+        f"{report['bytes_after']} bytes in {report['entries_after']} "
+        f"entries remain (limit {report['max_bytes']})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # "cache" is a subcommand namespace, not an experiment.
+    if argv[:1] == ["cache"]:
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",

@@ -127,6 +127,12 @@ class ArtifactCache:
             return None
         telemetry.count("cache.hit")
         telemetry.count(f"cache.hit.{kind}")
+        try:
+            # Bump mtime so prune()'s LRU-by-mtime ordering tracks actual
+            # use, not just creation time.
+            os.utime(path)
+        except OSError:
+            pass
         return payload["artifact"]
 
     def put(self, kind: str, key: str, artifact) -> Path:
@@ -162,6 +168,60 @@ class ArtifactCache:
             artifact = build()
             self.put(kind, key, artifact)
         return artifact
+
+    def size_bytes(self) -> int:
+        """Total bytes of all cache entries currently on disk."""
+        return sum(entry[2] for entry in self._entries())
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-used entries until the cache fits
+        ``max_bytes``.
+
+        Recency is file mtime (:meth:`get` bumps it on every hit), so this
+        is LRU over actual traffic.  Long-lived servers call this
+        periodically — and ``repro-bench cache prune`` from cron — to keep
+        the artifact dir bounded.  Returns a report dict (entry/byte counts
+        before and after, entries removed).
+        """
+        entries = sorted(self._entries(), key=lambda e: (e[1], str(e[0])))
+        total = sum(size for _, _, size in entries)
+        report = {
+            "root": str(self.root),
+            "max_bytes": int(max_bytes),
+            "entries_before": len(entries),
+            "bytes_before": total,
+            "removed": 0,
+            "bytes_removed": 0,
+        }
+        for path, _, size in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            report["removed"] += 1
+            report["bytes_removed"] += size
+            telemetry.count("cache.prune.removed")
+            telemetry.count("cache.prune.bytes", size)
+        report["entries_after"] = report["entries_before"] - report["removed"]
+        report["bytes_after"] = total
+        return report
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """(path, mtime, size) of every entry; entries that vanish
+        mid-scan (concurrent prune/eviction) are skipped."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in self.root.rglob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_mtime, stat.st_size))
+        return out
 
 
 #: Process-wide cache handle for call sites that sit below the benchmark

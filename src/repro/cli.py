@@ -5,9 +5,12 @@ Usage:
     repro-infer data.csv --model rf.model   # reuse a saved model artifact
     repro-infer data.csv --save rf.model    # persist the trained model
     repro-infer data.csv --json             # machine-readable output
+    repro-infer data.csv --server URL       # delegate to a repro-serve node
 
 The first run trains the benchmark's Random Forest on a synthetic labeled
-corpus (~a minute); save the artifact once and reuse it for instant startup.
+corpus (~a minute); save the artifact once and reuse it for instant startup —
+or point ``--server`` at a running ``repro-serve`` instance, which keeps the
+model resident and batches concurrent invocations (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -18,9 +21,8 @@ import os
 import sys
 
 from repro.core.models import RandomForestModel
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import load_model, model_fingerprint, save_model
 from repro.core.pipeline import TypeInferencePipeline
-from repro.datagen.corpus import generate_corpus
 from repro.obs import (
     RunManifest,
     add_observability_flags,
@@ -28,23 +30,77 @@ from repro.obs import (
     telemetry,
 )
 from repro.obs.export import write_json
+from repro.tabular.csv_io import CSVReadError, load_csv_table
 
 DEFAULT_TRAIN_EXAMPLES = 1500
 
 
-def _obtain_model(args) -> RandomForestModel:
+def _obtain_model(args, manifest: RunManifest) -> RandomForestModel:
     if args.model and os.path.exists(args.model):
         with telemetry.span("infer.load_model", path=args.model):
-            return load_model(args.model)
+            model = load_model(args.model)
+        manifest.extra["model_fingerprint"] = model_fingerprint(args.model)
+        return model
     model = RandomForestModel(
         n_estimators=args.trees, random_state=args.seed
     )
     with telemetry.span(
         "infer.train", n_examples=args.train_examples, trees=args.trees
     ):
+        from repro.datagen.corpus import generate_corpus
+
         corpus = generate_corpus(n_examples=args.train_examples, seed=args.seed)
         model.fit(corpus.dataset)
     return model
+
+
+def _render(predictions: list[dict], as_json: bool) -> str:
+    """Render prediction dicts (the :meth:`ColumnPrediction.as_dict` shape).
+
+    Shared by the local and ``--server`` paths so both modes print
+    byte-identical output for the same predictions.
+    """
+    if as_json:
+        return json.dumps(predictions, indent=2)
+    width = max(len(p["column"]) for p in predictions)
+    lines = [
+        f"{'column':<{width}}  {'feature type':<18} {'confidence':<10} review"
+    ]
+    for p in predictions:
+        flag = "YES" if p["needs_review"] else ""
+        lines.append(
+            f"{p['column']:<{width}}  {p['feature_type']:<18} "
+            f"{p['confidence']:<10.2f} {flag}"
+        )
+    return "\n".join(lines)
+
+
+def _infer_via_server(args) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+
+    try:
+        with open(args.csv, newline="", encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        print(f"repro-infer: cannot read {args.csv!r}: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.server)
+    table = os.path.splitext(os.path.basename(args.csv))[0]
+    try:
+        response = client.infer_csv_text(
+            text, table=table, deadline_ms=args.deadline_ms
+        )
+    except ServeClientError as exc:
+        print(f"repro-infer: {exc}", file=sys.stderr)
+        return 3
+    if response.get("degraded"):
+        print(
+            "repro-infer: warning: server answered in degraded (rule-based) "
+            "mode; primary model not loaded yet",
+            file=sys.stderr,
+        )
+    print(_render(response["predictions"], args.as_json))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,6 +123,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--train-examples", type=int, default=DEFAULT_TRAIN_EXAMPLES
     )
+    server = parser.add_argument_group("server mode")
+    server.add_argument(
+        "--server", default=None, metavar="URL",
+        help="delegate inference to a running repro-serve instance "
+             "(e.g. http://127.0.0.1:8099); no local model is loaded",
+    )
+    server.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline when using --server",
+    )
     add_observability_flags(parser)
     args = parser.parse_args(argv)
 
@@ -74,6 +140,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"no such file: {args.csv}")
 
     observing = configure_telemetry(args)
+
+    if args.server:
+        return _infer_via_server(args)
+
     manifest = RunManifest(
         command="repro-infer",
         argv=list(argv) if argv is not None else sys.argv[1:],
@@ -81,12 +151,18 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.train_examples,
     )
 
-    model = _obtain_model(args)
+    try:
+        table = load_csv_table(args.csv)
+    except CSVReadError as exc:
+        print(f"repro-infer: {exc}", file=sys.stderr)
+        return 2
+
+    model = _obtain_model(args, manifest)
     if args.save:
         save_model(model, args.save)
 
     pipeline = TypeInferencePipeline(model)
-    predictions = pipeline.predict_csv(args.csv)
+    predictions = pipeline.predict_table(table)
 
     if observing:
         if args.metrics_out:
@@ -95,31 +171,7 @@ def main(argv: list[str] | None = None) -> int:
             manifest.finalize(telemetry)
             manifest.write(args.manifest)
 
-    if args.as_json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "column": p.column,
-                        "feature_type": p.feature_type.value,
-                        "confidence": round(p.confidence, 4),
-                        "needs_review": p.needs_review,
-                    }
-                    for p in predictions
-                ],
-                indent=2,
-            )
-        )
-        return 0
-
-    width = max(len(p.column) for p in predictions)
-    print(f"{'column':<{width}}  {'feature type':<18} {'confidence':<10} review")
-    for p in predictions:
-        flag = "YES" if p.needs_review else ""
-        print(
-            f"{p.column:<{width}}  {p.feature_type.value:<18} "
-            f"{p.confidence:<10.2f} {flag}"
-        )
+    print(_render([p.as_dict() for p in predictions], args.as_json))
     return 0
 
 

@@ -8,6 +8,7 @@ a versioned pickle with an integrity header.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import os
 import pickle
@@ -20,6 +21,13 @@ _FORMAT_VERSION = 1
 
 class ModelPersistenceError(RuntimeError):
     """Raised when a model artifact cannot be read."""
+
+
+class ModelFormatError(ModelPersistenceError):
+    """Raised when an artifact is readable but its format is wrong: bad
+    magic header, missing/unknown ``format_version``, or a payload that is
+    not a model.  Lets callers distinguish "not our file / wrong version"
+    from I/O-level corruption."""
 
 
 def save_model(model: TypeInferenceModel, path: str | os.PathLike) -> None:
@@ -43,17 +51,51 @@ def load_model(path: str | os.PathLike) -> TypeInferenceModel:
     with open(path, "rb") as handle:
         header = handle.read(len(_MAGIC))
         if header != _MAGIC:
-            raise ModelPersistenceError(
+            raise ModelFormatError(
                 f"{os.fspath(path)!r} is not a repro model artifact"
             )
         payload = pickle.load(handle)
-    version = payload.get("format_version")
+    if not isinstance(payload, dict) or "format_version" not in payload:
+        raise ModelFormatError(
+            f"{os.fspath(path)!r} has no format_version header"
+        )
+    version = payload["format_version"]
     if version != _FORMAT_VERSION:
-        raise ModelPersistenceError(
+        raise ModelFormatError(
             f"unsupported model format version {version!r} "
             f"(expected {_FORMAT_VERSION})"
         )
     model = payload["model"]
     if not isinstance(model, TypeInferenceModel):
-        raise ModelPersistenceError("artifact does not contain a model")
+        raise ModelFormatError("artifact does not contain a model")
     return model
+
+
+def model_fingerprint(path: str | os.PathLike) -> str:
+    """sha256 hex digest of an artifact's payload (header excluded).
+
+    Two artifacts with the same fingerprint decode to byte-identical model
+    payloads; surfaced in ``/healthz`` and run manifests so a serving
+    deployment can be tied back to the exact model it answered with.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(len(_MAGIC))
+        if header != _MAGIC:
+            raise ModelFormatError(
+                f"{os.fspath(path)!r} is not a repro model artifact"
+            )
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def fingerprint_model(model: TypeInferenceModel) -> str:
+    """sha256 of the payload :func:`save_model` would write for ``model``.
+
+    Matches :func:`model_fingerprint` of the saved file, so freshly trained
+    (never-saved) models report the same identity they would have on disk.
+    """
+    return hashlib.sha256(
+        pickle.dumps(
+            {"format_version": _FORMAT_VERSION, "model": model},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    ).hexdigest()

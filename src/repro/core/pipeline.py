@@ -39,6 +39,19 @@ class ColumnPrediction:
             or self.confidence < 0.5
         )
 
+    def as_dict(self) -> dict:
+        """The canonical JSON shape of one prediction.
+
+        Shared by ``repro-infer --json`` and the ``repro.serve`` HTTP
+        responses so server output is byte-identical to offline output.
+        """
+        return {
+            "column": self.column,
+            "feature_type": self.feature_type.value,
+            "confidence": round(self.confidence, 4),
+            "needs_review": self.needs_review,
+        }
+
 
 class TypeInferencePipeline:
     """Wraps a fitted :class:`TypeInferenceModel` behind file-level helpers."""

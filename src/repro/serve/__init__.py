@@ -1,0 +1,33 @@
+"""repro.serve — long-lived batched feature-type inference service.
+
+The serving layer the ROADMAP calls for: load fitted models once through a
+:class:`~repro.serve.registry.ModelRegistry`, micro-batch concurrent column
+uploads through :class:`~repro.serve.batching.MicroBatcher` (amortizing
+``compute_stats_batch`` + ``predict_proba`` across requests), and expose it
+all over stdlib HTTP (``POST /v1/infer``, ``GET /healthz``,
+``GET /metrics``).  See ``docs/serving.md``.
+"""
+
+from repro.serve.batching import (
+    DeadlineExceededError,
+    InferenceRequest,
+    MicroBatcher,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.registry import ModelRegistry, TrainConfig
+from repro.serve.service import InferenceService
+
+__all__ = [
+    "DeadlineExceededError",
+    "InferenceRequest",
+    "InferenceService",
+    "MicroBatcher",
+    "ModelRegistry",
+    "QueueFullError",
+    "ServeClient",
+    "ServeClientError",
+    "ServiceClosedError",
+    "TrainConfig",
+]

@@ -1,0 +1,166 @@
+"""``repro-serve``: run the batched type-inference service.
+
+Usage::
+
+    repro-serve --model rf.model                  # serve a saved artifact
+    repro-serve --cache-dir ~/.cache/repro        # train-through-cache
+    repro-serve --port 0                          # ephemeral port (printed)
+
+The process answers immediately: while the primary model loads (or trains),
+``POST /v1/infer`` is served by the rule-based fallback with
+``degraded: true``.  SIGTERM/SIGINT triggers a graceful drain: new requests
+get 503, queued requests finish, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+
+from repro.cache import ArtifactCache
+from repro.obs import (
+    RunManifest,
+    add_observability_flags,
+    telemetry,
+)
+from repro.obs.export import write_json
+from repro.serve.http import make_server
+from repro.serve.registry import ModelRegistry, TrainConfig
+from repro.serve.service import InferenceService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-lived batched feature type inference over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8099,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    model = parser.add_argument_group("model")
+    model.add_argument(
+        "--model", default=None, metavar="PATH",
+        help="saved model artifact to serve (default: train at startup)",
+    )
+    model.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="artifact cache for the train-at-startup path (default "
+             "$REPRO_CACHE_DIR; a warm cache makes restarts near-instant)",
+    )
+    model.add_argument("--trees", type=int, default=50)
+    model.add_argument("--seed", type=int, default=0)
+    model.add_argument("--train-examples", type=int, default=1500)
+    model.add_argument(
+        "--wait-ready", action="store_true",
+        help="block until the primary model is resident before serving "
+             "(disables the degraded-start window)",
+    )
+    batching = parser.add_argument_group("batching & robustness")
+    batching.add_argument(
+        "--max-batch-columns", type=int, default=256, metavar="N",
+        help="column budget per micro-batch",
+    )
+    batching.add_argument(
+        "--max-wait-ms", type=float, default=10.0, metavar="MS",
+        help="batch gathering window; higher = bigger batches, more latency",
+    )
+    batching.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="bounded queue size; submissions past it are shed with 429",
+    )
+    batching.add_argument(
+        "--deadline-ms", type=float, default=30000.0, metavar="MS",
+        help="default per-request deadline (clients override per call)",
+    )
+    add_observability_flags(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    # A server's /metrics endpoint is only useful with telemetry on, so
+    # unlike the batch CLIs, repro-serve always enables it.
+    telemetry.enable(log_level=args.log_level or "info")
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    cache = ArtifactCache(cache_dir) if cache_dir and not args.model else None
+    registry = ModelRegistry(
+        model_path=args.model,
+        cache=cache,
+        train=TrainConfig(
+            n_examples=args.train_examples, trees=args.trees, seed=args.seed
+        ),
+    )
+    service = InferenceService(
+        registry,
+        max_batch_columns=args.max_batch_columns,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline_ms / 1000.0,
+    )
+    try:
+        server = make_server(args.host, args.port, service)
+    except OSError as exc:
+        print(f"repro-serve: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    service.start(load_in_background=not args.wait_ready)
+    if args.wait_ready and not registry.ready:
+        print(f"repro-serve: model load failed: {registry.error}",
+              file=sys.stderr)
+        return 1
+
+    manifest = RunManifest(
+        command="repro-serve",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        seed=args.seed,
+        scale=args.train_examples,
+        model_path=args.model,
+        cache_dir=str(cache_dir) if cache_dir else None,
+    )
+
+    # The startup line is machine-readable on purpose: tests and
+    # bench_serve.py parse the URL (--port 0 binds an ephemeral port).
+    print(
+        f"repro-serve listening on http://{args.host}:{server.server_port} "
+        f"(model: {'artifact ' + args.model if args.model else 'training'})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        telemetry.info("serve.signal", signal=signal.Signals(signum).name)
+        stop.set()
+        # shutdown() must come from another thread than serve_forever().
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        # Drain: refuse new work (503), finish queued requests, then join
+        # handler threads so every accepted request gets its response.
+        service.drain()
+        server.server_close()
+        if args.metrics_out:
+            write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.manifest:
+            manifest.extra["model_fingerprint"] = registry.fingerprint
+            manifest.extra["model_state"] = registry.state
+            manifest.finalize(telemetry)
+            manifest.write(args.manifest)
+        print("repro-serve: drained, bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

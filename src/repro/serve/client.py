@@ -1,0 +1,146 @@
+"""Stdlib (``urllib``) client for a running ``repro-serve`` instance.
+
+Used by ``repro-infer --server URL`` (so the CLI can delegate to a resident
+server instead of training/loading a model per invocation) and by
+``scripts/bench_serve.py``.  No third-party HTTP dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response (or transport failure) from the server.
+
+    ``status`` is the HTTP status code (0 on transport errors);
+    ``payload`` is the decoded JSON error body when one was returned.
+    """
+
+    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+    @property
+    def retry_after_s(self) -> float | None:
+        value = self.payload.get("retry_after_s")
+        return float(value) if value is not None else None
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- inference -----------------------------------------------------------
+    def infer_csv_text(
+        self,
+        text: str,
+        table: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """POST CSV text to ``/v1/infer``; the decoded response dict."""
+        return self._post_infer(
+            text.encode("utf-8"), "text/csv", table=table,
+            deadline_ms=deadline_ms,
+        )
+
+    def infer_columns(
+        self,
+        columns: list[dict],
+        table: str = "",
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """POST a JSON column payload: ``[{"name": ..., "cells": [...]}]``."""
+        body = json.dumps({"table": table, "columns": columns}).encode("utf-8")
+        return self._post_infer(
+            body, "application/json", deadline_ms=deadline_ms
+        )
+
+    def _post_infer(
+        self,
+        body: bytes,
+        content_type: str,
+        table: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        query = []
+        if table:
+            query.append(f"table={urllib.parse.quote(table)}")
+        if deadline_ms is not None:
+            query.append(f"deadline_ms={deadline_ms:g}")
+        path = "/v1/infer" + ("?" + "&".join(query) if query else "")
+        return self._request("POST", path, body, content_type)
+
+    # -- status --------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def wait_ready(self, timeout_s: float = 60.0, poll_s: float = 0.2) -> dict:
+        """Poll ``/healthz`` until the primary model is resident.
+
+        Returns the final health dict; raises :class:`ServeClientError`
+        when the model load failed or the timeout passes.
+        """
+        end = time.monotonic() + timeout_s
+        health: dict = {}
+        while time.monotonic() < end:
+            try:
+                health = self.healthz()
+            except ServeClientError:
+                health = {}
+            else:
+                if health.get("ready"):
+                    return health
+                if health.get("model", {}).get("state") == "failed":
+                    raise ServeClientError(
+                        f"model load failed: {health['model'].get('error')}",
+                        status=500, payload=health,
+                    )
+            time.sleep(poll_s)
+        raise ServeClientError(
+            f"server not ready after {timeout_s:.0f}s "
+            f"(last health: {health or 'unreachable'})"
+        )
+
+    # -- transport -----------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str | None = None,
+    ) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        if content_type:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": raw.decode("utf-8", "replace")}
+            raise ServeClientError(
+                f"{method} {path} -> HTTP {exc.code}: "
+                f"{payload.get('error', 'unknown error')}",
+                status=exc.code, payload=payload,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                f"{method} {path} -> {exc.reason}", status=0
+            ) from exc

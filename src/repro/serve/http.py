@@ -1,0 +1,245 @@
+"""HTTP front end for :class:`~repro.serve.service.InferenceService`.
+
+Stdlib-only (``http.server.ThreadingHTTPServer`` + ``json``).  Endpoints:
+
+``POST /v1/infer``
+    Body is either CSV text (``Content-Type: text/csv``, the raw upload) or
+    a JSON payload ``{"table": name, "columns": [{"name": ..., "cells":
+    [...]}]}``.  Optional ``?deadline_ms=N`` (or ``X-Deadline-Ms`` header)
+    bounds end-to-end latency.  Responses: 200 with predictions, 400 on a
+    malformed body, 429 + ``Retry-After`` when the queue sheds, 503 while
+    draining, 504 past the deadline.
+
+``GET /healthz``
+    Service + model state (including the model artifact fingerprint).
+
+``GET /metrics``
+    JSON snapshot of the ``repro.obs`` metrics registry
+    (``serve.request`` / ``serve.batch_size`` / ``serve.queue_depth`` /
+    ``serve.shed`` and everything else the process recorded).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import telemetry
+from repro.serve.batching import QueueFullError, ServiceClosedError
+from repro.serve.service import InferenceService
+from repro.tabular.column import Column
+from repro.tabular.csv_io import CSVReadError, read_csv_text
+from repro.tabular.table import Table
+
+MAX_BODY_BYTES = 64 * 1024 * 1024  # one upload, not a data lake
+
+
+class BadRequestError(ValueError):
+    """Client payload cannot be turned into a table (HTTP 400)."""
+
+
+def table_from_json(payload) -> Table:
+    """Decode the JSON column payload into a :class:`Table`."""
+    if not isinstance(payload, dict):
+        raise BadRequestError("JSON body must be an object")
+    columns = payload.get("columns")
+    if not isinstance(columns, list) or not columns:
+        raise BadRequestError('JSON body needs a non-empty "columns" list')
+    out = []
+    for index, spec in enumerate(columns):
+        if not isinstance(spec, dict) or "cells" not in spec:
+            raise BadRequestError(
+                f'columns[{index}] must be an object with "name" and "cells"'
+            )
+        cells = spec["cells"]
+        if not isinstance(cells, list):
+            raise BadRequestError(f"columns[{index}].cells must be a list")
+        name = str(spec.get("name", f"column_{index}"))
+        out.append(
+            Column(name, [None if cell is None else str(cell) for cell in cells])
+        )
+    try:
+        return Table(out, name=str(payload.get("table", "")))
+    except ValueError as exc:  # ragged/duplicate columns
+        raise BadRequestError(str(exc)) from exc
+
+
+def parse_table(content_type: str, body: bytes, name: str = "upload") -> Table:
+    """Decode a request body (CSV text or JSON columns) into a table."""
+    kind = (content_type or "text/csv").split(";")[0].strip().lower()
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise BadRequestError(f"body is not UTF-8 ({exc.reason})") from exc
+    if kind == "application/json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"invalid JSON body: {exc}") from exc
+        return table_from_json(payload)
+    try:
+        return read_csv_text(text, name=name)
+    except CSVReadError as exc:
+        raise BadRequestError(str(exc)) from exc
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One HTTP connection; the service lives on ``self.server``."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections time out so a drain can always finish
+    # joining handler threads.
+    timeout = 30
+
+    @property
+    def service(self) -> InferenceService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routing -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif path == "/metrics":
+            self._send_json(200, telemetry.metrics.snapshot())
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path != "/v1/infer":
+            self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
+            return
+        if self.service.draining:
+            self._send_json(503, {"error": "server is draining"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                413 if length > MAX_BODY_BYTES else 400,
+                {"error": f"Content-Length must be in (0, {MAX_BODY_BYTES}]"},
+            )
+            return
+        body = self.rfile.read(length)
+        try:
+            table = parse_table(
+                self.headers.get("Content-Type", ""), body,
+                name=self._query_value(parsed, "table") or "upload",
+            )
+            deadline_s = self._deadline_s(parsed)
+        except BadRequestError as exc:
+            telemetry.count("serve.bad_request")
+            self._send_json(400, {"error": str(exc)})
+            return
+
+        try:
+            request = self.service.infer(table, deadline_s=deadline_s)
+        except QueueFullError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": str(max(1, round(exc.retry_after_s)))},
+            )
+            return
+        except ServiceClosedError:
+            self._send_json(503, {"error": "server is draining"})
+            return
+
+        if request.predictions is None and request.error is None:
+            self._send_json(
+                504,
+                {
+                    "error": "deadline exceeded",
+                    "deadline_ms": round(1000.0 * deadline_s, 1)
+                    if deadline_s else None,
+                },
+            )
+            return
+        if request.error is not None:
+            self._send_json(
+                504 if "deadline" in str(request.error).lower() else 500,
+                {"error": str(request.error)},
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "table": table.name,
+                "model": request.model,
+                "degraded": request.degraded,
+                "predictions": [p.as_dict() for p in request.predictions],
+                "timing": {
+                    "queue_ms": round(request.queue_ms, 3),
+                    "infer_ms": round(request.infer_ms, 3),
+                    "batch_requests": request.batch_requests,
+                    "batch_columns": request.batch_columns,
+                },
+            },
+        )
+
+    # -- plumbing ------------------------------------------------------------
+    def _deadline_s(self, parsed) -> float | None:
+        raw = self._query_value(parsed, "deadline_ms") or self.headers.get(
+            "X-Deadline-Ms"
+        )
+        if raw is None:
+            return None  # service default applies
+        try:
+            deadline_ms = float(raw)
+        except ValueError:
+            raise BadRequestError(f"deadline_ms is not a number: {raw!r}")
+        if deadline_ms <= 0:
+            raise BadRequestError("deadline_ms must be positive")
+        return deadline_ms / 1000.0
+
+    @staticmethod
+    def _query_value(parsed, key: str) -> str | None:
+        values = parse_qs(parsed.query).get(key)
+        return values[0] if values else None
+
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except BrokenPipeError:  # client gave up (e.g. its own timeout)
+            telemetry.count("serve.client_gone")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        telemetry.debug("serve.http", client=self.address_string(),
+                        line=format % args)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns an :class:`InferenceService`.
+
+    Handler threads are non-daemon and joined on close so a drain never
+    cuts off an in-flight response mid-write.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: InferenceService):
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+
+def make_server(
+    host: str, port: int, service: InferenceService
+) -> ServeHTTPServer:
+    """Bind (port 0 picks an ephemeral port; read ``.server_port``)."""
+    return ServeHTTPServer((host, port), service)

@@ -1,0 +1,195 @@
+"""Model registry: load the primary model once, serve from memory forever.
+
+The registry owns the service's model lifecycle.  At startup it kicks off a
+background load — either ``core/persistence.load_model`` on a saved artifact
+or a train-through-cache via ``repro/cache`` (so a warm artifact dir makes
+restarts near-instant) — while the service immediately answers requests with
+the paper's 11-rule flowchart baseline (``tools/rules``) marked
+``degraded: true``.  Once the primary model is resident, every batch uses it
+with zero per-request load cost.
+
+``/healthz`` surfaces :func:`~repro.core.persistence.model_fingerprint` so a
+deployment can be tied to the exact artifact bytes it answers with.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.persistence import (
+    fingerprint_model,
+    load_model,
+    model_fingerprint,
+)
+from repro.obs import telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ArtifactCache
+    from repro.core.models import TypeInferenceModel
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters for the default train-at-startup path."""
+
+    n_examples: int = 1500
+    trees: int = 50
+    seed: int = 0
+
+    def cache_params(self) -> dict:
+        return {
+            "purpose": "serve-default-rf",
+            "model": "rf",
+            "n_estimators": self.trees,
+            "random_state": self.seed,
+            "n_examples": self.n_examples,
+            "corpus_seed": self.seed,
+        }
+
+
+class ModelRegistry:
+    """Single-slot registry with background loading and a status surface.
+
+    States: ``loading`` → ``ready`` | ``failed``.  ``current()`` never
+    blocks — it returns ``(model, meta)`` where ``model`` is None until the
+    primary is resident, which is the signal for the batch runner to take
+    the degraded heuristic path.
+    """
+
+    def __init__(
+        self,
+        model_path: str | None = None,
+        cache: "ArtifactCache | None" = None,
+        train: TrainConfig | None = None,
+    ):
+        self.model_path = model_path
+        self.cache = cache
+        self.train = train or TrainConfig()
+        self._model: "TypeInferenceModel | None" = None
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.state = "loading"
+        self.fingerprint: str | None = None
+        self.source: str | None = None
+        self.model_name: str | None = None
+        self.error: str | None = None
+
+    @classmethod
+    def preloaded(
+        cls,
+        model: "TypeInferenceModel",
+        fingerprint: str | None = None,
+        source: str = "preloaded",
+    ) -> "ModelRegistry":
+        """A registry that is already ``ready`` with an in-memory model.
+
+        For embedding the service in-process (tests, notebooks) without a
+        disk artifact or a startup train.
+        """
+        registry = cls()
+        registry._model = model
+        registry.state = "ready"
+        registry.fingerprint = fingerprint or fingerprint_model(model)
+        registry.source = source
+        registry.model_name = getattr(model, "name", type(model).__name__)
+        registry._ready.set()
+        return registry
+
+    # -- loading -------------------------------------------------------------
+    def load(self, background: bool = True) -> "ModelRegistry":
+        """Start loading the primary model (idempotent, no-op once ready).
+
+        ``background=False`` blocks until the model is ready or failed —
+        used by tests and by ``repro-serve --wait-ready``.
+        """
+        with self._lock:
+            if self._ready.is_set():
+                return self
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._load, name="serve-model-loader", daemon=True
+                )
+                self._thread.start()
+        if not background:
+            self._ready.wait()
+        return self
+
+    def _load(self) -> None:
+        with telemetry.span("serve.model_load", path=self.model_path or ""):
+            try:
+                if self.model_path is not None:
+                    model = load_model(self.model_path)
+                    fingerprint = model_fingerprint(self.model_path)
+                    source = f"artifact:{self.model_path}"
+                else:
+                    model = self._train_or_fetch()
+                    fingerprint = fingerprint_model(model)
+                    source = (
+                        "trained (cache-backed)" if self.cache else "trained"
+                    )
+            except BaseException as exc:
+                with self._lock:
+                    self.state = "failed"
+                    self.error = f"{type(exc).__name__}: {exc}"
+                telemetry.count("serve.model_load_failed")
+                telemetry.error("serve.model_load_failed", error=self.error)
+                self._ready.set()
+                return
+        with self._lock:
+            self._model = model
+            self.state = "ready"
+            self.fingerprint = fingerprint
+            self.source = source
+            self.model_name = getattr(model, "name", type(model).__name__)
+        telemetry.count("serve.model_loaded")
+        telemetry.info(
+            "serve.model_ready", source=source, fingerprint=fingerprint[:12]
+        )
+        self._ready.set()
+
+    def _train_or_fetch(self) -> "TypeInferenceModel":
+        def build():
+            from repro.core.models import RandomForestModel
+            from repro.datagen.corpus import generate_corpus
+
+            corpus = generate_corpus(
+                n_examples=self.train.n_examples, seed=self.train.seed
+            )
+            model = RandomForestModel(
+                n_estimators=self.train.trees, random_state=self.train.seed
+            )
+            model.fit(corpus.dataset)
+            return model
+
+        if self.cache is not None:
+            return self.cache.fetch("model", self.train.cache_params(), build)
+        return build()
+
+    # -- access --------------------------------------------------------------
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until loading finished (either way); True when ready."""
+        self._ready.wait(timeout=timeout)
+        return self.state == "ready"
+
+    @property
+    def ready(self) -> bool:
+        return self.state == "ready"
+
+    def current(self) -> "TypeInferenceModel | None":
+        """The primary model, or None while loading / after failure."""
+        with self._lock:
+            return self._model
+
+    def describe(self) -> dict:
+        """The ``model`` block of ``/healthz`` (state, name, fingerprint)."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "name": self.model_name,
+                "source": self.source,
+                "fingerprint": self.fingerprint,
+                "error": self.error,
+            }

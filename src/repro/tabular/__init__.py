@@ -1,7 +1,14 @@
 """Minimal columnar data layer: the raw-CSV substrate of the benchmark."""
 
 from repro.tabular.column import Column, MISSING_TOKENS
-from repro.tabular.csv_io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.tabular.csv_io import (
+    CSVReadError,
+    load_csv_table,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
 from repro.tabular.dtypes import (
     SyntacticType,
     column_syntactic_type,
@@ -18,6 +25,7 @@ from repro.tabular.dtypes import (
 from repro.tabular.table import Table
 
 __all__ = [
+    "CSVReadError",
     "Column",
     "MISSING_TOKENS",
     "SyntacticType",
@@ -30,6 +38,7 @@ __all__ = [
     "looks_like_embedded_number",
     "looks_like_list",
     "looks_like_url",
+    "load_csv_table",
     "read_csv",
     "read_csv_text",
     "syntactic_type",

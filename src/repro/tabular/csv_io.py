@@ -16,6 +16,17 @@ from repro.tabular.table import Table
 _SNIFF_DELIMITERS = ",;\t|"
 
 
+class CSVReadError(ValueError):
+    """Raised when CSV input cannot be turned into a usable :class:`Table`
+    (unreadable file, undecodable bytes, empty input, no data columns).
+
+    Subclasses :class:`ValueError` so call sites that caught the old
+    untyped errors keep working; new call sites (the ``repro-infer`` CLI,
+    the ``repro.serve`` HTTP layer) catch this to produce clean
+    exit codes / 400 responses instead of tracebacks.
+    """
+
+
 def read_csv(path: str | os.PathLike, delimiter: str | None = None) -> Table:
     """Read a CSV file from disk into a :class:`Table`."""
     with open(path, newline="", encoding="utf-8") as handle:
@@ -24,15 +35,40 @@ def read_csv(path: str | os.PathLike, delimiter: str | None = None) -> Table:
     return read_csv_text(text, name=name, delimiter=delimiter)
 
 
+def load_csv_table(path: str | os.PathLike, delimiter: str | None = None) -> Table:
+    """:func:`read_csv` with every failure mode folded into
+    :class:`CSVReadError`.
+
+    This is the ingestion entry point shared by ``repro-infer`` and the
+    ``repro.serve`` service: a missing file, a permission error, bytes that
+    are not UTF-8, or an empty file all surface as one typed error with a
+    human-readable message.
+    """
+    try:
+        return read_csv(path, delimiter=delimiter)
+    except OSError as exc:
+        raise CSVReadError(
+            f"cannot read {os.fspath(path)!r}: {exc.strerror or exc}"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise CSVReadError(
+            f"{os.fspath(path)!r} is not UTF-8 text ({exc.reason} at byte "
+            f"{exc.start}); is this really a CSV file?"
+        ) from exc
+
+
 def read_csv_text(text: str, name: str = "", delimiter: str | None = None) -> Table:
-    """Parse CSV text into a :class:`Table` (first row is the header)."""
+    """Parse CSV text into a :class:`Table` (first row is the header).
+
+    Raises :class:`CSVReadError` on empty input.
+    """
     if delimiter is None:
         delimiter = sniff_delimiter(text)
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
     try:
         header = next(reader)
     except StopIteration:
-        raise ValueError("empty CSV input") from None
+        raise CSVReadError("empty CSV input") from None
     header = _dedupe_header([h.strip() for h in header])
     return Table.from_rows(header, reader, name=name)
 

@@ -69,6 +69,22 @@ class TestInferCli:
         with pytest.raises(SystemExit):
             infer_main(["/does/not/exist.csv", "--model", str(saved_model)])
 
+    def test_empty_csv_exits_nonzero(self, saved_model, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        code = infer_main([str(empty), "--model", str(saved_model)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "empty CSV" in captured.err
+        assert captured.out == ""
+
+    def test_unreadable_csv_exits_nonzero(self, saved_model, tmp_path, capsys):
+        binary = tmp_path / "binary.csv"
+        binary.write_bytes(b"\xff\xfe\x00\x01garbage")
+        code = infer_main([str(binary), "--model", str(saved_model)])
+        assert code == 2
+        assert "not UTF-8" in capsys.readouterr().err
+
 
 class TestFigureData:
     def test_export_figure9_and_10(self, small_context, tmp_path):

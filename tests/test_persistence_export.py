@@ -4,8 +4,11 @@ import pytest
 
 from repro.core.models import RandomForestModel
 from repro.core.persistence import (
+    ModelFormatError,
     ModelPersistenceError,
+    fingerprint_model,
     load_model,
+    model_fingerprint,
     save_model,
 )
 from repro.datagen.corpus import generate_corpus
@@ -59,6 +62,43 @@ class TestPersistence:
         )
         with pytest.raises(ModelPersistenceError, match="version"):
             load_model(path)
+
+    def test_format_errors_are_typed(self, tmp_path, tiny_setup):
+        import pickle
+
+        from repro.core.persistence import _MAGIC
+
+        _corpus, model = tiny_setup
+        versionless = tmp_path / "versionless.model"
+        versionless.write_bytes(_MAGIC + pickle.dumps({"model": model}))
+        with pytest.raises(ModelFormatError, match="format_version"):
+            load_model(versionless)
+
+        wrong_version = tmp_path / "future.model"
+        wrong_version.write_bytes(
+            _MAGIC + pickle.dumps({"format_version": 99, "model": model})
+        )
+        with pytest.raises(ModelFormatError, match="version"):
+            load_model(wrong_version)
+        # Typed subclass: existing except ModelPersistenceError still works.
+        assert issubclass(ModelFormatError, ModelPersistenceError)
+
+    def test_model_fingerprint(self, tiny_setup, tmp_path):
+        _corpus, model = tiny_setup
+        path = tmp_path / "fp.model"
+        save_model(model, path)
+        on_disk = model_fingerprint(path)
+        assert len(on_disk) == 64 and int(on_disk, 16) >= 0
+        # In-memory fingerprint matches what the saved artifact reports.
+        assert fingerprint_model(model) == on_disk
+        # Same bytes → same fingerprint; different artifact → different.
+        other = tmp_path / "fp2.model"
+        save_model(model, other)
+        assert model_fingerprint(other) == on_disk
+        with pytest.raises(ModelFormatError, match="not a repro model"):
+            junk = tmp_path / "junk.bin"
+            junk.write_bytes(b"nope")
+            model_fingerprint(junk)
 
 
 class TestCorpusExport:

@@ -1,0 +1,312 @@
+"""End-to-end tests for the ``repro.serve`` subsystem — over a real socket.
+
+The in-process tests bind an ephemeral port with the actual
+``ThreadingHTTPServer`` + ``ServeClient`` stack; the SIGTERM-drain test
+spawns a real ``repro-serve`` process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.core.models import RandomForestModel
+from repro.core.persistence import save_model
+from repro.core.pipeline import TypeInferencePipeline
+from repro.obs import telemetry
+from repro.serve import InferenceService, ModelRegistry, ServeClientError
+from repro.serve.client import ServeClient
+from repro.serve.http import make_server
+
+CSV_TEXT = "id,salary,state\n" + "\n".join(
+    f"{i},{1000 + 13 * i},{['CA', 'TX', 'NY', 'WA'][i % 4]}"
+    for i in range(40)
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def served_model(small_corpus):
+    model = RandomForestModel(n_estimators=10, random_state=0)
+    model.fit(small_corpus.dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def served_model_path(served_model, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "rf.model"
+    save_model(served_model, path)
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _telemetry():
+    """Serving metrics are part of the contract; record them per test."""
+    was_enabled = telemetry.enabled
+    telemetry.enable()
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    if not was_enabled:
+        telemetry.disable()
+
+
+@contextmanager
+def running_server(registry, start_batcher=True, **service_knobs):
+    service = InferenceService(registry, **service_knobs)
+    server = make_server("127.0.0.1", 0, service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    if start_batcher:
+        service.start()
+    try:
+        yield ServeClient(f"http://127.0.0.1:{server.server_port}"), service
+    finally:
+        server.shutdown()
+        service.drain(timeout=5)
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestSingleRequest:
+    def test_parity_with_offline_pipeline(self, served_model):
+        offline = [
+            p.as_dict()
+            for p in TypeInferencePipeline(served_model).predict_csv_text(CSV_TEXT)
+        ]
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            response = client.infer_csv_text(CSV_TEXT, table="sample")
+        assert response["degraded"] is False
+        assert response["model"] == "rf"
+        # Byte-identical to the offline pipeline, modulo timing fields.
+        assert json.dumps(response["predictions"]) == json.dumps(offline)
+
+    def test_json_columns_payload(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            response = client.infer_columns(
+                [
+                    {"name": "price", "cells": ["9.99", "12.50", None, "3.10"] * 10},
+                    {"name": "city", "cells": ["berlin", "oslo", "lima", "pune"] * 10},
+                ],
+                table="payload",
+            )
+            health = client.healthz()
+        assert [p["column"] for p in response["predictions"]] == ["price", "city"]
+        assert health["ready"] is True
+        assert health["model"]["fingerprint"] == registry.fingerprint
+
+    def test_bad_payloads_get_400(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            with pytest.raises(ServeClientError) as exc_info:
+                client.infer_csv_text("")
+            assert exc_info.value.status == 400
+            with pytest.raises(ServeClientError) as exc_info:
+                client.infer_columns([])
+            assert exc_info.value.status == 400
+
+
+class TestBatching:
+    def test_concurrent_clients_get_batched(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.25) as (client, _):
+            responses: list[dict] = []
+            errors: list[Exception] = []
+
+            def fire():
+                try:
+                    responses.append(client.infer_csv_text(CSV_TEXT, table="c"))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert len(responses) == 6
+        # The contract of the micro-batcher: concurrent uploads share batches.
+        batch_size = telemetry.metrics.histogram("serve.batch_size")
+        assert batch_size.max > 1
+        assert max(r["timing"]["batch_requests"] for r in responses) > 1
+        # Batched answers match each other (and therefore the offline path,
+        # covered by TestSingleRequest).
+        first = json.dumps(responses[0]["predictions"])
+        assert all(json.dumps(r["predictions"]) == first for r in responses)
+
+
+class TestRobustness:
+    def test_deadline_exceeded_maps_to_504(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        # Gathering window far beyond the deadline: the request cannot be
+        # answered in time.
+        with running_server(registry, max_wait_s=2.0) as (client, _):
+            with pytest.raises(ServeClientError) as exc_info:
+                client.infer_csv_text(CSV_TEXT, deadline_ms=40)
+        assert exc_info.value.status == 504
+        assert telemetry.metrics.counter("serve.deadline_exceeded").value >= 1
+
+    def test_full_queue_sheds_with_429(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        # Batcher worker not started: submissions pile up in the queue.
+        with running_server(
+            registry, start_batcher=False, queue_limit=2, max_wait_s=0.0
+        ) as (client, service):
+            from repro.tabular.csv_io import read_csv_text
+
+            table = read_csv_text(CSV_TEXT, name="filler")
+            service.batcher.submit(table)
+            service.batcher.submit(table)
+            with pytest.raises(ServeClientError) as exc_info:
+                client.infer_csv_text(CSV_TEXT, deadline_ms=5000)
+            # Drain the never-started worker's queue by hand so teardown's
+            # close() has nothing to wait on.
+            service.batcher._queue.clear()
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after_s is not None
+        assert telemetry.metrics.counter("serve.shed").value >= 1
+
+    def test_degraded_fallback_while_model_loads(self, served_model):
+        registry = ModelRegistry()  # load() never called: stays "loading"
+        with running_server(registry, start_batcher=False, max_wait_s=0.0) as (
+            client,
+            service,
+        ):
+            service.batcher.start()
+            health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["ready"] is False
+            response = client.infer_csv_text(CSV_TEXT, table="cold")
+            assert response["degraded"] is True
+            assert response["model"] == "rules"
+            assert {p["column"] for p in response["predictions"]} == {
+                "id", "salary", "state",
+            }
+            assert all(
+                p["confidence"] == 0.5 for p in response["predictions"]
+            )
+        assert telemetry.metrics.counter("serve.degraded_batches").value >= 1
+
+    def test_metrics_endpoint_reports_serve_counters(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            client.infer_csv_text(CSV_TEXT)
+            snapshot = client.metrics()
+        assert snapshot["counters"]["serve.request"] >= 1
+        assert "serve.batch_size" in snapshot["histograms"]
+
+
+@pytest.mark.slow
+class TestSigtermDrain:
+    def test_sigterm_drains_in_flight_requests(self, served_model_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve",
+                "--model", str(served_model_path),
+                "--port", "0", "--max-wait-ms", "600", "--wait-ready",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            url = next(tok for tok in banner.split() if tok.startswith("http://"))
+            client = ServeClient(url)
+            client.wait_ready(timeout_s=30)
+
+            result: dict = {}
+
+            def fire():
+                # Sits in the 600ms gathering window while SIGTERM arrives.
+                result["response"] = client.infer_csv_text(CSV_TEXT)
+
+            thread = threading.Thread(target=fire)
+            thread.start()
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert proc.wait(timeout=30) == 0
+            # The in-flight request was answered, not dropped.
+            assert "response" in result
+            assert len(result["response"]["predictions"]) == 3
+            assert "drained" in proc.stdout.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class TestCachePrune:
+    """Housekeeping for long-lived servers: LRU eviction of the artifact dir."""
+
+    def _fill(self, root, n=4):
+        cache = ArtifactCache(root)
+        for index in range(n):
+            cache.put("model", f"key{index}", {"payload": "x" * 1000})
+            entry = cache.path("model", f"key{index}")
+            stamp = time.time() - (n - index) * 100
+            os.utime(entry, (stamp, stamp))
+        return cache
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        cache = self._fill(tmp_path, n=4)
+        sizes = cache.size_bytes()
+        report = cache.prune(max_bytes=sizes // 2)
+        assert report["removed"] == 2
+        # Oldest mtimes (key0, key1) went first.
+        assert not cache.path("model", "key0").exists()
+        assert not cache.path("model", "key1").exists()
+        assert cache.path("model", "key3").exists()
+        assert cache.size_bytes() <= sizes // 2
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = self._fill(tmp_path, n=3)
+        assert cache.get("model", "key0") is not None  # bumps mtime
+        report = cache.prune(max_bytes=cache.size_bytes() - 1)
+        assert report["removed"] == 1
+        assert cache.path("model", "key0").exists()
+        assert not cache.path("model", "key1").exists()
+
+    def test_prune_cli_subcommand(self, tmp_path, capsys):
+        from repro.benchmark.runner import main as bench_main
+
+        cache = self._fill(tmp_path, n=3)
+        budget = (2 * cache.size_bytes()) // 3  # room for exactly two entries
+        code = bench_main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-bytes", str(budget)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 of 3 entries" in out
+        assert ArtifactCache(tmp_path).size_bytes() <= budget
+
+    def test_parse_size_suffixes(self):
+        from repro.benchmark.runner import parse_size
+
+        assert parse_size("1024") == 1024
+        assert parse_size("1k") == 1024
+        assert parse_size("2M") == 2 * 1024**2
+        assert parse_size("0.5G") == 512 * 1024**2
