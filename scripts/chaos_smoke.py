@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Chaos smoke: a faulted benchmark run must recover to the fault-free result.
+
+Stages (all at tiny scale, two experiments):
+
+1. **Reference** — a fault-free ``repro-bench`` run with ``--run-dir``
+   checkpointing; its per-experiment outputs are the ground truth.
+2. **Chaos** — the same run under a fault plan that SIGKILLs the first
+   experiment's worker on *every* attempt (exhausting restarts) and
+   corrupts the first artifact-cache entry written (the corpus).  The run
+   must exit nonzero with a per-experiment failure report — not hang — and
+   checkpoint the surviving experiment.
+3. **Resume** — the same command, fault-free, with ``--resume``: the
+   corrupted cache entry is quarantined and rebuilt, only the failed
+   experiment reruns, and the run exits 0.
+4. **Verify** — every experiment's checkpointed output is byte-identical
+   to the reference, and the poisoned cache quarantined at least one
+   entry.
+
+Run locally::
+
+    python scripts/chaos_smoke.py
+
+Exit code 0 means the whole robustness story held together end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_bench(args: list[str], expect_rc: int | None = 0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_FAULT_PLAN", None)  # each stage passes --fault-plan explicitly
+    command = [sys.executable, "-m", "repro.benchmark.runner", *args]
+    print(f"+ {' '.join(command)}", flush=True)
+    proc = subprocess.run(
+        command, env=env, cwd=REPO_ROOT, capture_output=True, text=True,
+        timeout=1800,
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if expect_rc is not None and proc.returncode != expect_rc:
+        raise SystemExit(
+            f"FAIL: expected exit code {expect_rc}, got {proc.returncode}"
+        )
+    return proc
+
+
+def checkpoint_outputs(run_dir: Path) -> dict[str, str]:
+    out = {}
+    for path in sorted((run_dir / "experiments").glob("*.json")):
+        record = json.loads(path.read_text())
+        out[record["name"]] = record["output"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--experiments", default="table18,labeling",
+        help="comma-separated pair; the FIRST one's worker gets killed",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="working directory (default: a fresh temp dir, removed on success)",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = args.experiments.split(",")
+    kill_target = experiments[0]
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="chaos-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    run_ref, run_chaos = workdir / "run-ref", workdir / "run-chaos"
+    cache_ref, cache_chaos = workdir / "cache-ref", workdir / "cache-chaos"
+
+    plan_path = workdir / "plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 0,
+        "rules": [
+            # Every attempt dies -> restarts exhaust -> loud failure record.
+            {"point": "worker.run", "mode": "kill",
+             "match": {"experiment": kill_target}},
+            # First artifact stored (the corpus) is bit-rotted on disk.
+            {"point": "cache.write", "mode": "corrupt", "on_call": 1},
+        ],
+    }, indent=2))
+
+    base = [args.experiments, "--scale", str(args.scale),
+            "--seed", str(args.seed), "--jobs", "2"]
+
+    print("=== stage 1: fault-free reference run ===", flush=True)
+    run_bench([*base, "--run-dir", str(run_ref),
+               "--cache-dir", str(cache_ref)])
+    reference = checkpoint_outputs(run_ref)
+    if sorted(reference) != sorted(experiments):
+        raise SystemExit(f"FAIL: reference checkpointed {sorted(reference)}")
+
+    print("=== stage 2: chaos run (worker killed, cache poisoned) ===",
+          flush=True)
+    chaos = run_bench(
+        [*base, "--run-dir", str(run_chaos), "--cache-dir", str(cache_chaos),
+         "--fault-plan", str(plan_path), "--max-worker-restarts", "1"],
+        expect_rc=None,
+    )
+    if chaos.returncode == 0:
+        raise SystemExit("FAIL: chaos run exited 0 despite a killed worker")
+    if f"######## {kill_target} FAILED ########" not in chaos.stdout:
+        raise SystemExit("FAIL: chaos run did not report the failed experiment")
+    if "experiment(s) failed" not in chaos.stderr:
+        raise SystemExit("FAIL: chaos run printed no per-experiment error summary")
+    partial = checkpoint_outputs(run_chaos)
+    if kill_target in partial:
+        raise SystemExit(f"FAIL: killed experiment {kill_target!r} was checkpointed")
+
+    print("=== stage 3: fault-free --resume run ===", flush=True)
+    resume = run_bench(
+        [*base, "--run-dir", str(run_chaos), "--cache-dir", str(cache_chaos),
+         "--resume"],
+    )
+
+    print("=== stage 4: verify recovery ===", flush=True)
+    recovered = checkpoint_outputs(run_chaos)
+    for name in experiments:
+        if recovered.get(name) != reference[name]:
+            raise SystemExit(
+                f"FAIL: {name!r} output after resume differs from the "
+                f"fault-free reference"
+            )
+    quarantined = list((cache_chaos / "quarantine").glob("*.pkl"))
+    if not quarantined:
+        raise SystemExit(
+            "FAIL: poisoned cache entry was never quarantined on resume"
+        )
+    for name in experiments:
+        if f"######## {name} (" not in resume.stdout:
+            raise SystemExit(f"FAIL: resume run stdout missing {name!r}")
+
+    print(f"chaos smoke OK: {len(experiments)} experiments recovered, "
+          f"{len(quarantined)} cache entr{'y' if len(quarantined) == 1 else 'ies'} "
+          f"quarantined")
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Checkpoint/resume records for ``repro-bench all`` runs.
+
+A run pointed at ``--run-dir DIR`` records each completed experiment as one
+small JSON file under ``DIR/experiments/`` the moment it finishes.  Records
+are written atomically (temp file + ``os.replace`` via
+:func:`repro.obs.export.write_json`), so a crash — or a chaos plan killing
+the whole process — can never leave a half-written record: an experiment is
+either durably complete or not recorded at all.
+
+``repro-bench all --run-dir DIR --resume`` then reloads the records and
+skips the completed experiments, replaying their stored output verbatim so
+the rendered run is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs import telemetry
+from repro.obs.export import write_json
+
+#: Bumped if the record layout changes incompatibly; mismatched records are
+#: ignored (the experiment simply reruns) rather than misread.
+SCHEMA = 1
+
+
+class RunCheckpoint:
+    """Per-experiment completion records under ``<run_dir>/experiments/``."""
+
+    def __init__(self, run_dir: str | os.PathLike):
+        self.run_dir = Path(run_dir)
+
+    @property
+    def experiments_dir(self) -> Path:
+        return self.run_dir / "experiments"
+
+    def path(self, name: str) -> Path:
+        return self.experiments_dir / f"{name}.json"
+
+    def record(self, rec: dict) -> None:
+        """Durably mark one experiment complete (atomic write).
+
+        ``rec`` is the engine's result record; the stored subset is what
+        resume needs to replay the run: the rendered output plus timing
+        provenance.
+        """
+        stored = {
+            "schema": SCHEMA,
+            "name": rec["name"],
+            "output": rec["output"],
+            "wall_s": rec.get("wall_s"),
+            "cpu_s": rec.get("cpu_s"),
+            "pid": rec.get("pid"),
+            "attempt": rec.get("attempt", 0),
+        }
+        self.experiments_dir.mkdir(parents=True, exist_ok=True)
+        write_json(str(self.path(rec["name"])), stored)
+        telemetry.count("checkpoint.recorded")
+
+    def completed(self) -> dict[str, dict]:
+        """name → stored record for every valid completion record on disk.
+
+        Records that fail to parse (torn by an older non-atomic writer, or
+        from a different schema) are skipped with a warning — the worst
+        case is rerunning an experiment, never trusting garbage.
+        """
+        out: dict[str, dict] = {}
+        if not self.experiments_dir.is_dir():
+            return out
+        for path in sorted(self.experiments_dir.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+                if stored.get("schema") != SCHEMA or "output" not in stored:
+                    raise ValueError(f"unrecognized record schema in {path}")
+            except (OSError, ValueError) as exc:
+                telemetry.count("checkpoint.invalid")
+                telemetry.warning(
+                    "checkpoint.record_invalid", path=str(path), error=str(exc)
+                )
+                continue
+            out[stored["name"]] = stored
+        return out

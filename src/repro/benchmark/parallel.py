@@ -6,10 +6,18 @@ processes.  A warm-up phase first materializes the artifacts most
 experiments share — the corpus, the 80:20 split, and the paper's RF — in
 the parent process; forked workers inherit them copy-on-write, and with an
 :class:`~repro.cache.ArtifactCache` enabled they are also persisted for
-later runs.  Each worker process runs exactly one experiment
-(``maxtasksperchild=1``), so its telemetry span records cover that
-experiment alone; the parent merges the per-worker summaries into the run
-manifest under ``workers``.
+later runs.
+
+Fault tolerance: each experiment gets its own forked :class:`Process` and
+result pipe (not a ``Pool`` — a pool deadlocks when a worker is SIGKILLed
+mid-task).  The parent detects workers that die (pipe EOF / process exit
+without a result) or hang (``worker_timeout_s`` exceeded, or the worker's
+heartbeat file going stale) and restarts them up to ``max_restarts`` times;
+an experiment that still cannot finish yields a *failure record* —
+``{"name", "failed": True, "error", "traceback", "attempts"}`` — instead of
+hanging the run.  Exceptions raised *inside* an experiment are
+deterministic and are not retried; the worker reports them as a failure
+record directly.
 
 Output determinism: results are yielded in the canonical experiment order
 regardless of completion order, so the rendered experiment text is
@@ -20,15 +28,30 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import shutil
+import tempfile
+import threading
 import time
+import traceback
+from multiprocessing.connection import wait as _conn_wait
 from typing import Iterator, Sequence
 
 from repro.benchmark.context import BenchmarkContext
+from repro.faults import faults
 from repro.obs import telemetry
 from repro.obs.export import spans_summary
 
 #: Set in the parent just before forking; workers read it after the fork.
 _CONTEXT: BenchmarkContext | None = None
+
+#: A worker is declared hung when its heartbeat file has not been touched
+#: for this many heartbeat intervals — but never sooner than
+#: ``_MIN_STALE_S``, so a busy worker that shares the machine with the
+#: parent is not shot for mere slowness.
+_STALE_INTERVALS = 10
+_MIN_STALE_S = 30.0
+#: Parent scheduling-loop poll interval.
+_POLL_S = 0.2
 
 
 def warm_up(context: BenchmarkContext) -> None:
@@ -40,9 +63,12 @@ def warm_up(context: BenchmarkContext) -> None:
     telemetry.info("parallel.warmup_done", n_examples=context.n_examples)
 
 
-def _run_one(name: str) -> dict:
+def _run_one(name: str, attempt: int = 0) -> dict:
     from repro.benchmark.runner import run_experiment
 
+    faults.point(
+        "worker.run", experiment=name, attempt=attempt, pid=os.getpid()
+    )
     span_base = len(telemetry.spans)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
@@ -53,6 +79,7 @@ def _run_one(name: str) -> dict:
         "wall_s": time.perf_counter() - wall0,
         "cpu_s": time.process_time() - cpu0,
         "pid": os.getpid(),
+        "attempt": attempt,
     }
     if telemetry.enabled:
         record["spans"] = spans_summary(telemetry.spans[span_base:])
@@ -60,30 +87,243 @@ def _run_one(name: str) -> dict:
     return record
 
 
+def _exception_record(name: str, attempt: int, exc: BaseException) -> dict:
+    return {
+        "name": name,
+        "failed": True,
+        "error": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc(),
+        "pid": os.getpid(),
+        "attempt": attempt,
+    }
+
+
+def _worker_main(
+    name: str, attempt: int, conn, heartbeat_path: str, heartbeat_s: float
+) -> None:
+    """Forked worker entry point: run one experiment, pipe back one record.
+
+    A daemon thread touches ``heartbeat_path`` every ``heartbeat_s`` so the
+    parent can tell a long-running worker from a wedged one even when the
+    main thread is stuck in a C extension (or an injected ``hang``).
+    """
+    stop = threading.Event()
+    try:
+        open(heartbeat_path, "wb").close()
+    except OSError:
+        pass
+    else:
+        def beat() -> None:
+            while not stop.wait(heartbeat_s):
+                try:
+                    os.utime(heartbeat_path)
+                except OSError:
+                    return
+
+        threading.Thread(target=beat, daemon=True, name="heartbeat").start()
+    try:
+        record = _run_one(name, attempt)
+    except Exception as exc:  # deterministic failure: report, don't retry
+        record = _exception_record(name, attempt, exc)
+    stop.set()
+    try:
+        conn.send(record)
+    finally:
+        conn.close()
+
+
+class _Task:
+    """One in-flight worker: its process, result pipe, and liveness state."""
+
+    __slots__ = ("name", "attempt", "process", "conn", "heartbeat",
+                 "started", "record", "eof")
+
+    def __init__(self, name, attempt, process, conn, heartbeat):
+        self.name = name
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.started = time.monotonic()
+        self.record = None
+        self.eof = False
+
+    def heartbeat_stale(self, stale_after: float) -> bool:
+        try:
+            age = time.time() - os.stat(self.heartbeat).st_mtime
+        except OSError:
+            # No heartbeat file (worker died before creating it, or an
+            # unwritable tmpdir): only the hard timeout applies.
+            return False
+        return age > stale_after
+
+
 def run_parallel(
-    names: Sequence[str], context: BenchmarkContext, jobs: int
+    names: Sequence[str],
+    context: BenchmarkContext,
+    jobs: int,
+    *,
+    max_restarts: int = 1,
+    worker_timeout_s: float | None = None,
+    heartbeat_s: float = 1.0,
+    warm: bool = True,
 ) -> Iterator[dict]:
-    """Run experiments in ``jobs`` worker processes, yielding results in
-    the order of ``names`` as they become available.
+    """Run experiments in ``jobs`` worker processes, yielding result (or
+    failure) records in the order of ``names`` as they become available.
 
     Falls back to in-process serial execution when only one job is asked
-    for or the platform cannot fork.
+    for or the platform cannot fork; in that mode an experiment exception
+    becomes a failure record but crashes/hangs are not survivable.
     """
     global _CONTEXT
-    warm_up(context)
-    if jobs <= 1 or len(names) <= 1 or "fork" not in mp.get_all_start_methods():
-        _CONTEXT = context
-        try:
-            for name in names:
-                yield _run_one(name)
-        finally:
-            _CONTEXT = None
-        return
+    names = list(names)
+    if warm:
+        warm_up(context)
     _CONTEXT = context
     try:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(processes=jobs, maxtasksperchild=1) as pool:
-            # imap preserves submission order while workers overlap
-            yield from pool.imap(_run_one, names, chunksize=1)
+        if (
+            jobs <= 1
+            or len(names) <= 1
+            or "fork" not in mp.get_all_start_methods()
+        ):
+            for name in names:
+                try:
+                    yield _run_one(name)
+                except Exception as exc:
+                    telemetry.warning(
+                        "experiment.failed", experiment=name, error=str(exc)
+                    )
+                    record = _exception_record(name, 0, exc)
+                    record["attempts"] = 1
+                    yield record
+            return
+        yield from _run_forked(
+            names, jobs, max_restarts, worker_timeout_s, heartbeat_s
+        )
     finally:
         _CONTEXT = None
+
+
+def _run_forked(
+    names: list[str],
+    jobs: int,
+    max_restarts: int,
+    worker_timeout_s: float | None,
+    heartbeat_s: float,
+) -> Iterator[dict]:
+    ctx = mp.get_context("fork")
+    stale_after = max(_MIN_STALE_S, _STALE_INTERVALS * heartbeat_s)
+    heartbeat_dir = tempfile.mkdtemp(prefix="repro-bench-hb-")
+    # pop() from the end → experiments start in canonical order.
+    pending: list[tuple[str, int]] = [(name, 0) for name in reversed(names)]
+    active: dict[object, _Task] = {}  # parent pipe end → task
+    results: dict[str, dict] = {}
+    next_index = 0
+
+    def spawn(name: str, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        heartbeat = os.path.join(heartbeat_dir, f"{name}.{attempt}.hb")
+        process = ctx.Process(
+            target=_worker_main,
+            args=(name, attempt, child_conn, heartbeat, heartbeat_s),
+            name=f"repro-bench-{name}",
+        )
+        process.start()
+        child_conn.close()
+        active[parent_conn] = _Task(name, attempt, process, parent_conn, heartbeat)
+
+    def reap(task: _Task, grace_s: float = 10.0) -> None:
+        task.process.join(timeout=grace_s)
+        if task.process.is_alive():
+            task.process.kill()
+            task.process.join(timeout=5.0)
+        task.conn.close()
+        try:
+            os.unlink(task.heartbeat)
+        except OSError:
+            pass
+
+    def retry_or_fail(task: _Task, reason: str) -> None:
+        if task.attempt < max_restarts:
+            telemetry.count("worker.restart")
+            telemetry.warning(
+                "worker.restarted", experiment=task.name,
+                attempt=task.attempt + 1, reason=reason,
+            )
+            pending.append((task.name, task.attempt + 1))
+        else:
+            results[task.name] = {
+                "name": task.name,
+                "failed": True,
+                "error": f"{reason} (after {task.attempt + 1} attempts)",
+                "traceback": "",
+                "attempts": task.attempt + 1,
+            }
+
+    try:
+        while pending or active:
+            while pending and len(active) < jobs:
+                spawn(*pending.pop())
+            _conn_wait(list(active), timeout=_POLL_S)
+            now = time.monotonic()
+            for conn, task in list(active.items()):
+                # Drain here (not in the wait loop): a worker can send its
+                # record and exit between the wait and this sweep, and it
+                # must not be mistaken for a crash.
+                if task.record is None and not task.eof:
+                    try:
+                        if conn.poll(0):
+                            task.record = conn.recv()
+                    except (EOFError, OSError):
+                        task.eof = True
+                if task.record is not None:
+                    del active[conn]
+                    reap(task)
+                    record = dict(task.record)
+                    record["attempts"] = task.attempt + 1
+                    results[task.name] = record
+                elif task.eof or not task.process.is_alive():
+                    del active[conn]
+                    reap(task, grace_s=5.0)
+                    exitcode = task.process.exitcode
+                    telemetry.warning(
+                        "worker.died", experiment=task.name,
+                        attempt=task.attempt, exitcode=exitcode,
+                    )
+                    retry_or_fail(
+                        task,
+                        f"worker died (exit code {exitcode}) before "
+                        f"finishing {task.name!r}",
+                    )
+                else:
+                    elapsed = now - task.started
+                    reason = None
+                    if worker_timeout_s is not None and elapsed > worker_timeout_s:
+                        reason = (
+                            f"worker exceeded the {worker_timeout_s:.0f}s "
+                            f"timeout on {task.name!r}"
+                        )
+                    elif elapsed > stale_after and task.heartbeat_stale(stale_after):
+                        reason = (
+                            f"worker heartbeat stale for over "
+                            f"{stale_after:.0f}s on {task.name!r}"
+                        )
+                    if reason is not None:
+                        del active[conn]
+                        task.process.kill()
+                        reap(task, grace_s=5.0)
+                        telemetry.warning(
+                            "worker.hung", experiment=task.name,
+                            attempt=task.attempt, reason=reason,
+                        )
+                        retry_or_fail(task, reason)
+            while next_index < len(names) and names[next_index] in results:
+                yield results.pop(names[next_index])
+                next_index += 1
+    finally:
+        for task in active.values():
+            task.process.kill()
+        for task in active.values():
+            task.process.join(timeout=5.0)
+            task.conn.close()
+        shutil.rmtree(heartbeat_dir, ignore_errors=True)

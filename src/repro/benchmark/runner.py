@@ -16,10 +16,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable
+import traceback
+from typing import Callable, Iterator
 
+from repro.benchmark.checkpoint import RunCheckpoint
 from repro.benchmark.context import BenchmarkContext
 from repro.cache import ArtifactCache
+from repro.faults import add_fault_flags, configure_faults, faults
 from repro.obs import (
     RunManifest,
     Tracer,
@@ -228,6 +231,47 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _iter_serial(
+    names: list[str], context: BenchmarkContext
+) -> Iterator[dict]:
+    """In-process execution yielding the same record shape as
+    :func:`~repro.benchmark.parallel.run_parallel` (including failure
+    records), so the CLI consumes one stream either way.
+
+    A local, always-on tracer times each experiment; the printed elapsed
+    seconds and the manifest entries read the same span, so they agree.
+    """
+    timer = Tracer()
+    for name in names:
+        telemetry.info("experiment.start", experiment=name)
+        try:
+            with timer.span(f"experiment.{name}") as sp:
+                faults.point(
+                    "worker.run", experiment=name, attempt=0, pid=os.getpid()
+                )
+                output = run_experiment(name, context)
+        except Exception as exc:
+            telemetry.warning(
+                "experiment.failed", experiment=name, error=str(exc)
+            )
+            yield {
+                "name": name,
+                "failed": True,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "attempts": 1,
+            }
+            continue
+        yield {
+            "name": name,
+            "output": output,
+            "wall_s": sp.wall_s,
+            "cpu_s": sp.cpu_s,
+            "pid": os.getpid(),
+            "attempt": 0,
+        }
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -240,8 +284,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate",
+        metavar="experiment",
+        help="which table/figure to regenerate: an experiment name, a "
+             "comma-separated list of names, or 'all' "
+             f"(available: {', '.join(EXPERIMENTS)})",
     )
     parser.add_argument(
         "--scale", type=int, default=None,
@@ -264,10 +310,47 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the artifact cache even if --cache-dir/$REPRO_CACHE_DIR "
              "is set",
     )
+    robust = parser.add_argument_group("robustness")
+    robust.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="record per-experiment completion checkpoints under "
+             "DIR/experiments/ (atomic writes; enables --resume)",
+    )
+    robust.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments already checkpointed in --run-dir, replaying "
+             "their stored output verbatim",
+    )
+    robust.add_argument(
+        "--max-worker-restarts", type=int, default=1, metavar="N",
+        help="restart a crashed/hung --jobs worker up to N times per "
+             "experiment before reporting it failed (default: 1)",
+    )
+    robust.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill (and restart) a --jobs worker that runs longer than "
+             "SECONDS on one experiment (default: no hard timeout; stale "
+             "heartbeats still catch wedged workers)",
+    )
+    add_fault_flags(robust)
     add_observability_flags(parser)
     args = parser.parse_args(argv)
 
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    else:
+        names = [n.strip() for n in args.experiment.split(",") if n.strip()]
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown or not names:
+            parser.error(
+                f"unknown experiment(s) {', '.join(unknown) or args.experiment!r}; "
+                f"available: {', '.join([*EXPERIMENTS, 'all'])}"
+            )
+    if args.resume and not args.run_dir:
+        parser.error("--resume requires --run-dir")
+
     observing = configure_telemetry(args)
+    fault_plan = configure_faults(args)
 
     kwargs = {"seed": args.seed}
     if args.scale is not None:
@@ -286,39 +369,97 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=str(cache_dir) if cache_dir else None,
     )
+    if fault_plan is not None:
+        manifest.extra["fault_plan"] = fault_plan.source
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.jobs > 1 and len(names) > 1:
-        from repro.benchmark.parallel import run_parallel
-
-        workers: list[dict] = []
-        for record in run_parallel(names, context, jobs=args.jobs):
-            print(f"\n######## {record['name']} ({record['wall_s']:.1f}s) ########")
-            print(record["output"])
-            manifest.add_experiment(
-                record["name"], wall_s=record["wall_s"],
-                cpu_s=record["cpu_s"], pid=record["pid"],
-            )
+    checkpoint = RunCheckpoint(args.run_dir) if args.run_dir else None
+    completed: dict[str, dict] = {}
+    if args.resume and checkpoint is not None:
+        completed = {
+            name: rec for name, rec in checkpoint.completed().items()
+            if name in names
+        }
+        if completed:
             telemetry.info(
-                "experiment.done", experiment=record["name"],
-                wall_s=record["wall_s"], pid=record["pid"],
+                "run.resumed", run_dir=args.run_dir,
+                skipped=sorted(completed),
             )
-            workers.append({k: v for k, v in record.items() if k != "output"})
-        if observing:
-            manifest.extra["workers"] = workers
-    else:
-        # A local, always-on tracer times each experiment; the printed
-        # elapsed seconds and the manifest entries read the same span, so
-        # they agree.
-        timer = Tracer()
+
+    def iter_records() -> Iterator[dict]:
+        """Resumed records replayed in place + fresh records as they finish,
+        merged back into canonical experiment order."""
+        fresh = [name for name in names if name not in completed]
+        if args.jobs > 1 and len(fresh) > 1:
+            from repro.benchmark.parallel import run_parallel
+
+            fresh_iter = run_parallel(
+                fresh, context, jobs=args.jobs,
+                max_restarts=args.max_worker_restarts,
+                worker_timeout_s=args.worker_timeout,
+            )
+        else:
+            fresh_iter = _iter_serial(fresh, context)
         for name in names:
-            telemetry.info("experiment.start", experiment=name)
-            with timer.span(f"experiment.{name}") as sp:
-                output = run_experiment(name, context)
-            print(f"\n######## {name} ({sp.wall_s:.1f}s) ########")
-            print(output)
-            manifest.add_experiment(name, wall_s=sp.wall_s, cpu_s=sp.cpu_s)
-            telemetry.info("experiment.done", experiment=name, wall_s=sp.wall_s)
+            if name in completed:
+                yield {**completed[name], "resumed": True}
+            else:
+                yield next(fresh_iter)
+
+    workers: list[dict] = []
+    failures: list[dict] = []
+    for record in iter_records():
+        name = record["name"]
+        if record.get("failed"):
+            print(f"\n######## {name} FAILED ########")
+            print(record["error"])
+            failures.append(record)
+            manifest.add_experiment(
+                name, wall_s=0.0, error=record["error"],
+                attempts=record.get("attempts", 1),
+            )
+            telemetry.warning(
+                "experiment.failed", experiment=name, error=record["error"]
+            )
+            continue
+        # A resumed record reprints its stored output and wall time, so a
+        # resumed run's stdout is byte-identical to an uninterrupted one.
+        print(f"\n######## {name} ({record['wall_s']:.1f}s) ########")
+        print(record["output"])
+        manifest.add_experiment(
+            name, wall_s=record["wall_s"], cpu_s=record.get("cpu_s"),
+            pid=record.get("pid"), resumed=bool(record.get("resumed")),
+        )
+        telemetry.info(
+            "experiment.done", experiment=name, wall_s=record["wall_s"],
+            resumed=bool(record.get("resumed")),
+        )
+        if checkpoint is not None and not record.get("resumed"):
+            checkpoint.record(record)
+        workers.append(
+            {k: v for k, v in record.items() if k != "output"}
+        )
+    if observing and args.jobs > 1:
+        manifest.extra["workers"] = workers
+
+    if failures:
+        print(
+            f"\n{len(failures)} of {len(names)} experiment(s) failed:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure['name']}: {failure['error']}", file=sys.stderr)
+        first_with_tb = next(
+            (f for f in failures if f.get("traceback")), None
+        )
+        if first_with_tb is not None:
+            print(
+                f"\nfirst failure ({first_with_tb['name']}) traceback:\n"
+                f"{first_with_tb['traceback']}",
+                file=sys.stderr, end="",
+            )
+        manifest.extra["failures"] = [
+            {k: v for k, v in f.items() if k != "traceback"} for f in failures
+        ]
 
     if observing:
         if args.metrics_out:
@@ -328,7 +469,7 @@ def main(argv: list[str] | None = None) -> int:
             manifest.finalize(telemetry)
             manifest.write(args.manifest)
             telemetry.info("manifest.written", path=args.manifest)
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

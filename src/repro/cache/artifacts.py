@@ -8,9 +8,16 @@ determines the artifact's content.  Invalidation is therefore implicit in
 the address: changing a parameter or editing producing code yields a new
 key, and stale entries are simply never read again.
 
+Crash safety: writes are atomic (temp file + ``os.replace``) and every
+entry carries a sha256 checksum of its pickle payload, verified on read.
+An entry that fails the check — truncated by a crash, bit-rotted, or
+mangled by an injected fault — is moved to ``<root>/quarantine/`` and
+treated as a miss, so the artifact is simply rebuilt; the run is never
+poisoned by corrupt bytes.  See ``docs/robustness.md``.
+
 Traffic is observable through the ``cache.hit`` / ``cache.miss`` /
-``cache.store`` telemetry counters (plus per-kind variants like
-``cache.hit.corpus``); see ``docs/performance.md``.
+``cache.store`` / ``cache.corrupt`` telemetry counters (plus per-kind
+variants like ``cache.hit.corpus``); see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -25,10 +32,16 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable
 
+from repro.faults import FaultInjectedError, faults
 from repro.obs import telemetry
 
 _MAGIC = b"REPRO-SORTINGHAT-ARTIFACT\x00"
-_FORMAT_VERSION = 1
+#: v2 added the per-entry payload checksum line.  The version participates
+#: in :func:`artifact_key`, so pre-checksum entries are simply never
+#: addressed again (and are quarantined if a key collision ever reads one).
+_FORMAT_VERSION = 2
+
+QUARANTINE_DIR = "quarantine"
 
 #: Modules (or whole packages) whose source defines each artifact kind.
 #: A corpus depends on the generators and the featurization kernels; a
@@ -103,25 +116,42 @@ class ArtifactCache:
     def path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.pkl"
 
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
     def get(self, kind: str, key: str):
-        """The cached object, or None on a miss (counted in telemetry)."""
+        """The cached object, or None on a miss (counted in telemetry).
+
+        Corrupt entries (bad magic, failed checksum, unpicklable payload)
+        are quarantined and reported as misses — the caller rebuilds, and
+        the damaged bytes are kept aside for inspection instead of being
+        silently deserialized.
+        """
         path = self.path(kind, key)
         try:
+            faults.point("cache.read", kind=kind, key=key)
             with open(path, "rb") as handle:
-                header = handle.read(len(_MAGIC))
-                if header != _MAGIC:
-                    raise ArtifactCacheError(f"{path} is not a cache artifact")
-                payload = pickle.load(handle)
+                blob = handle.read()
         except FileNotFoundError:
             telemetry.count("cache.miss")
             telemetry.count(f"cache.miss.{kind}")
             return None
-        except (
-            OSError, pickle.UnpicklingError, EOFError, ArtifactCacheError
-        ) as exc:
-            # Unreadable entries (e.g. truncated by a crash) degrade to a
-            # miss; the fresh put below overwrites them.
-            telemetry.info("cache.corrupt", kind=kind, key=key, error=str(exc))
+        except (OSError, FaultInjectedError) as exc:
+            # The file may be fine — the *read* failed.  Degrade to a miss
+            # without quarantining.
+            telemetry.count("cache.read_error")
+            telemetry.count("cache.miss")
+            telemetry.count(f"cache.miss.{kind}")
+            telemetry.warning(
+                "cache.read_failed", kind=kind, key=key, error=str(exc)
+            )
+            return None
+        try:
+            payload = self._decode(path, blob)
+        except (ArtifactCacheError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError) as exc:
+            self._quarantine(path, kind, key, str(exc))
             telemetry.count("cache.miss")
             telemetry.count(f"cache.miss.{kind}")
             return None
@@ -133,20 +163,72 @@ class ArtifactCache:
             os.utime(path)
         except OSError:
             pass
-        return payload["artifact"]
+        return payload
+
+    @staticmethod
+    def _decode(path: Path, blob: bytes):
+        """Verify and unpickle one entry's raw bytes (the artifact object)."""
+        if not blob.startswith(_MAGIC):
+            raise ArtifactCacheError(f"{path} is not a cache artifact")
+        rest = blob[len(_MAGIC):]
+        header, sep, payload = rest.partition(b"\n")
+        if not sep:
+            raise ArtifactCacheError(f"{path} is truncated (no entry header)")
+        try:
+            version, _, checksum = header.decode("ascii").partition(" ")
+            version = int(version)
+        except (UnicodeDecodeError, ValueError):
+            raise ArtifactCacheError(f"{path} has a malformed entry header") from None
+        if version != _FORMAT_VERSION:
+            raise ArtifactCacheError(
+                f"{path} has entry format v{version} (expected v{_FORMAT_VERSION})"
+            )
+        if hashlib.sha256(payload).hexdigest() != checksum:
+            raise ArtifactCacheError(f"{path} failed its content checksum")
+        decoded = pickle.loads(payload)
+        if not isinstance(decoded, dict) or "artifact" not in decoded:
+            raise ArtifactCacheError(f"{path} payload is not an artifact dict")
+        return decoded["artifact"]
+
+    def _quarantine(self, path: Path, kind: str, key: str, reason: str) -> None:
+        """Move a corrupt entry aside so it is never read (or trusted) again."""
+        target = self.quarantine_root / f"{kind}-{path.name}"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Concurrent quarantine/eviction already removed it; that's fine.
+            pass
+        telemetry.count("cache.corrupt")
+        telemetry.count(f"cache.corrupt.{kind}")
+        telemetry.warning(
+            "cache.quarantined", kind=kind, key=key, reason=reason,
+            quarantined_to=str(target),
+        )
 
     def put(self, kind: str, key: str, artifact) -> Path:
-        """Persist one artifact atomically (write-temp + rename)."""
+        """Persist one artifact atomically (write-temp + rename).
+
+        The entry header records a sha256 over the pickle payload; a crash
+        mid-write leaves only a temp file (never a half-entry), and any
+        later damage to the payload bytes is caught by :meth:`get`.
+        """
         path = self.path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(
             {"format_version": _FORMAT_VERSION, "artifact": artifact},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+        checksum = hashlib.sha256(payload).hexdigest()
+        # Chaos hooks: a plan can mangle the payload after the checksum is
+        # taken (bit rot the reader must catch) or fail the write outright.
+        payload = faults.corrupt("cache.write", payload)
+        faults.point("cache.write", kind=kind, key=key)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(_MAGIC)
+                handle.write(f"{_FORMAT_VERSION} {checksum}\n".encode("ascii"))
                 handle.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
@@ -161,12 +243,23 @@ class ArtifactCache:
 
     def fetch(self, kind: str, params: dict, build: Callable[[], object]):
         """Get-or-build: the cached artifact for ``params``, else ``build()``
-        persisted under its content address."""
+        persisted under its content address.
+
+        A failed *store* (disk full, permissions, injected fault) degrades
+        to a warning — the freshly built artifact is still returned, so a
+        sick cache directory slows a run down instead of killing it.
+        """
         key = artifact_key(kind, params)
         artifact = self.get(kind, key)
         if artifact is None:
             artifact = build()
-            self.put(kind, key, artifact)
+            try:
+                self.put(kind, key, artifact)
+            except (OSError, FaultInjectedError) as exc:
+                telemetry.count("cache.store_failed")
+                telemetry.warning(
+                    "cache.store_failed", kind=kind, key=key, error=str(exc)
+                )
         return artifact
 
     def size_bytes(self) -> int:
@@ -210,12 +303,15 @@ class ArtifactCache:
         return report
 
     def _entries(self) -> list[tuple[Path, float, int]]:
-        """(path, mtime, size) of every entry; entries that vanish
-        mid-scan (concurrent prune/eviction) are skipped."""
+        """(path, mtime, size) of every live entry; quarantined files are
+        excluded, and entries that vanish mid-scan (concurrent
+        prune/eviction) are skipped."""
         if not self.root.is_dir():
             return []
         out = []
         for path in self.root.rglob("*.pkl"):
+            if QUARANTINE_DIR in path.relative_to(self.root).parts:
+                continue
             try:
                 stat = path.stat()
             except OSError:

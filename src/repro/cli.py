@@ -23,6 +23,7 @@ import sys
 from repro.core.models import RandomForestModel
 from repro.core.persistence import load_model, model_fingerprint, save_model
 from repro.core.pipeline import TypeInferencePipeline
+from repro.faults import add_fault_flags, configure_faults
 from repro.obs import (
     RunManifest,
     add_observability_flags,
@@ -30,7 +31,8 @@ from repro.obs import (
     telemetry,
 )
 from repro.obs.export import write_json
-from repro.tabular.csv_io import CSVReadError, load_csv_table
+from repro.core.featurize import ProfileError
+from repro.tabular.csv_io import CSVReadError, decode_csv_bytes, load_csv_table
 
 DEFAULT_TRAIN_EXAMPLES = 1500
 
@@ -79,9 +81,9 @@ def _infer_via_server(args) -> int:
     from repro.serve.client import ServeClient, ServeClientError
 
     try:
-        with open(args.csv, newline="", encoding="utf-8") as handle:
-            text = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
+        with open(args.csv, "rb") as handle:
+            text = decode_csv_bytes(handle.read())
+    except (OSError, CSVReadError) as exc:
         print(f"repro-infer: cannot read {args.csv!r}: {exc}", file=sys.stderr)
         return 2
     client = ServeClient(args.server)
@@ -133,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         "--deadline-ms", type=float, default=None, metavar="MS",
         help="per-request deadline when using --server",
     )
+    add_fault_flags(parser)
     add_observability_flags(parser)
     args = parser.parse_args(argv)
 
@@ -140,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"no such file: {args.csv}")
 
     observing = configure_telemetry(args)
+    configure_faults(args)
 
     if args.server:
         return _infer_via_server(args)
@@ -162,7 +166,11 @@ def main(argv: list[str] | None = None) -> int:
         save_model(model, args.save)
 
     pipeline = TypeInferencePipeline(model)
-    predictions = pipeline.predict_table(table)
+    try:
+        predictions = pipeline.predict_table(table)
+    except ProfileError as exc:
+        print(f"repro-infer: {exc}", file=sys.stderr)
+        return 2
 
     if observing:
         if args.metrics_out:

@@ -24,6 +24,22 @@ from repro.types import FeatureType
 
 N_SAMPLE_VALUES = 5
 
+#: Low-level failures the stats kernels can hit on pathological cells
+#: (lone surrogates that cannot encode, degenerate shapes); re-raised as
+#: the typed :class:`ProfileError` so ingestion surfaces (CLI exit codes,
+#: HTTP 400s) never leak an ``IndexError``/``UnicodeDecodeError``.
+_KERNEL_ERRORS = (IndexError, KeyError, UnicodeError, OverflowError,
+                  ZeroDivisionError)
+
+
+class ProfileError(ValueError):
+    """A column whose cells cannot be base-featurized.
+
+    Raised by :func:`profile_column` / :func:`profile_columns` in place of
+    the untyped kernel-level exception, with the offending table/column
+    named in the message and the original exception chained as the cause.
+    """
+
 
 @dataclass
 class ColumnProfile:
@@ -63,7 +79,14 @@ def profile_column(
             samples = column.head_distinct(N_SAMPLE_VALUES)
         else:
             samples = column.sample_distinct(N_SAMPLE_VALUES, rng)
-        stats = compute_stats(column, samples=samples)
+        try:
+            stats = compute_stats(column, samples=samples)
+        except _KERNEL_ERRORS as exc:
+            raise ProfileError(
+                f"cannot featurize column {column.name!r}"
+                f"{f' of {source_file!r}' if source_file else ''}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
     telemetry.count("featurize.columns")
     return ColumnProfile(
         name=column.name,
@@ -99,7 +122,15 @@ def profile_columns(
                 samples_list.append(column.head_distinct(N_SAMPLE_VALUES))
             else:
                 samples_list.append(column.sample_distinct(N_SAMPLE_VALUES, rng))
-    stats_list = compute_stats_batch(columns, list(samples_list), scan_cache)
+    try:
+        stats_list = compute_stats_batch(columns, list(samples_list), scan_cache)
+    except _KERNEL_ERRORS as exc:
+        names = ", ".join(repr(c.name) for c in columns[:5])
+        raise ProfileError(
+            f"cannot featurize columns [{names}{', ...' if len(columns) > 5 else ''}]"
+            f"{f' of {source_file!r}' if source_file else ''}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     telemetry.count("featurize.columns", len(columns))
     return [
         ColumnProfile(

@@ -14,6 +14,7 @@ import os
 import pickle
 
 from repro.core.models import TypeInferenceModel
+from repro.faults import faults
 
 _MAGIC = b"REPRO-SORTINGHAT-MODEL\x00"
 _FORMAT_VERSION = 1
@@ -48,6 +49,7 @@ def load_model(path: str | os.PathLike) -> TypeInferenceModel:
 
     Only load artifacts you produced yourself — this uses pickle.
     """
+    faults.point("model.load", path=os.fspath(path))
     with open(path, "rb") as handle:
         header = handle.read(len(_MAGIC))
         if header != _MAGIC:

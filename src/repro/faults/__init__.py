@@ -1,0 +1,78 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+The robustness machinery of this repo (crash-safe cache, checkpointed
+benchmark runs, retrying serve client) is *proved* rather than assumed: the
+chaos suite (``tests/test_faults.py``) and the CI ``chaos-smoke`` job drive
+the real stack through this injector and assert that every run either
+recovers to byte-identical output or fails loudly with a typed error.
+
+Activate a plan one of two ways:
+
+* ``--fault-plan plan.json`` on ``repro-bench`` / ``repro-serve`` /
+  ``repro-infer`` (see :func:`add_fault_flags`);
+* ``$REPRO_FAULT_PLAN=/path/plan.json`` in the environment — picked up at
+  import time, which is how chaos tests reach into spawned subprocesses.
+
+With no plan, every injection site is a single ``is None`` check.
+See ``docs/robustness.md`` for the plan format and the point registry.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults.injector import FaultInjectedError, FaultInjector, faults
+from repro.faults.plan import FaultPlan, FaultPlanError, FaultRule
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+def install_plan_from_env(env_var: str = ENV_VAR) -> FaultPlan | None:
+    """Install the plan named by ``$REPRO_FAULT_PLAN``, if any.
+
+    A set-but-broken plan raises :class:`FaultPlanError` — a chaos run with
+    a typo'd plan must fail loudly, not silently run fault-free.
+    """
+    path = os.environ.get(env_var)
+    if not path:
+        return None
+    plan = FaultPlan.load(path)
+    faults.install(plan)
+    return plan
+
+
+def add_fault_flags(parser) -> None:
+    """Attach ``--fault-plan`` to an ``argparse`` parser (CLI chaos runs)."""
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="JSON fault-injection plan for chaos testing (see "
+             "docs/robustness.md); default: $REPRO_FAULT_PLAN if set",
+    )
+
+
+def configure_faults(args) -> FaultPlan | None:
+    """Install the plan from ``--fault-plan`` (overriding the env plan)."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return faults.active  # the env-var plan, if one was installed
+    plan = FaultPlan.load(path)
+    faults.install(plan)
+    return plan
+
+
+# Chaos subprocesses (forked workers excepted — they inherit the parent's
+# injector) see the plan without any CLI plumbing.
+install_plan_from_env()
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjectedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "add_fault_flags",
+    "configure_faults",
+    "faults",
+    "install_plan_from_env",
+]

@@ -1,0 +1,155 @@
+"""Fault plans: declarative, seeded descriptions of *where* and *when* the
+injector fires.
+
+A plan is a JSON document::
+
+    {
+      "seed": 0,
+      "rules": [
+        {"point": "cache.read", "mode": "error", "error": "OSError",
+         "probability": 0.5, "max_fires": 2},
+        {"point": "worker.run", "mode": "kill",
+         "match": {"experiment": "table1", "attempt": 0}},
+        {"point": "cache.write", "mode": "corrupt", "on_call": 1}
+      ]
+    }
+
+Each rule names one failure point (see ``docs/robustness.md`` for the
+registry) and one of four modes:
+
+``error``
+    Raise an exception at the point.  ``error`` names a builtin exception
+    type (``"OSError"``, ``"ConnectionResetError"``, ...); anything else —
+    including the default — raises
+    :class:`~repro.faults.injector.FaultInjectedError`.
+``kill``
+    SIGKILL the calling process (a worker crash that leaves no trace).
+``hang``
+    Sleep ``seconds`` (default 3600) at the point — a wedged worker.
+``corrupt``
+    Only honored by byte-corruption-capable sites
+    (:meth:`~repro.faults.injector.FaultInjector.corrupt`): the bytes
+    passing through the point are deterministically mangled.
+
+*When* a rule fires is deterministic given the plan: ``on_call: N`` fires on
+exactly the N-th matching call (1-based, counted per process);
+``probability: p`` draws from a :class:`random.Random` seeded by
+``(plan seed, rule index)``; with neither, every matching call fires.
+``max_fires`` bounds either form.  ``match`` restricts a rule to calls whose
+context fields (stringified) equal the given values — e.g. only the worker
+running ``table1`` on its first ``attempt``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+MODES = ("error", "kill", "hang", "corrupt")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan file/dict that cannot be interpreted."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One (point, mode, trigger) entry of a plan."""
+
+    point: str
+    mode: str = "error"
+    error: str = "FaultInjectedError"
+    message: str = ""
+    probability: float | None = None
+    on_call: int | None = None
+    max_fires: int | None = None
+    seconds: float = 3600.0
+    match: tuple[tuple[str, str], ...] = ()
+
+    def matches(self, ctx: dict) -> bool:
+        """True when every ``match`` field equals the stringified context."""
+        for key, value in self.match:
+            if key not in ctx or str(ctx[key]) != value:
+                return False
+        return True
+
+    @classmethod
+    def from_dict(cls, raw: dict, index: int) -> "FaultRule":
+        if not isinstance(raw, dict):
+            raise FaultPlanError(f"rules[{index}] must be an object")
+        point = raw.get("point")
+        if not point or not isinstance(point, str):
+            raise FaultPlanError(f'rules[{index}] needs a "point" name')
+        mode = raw.get("mode", "error")
+        if mode not in MODES:
+            raise FaultPlanError(
+                f"rules[{index}].mode {mode!r} not one of {MODES}"
+            )
+        probability = raw.get("probability")
+        if probability is not None:
+            probability = float(probability)
+            if not 0.0 <= probability <= 1.0:
+                raise FaultPlanError(
+                    f"rules[{index}].probability must be in [0, 1]"
+                )
+        on_call = raw.get("on_call")
+        if on_call is not None:
+            on_call = int(on_call)
+            if on_call < 1:
+                raise FaultPlanError(f"rules[{index}].on_call is 1-based")
+        if probability is not None and on_call is not None:
+            raise FaultPlanError(
+                f"rules[{index}]: probability and on_call are exclusive"
+            )
+        max_fires = raw.get("max_fires")
+        match = raw.get("match", {})
+        if not isinstance(match, dict):
+            raise FaultPlanError(f"rules[{index}].match must be an object")
+        return cls(
+            point=point,
+            mode=mode,
+            error=str(raw.get("error", "FaultInjectedError")),
+            message=str(raw.get("message", "")),
+            probability=probability,
+            on_call=on_call,
+            max_fires=None if max_fires is None else int(max_fires),
+            seconds=float(raw.get("seconds", 3600.0)),
+            match=tuple(sorted((str(k), str(v)) for k, v in match.items())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` entries."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    source: str = "<dict>"
+
+    @classmethod
+    def from_dict(cls, raw: dict, source: str = "<dict>") -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        rules_raw = raw.get("rules", [])
+        if not isinstance(rules_raw, list):
+            raise FaultPlanError('"rules" must be a list')
+        rules = tuple(
+            FaultRule.from_dict(rule, index)
+            for index, rule in enumerate(rules_raw)
+        )
+        return cls(rules=rules, seed=int(raw.get("seed", 0)), source=source)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Parse a plan JSON file; all failure modes raise FaultPlanError."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") from exc
+        except ValueError as exc:
+            raise FaultPlanError(f"fault plan {path!r} is not JSON: {exc}") from exc
+        return cls.from_dict(raw, source=path)
+
+    def points(self) -> set[str]:
+        return {rule.point for rule in self.rules}

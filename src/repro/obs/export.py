@@ -4,41 +4,73 @@ Everything written here is plain-dict JSON so downstream analysis needs only
 ``json.loads`` — no repro imports.  ``write_json`` and ``write_jsonl`` create
 parent directories on demand, making ``--metrics-out runs/today/metrics.json``
 work without ceremony.
+
+Writes are atomic (temp file + ``os.replace``): a crash — or an
+unserializable payload — mid-export never leaves a truncated/unparseable
+manifest behind, and never clobbers a previous good one.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Iterable
+import tempfile
+from typing import Callable, Iterable
 
 from repro.obs.trace import SpanRecord, aggregate_spans
 
 
-def _ensure_parent(path: str) -> None:
+def _ensure_parent(path: str) -> str:
     parent = os.path.dirname(os.path.abspath(path))
     if parent:
         os.makedirs(parent, exist_ok=True)
+    return parent
+
+
+def _atomic_write_text(path: str, render: Callable[..., None]) -> None:
+    """Render into a same-directory temp file, then ``os.replace`` it in.
+
+    On any failure the temp file is removed and the previous contents of
+    ``path`` (if any) are untouched.
+    """
+    parent = _ensure_parent(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=parent or ".", prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            render(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def write_json(path: str, payload) -> None:
-    """Write one JSON document (pretty-printed, trailing newline)."""
-    _ensure_parent(path)
-    with open(path, "w", encoding="utf-8") as handle:
+    """Atomically write one JSON document (pretty-printed, trailing newline)."""
+    def render(handle) -> None:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
 
+    _atomic_write_text(path, render)
+
 
 def write_jsonl(path: str, records: Iterable[dict]) -> int:
-    """Write records as JSON Lines; returns the number written."""
-    _ensure_parent(path)
-    n = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    """Atomically write records as JSON Lines; returns the number written."""
+    written = 0
+
+    def render(handle) -> None:
+        nonlocal written
         for record in records:
             handle.write(json.dumps(record, sort_keys=False))
             handle.write("\n")
-            n += 1
-    return n
+            written += 1
+
+    _atomic_write_text(path, render)
+    return written
 
 
 def spans_to_records(spans: list[SpanRecord]) -> list[dict]:

@@ -21,6 +21,7 @@ import sys
 import threading
 
 from repro.cache import ArtifactCache
+from repro.faults import add_fault_flags, configure_faults
 from repro.obs import (
     RunManifest,
     add_observability_flags,
@@ -77,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=30000.0, metavar="MS",
         help="default per-request deadline (clients override per call)",
     )
+    add_fault_flags(parser)
     add_observability_flags(parser)
     return parser
 
@@ -87,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     # A server's /metrics endpoint is only useful with telemetry on, so
     # unlike the batch CLIs, repro-serve always enables it.
     telemetry.enable(log_level=args.log_level or "info")
+    configure_faults(args)
 
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     cache = ArtifactCache(cache_dir) if cache_dir and not args.model else None

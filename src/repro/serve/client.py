@@ -3,28 +3,53 @@
 Used by ``repro-infer --server URL`` (so the CLI can delegate to a resident
 server instead of training/loading a model per invocation) and by
 ``scripts/bench_serve.py``.  No third-party HTTP dependency.
+
+Transient failures are retried by default: 429/503 responses (honoring
+``Retry-After``) and transport errors (connection refused/reset, a server
+dropping the socket mid-response) back off exponentially with jitter,
+bounded by :class:`RetryPolicy.total_deadline_s`.  Retrying ``POST
+/v1/infer`` is safe because inference is pure — the server holds no
+per-request state, so a replayed request returns the same predictions.
+Every retry is counted (``client.retry`` / ``client.retry.<reason>``).
+Pass ``retry=None`` to get single-shot requests (the queue-shedding
+benchmarks need to see their 429s).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from dataclasses import dataclass
+
+from repro.faults import FaultInjectedError, faults
+from repro.obs import telemetry
 
 
 class ServeClientError(RuntimeError):
     """A non-2xx response (or transport failure) from the server.
 
     ``status`` is the HTTP status code (0 on transport errors);
-    ``payload`` is the decoded JSON error body when one was returned.
+    ``payload`` is the decoded JSON error body when one was returned;
+    ``transport`` is True when the failure happened below HTTP (connection
+    refused/reset, socket closed mid-response, unparseable body).
     """
 
-    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        payload: dict | None = None,
+        transport: bool = False,
+    ):
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        self.transport = transport
 
     @property
     def retry_after_s(self) -> float | None:
@@ -32,12 +57,47 @@ class ServeClientError(RuntimeError):
         return float(value) if value is not None else None
 
 
-class ServeClient:
-    """Thin JSON-over-HTTP client bound to one server base URL."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient request failures.
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0):
+    Delay before attempt ``n+1`` is ``base_delay_s * 2**(n-1)`` capped at
+    ``max_delay_s``, stretched by up to ``jitter`` (uniform), and floored
+    by the server's ``Retry-After`` when one was sent.  A retry that would
+    overrun ``total_deadline_s`` (measured from the first attempt) is not
+    made — the last error is raised instead.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    total_deadline_s: float = 30.0
+    jitter: float = 0.25
+    retry_statuses: tuple[int, ...] = (429, 503)
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client bound to one server base URL.
+
+    ``retry`` (default :data:`DEFAULT_RETRY`) governs transient-failure
+    handling; ``rng`` seeds the backoff jitter (tests pass
+    ``random.Random(0)`` for reproducible schedules).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        retry: RetryPolicy | None = DEFAULT_RETRY,
+        rng: random.Random | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry
+        self._rng = rng if rng is not None else random.Random()
 
     # -- inference -----------------------------------------------------------
     def infer_csv_text(
@@ -89,14 +149,16 @@ class ServeClient:
     def wait_ready(self, timeout_s: float = 60.0, poll_s: float = 0.2) -> dict:
         """Poll ``/healthz`` until the primary model is resident.
 
-        Returns the final health dict; raises :class:`ServeClientError`
-        when the model load failed or the timeout passes.
+        Polls single-shot (no per-request retry — the outer loop *is* the
+        retry).  Returns the final health dict; raises
+        :class:`ServeClientError` when the model load failed or the timeout
+        passes.
         """
         end = time.monotonic() + timeout_s
         health: dict = {}
         while time.monotonic() < end:
             try:
-                health = self.healthz()
+                health = self._request_once("GET", "/healthz")
             except ServeClientError:
                 health = {}
             else:
@@ -121,6 +183,61 @@ class ServeClient:
         body: bytes | None = None,
         content_type: str | None = None,
     ) -> dict:
+        policy = self.retry
+        if policy is None:
+            return self._request_once(method, path, body, content_type)
+        start = time.monotonic()
+        attempt = 1
+        while True:
+            try:
+                return self._request_once(method, path, body, content_type)
+            except ServeClientError as exc:
+                reason = self._retry_reason(exc, policy)
+                if reason is None or attempt >= policy.max_attempts:
+                    raise
+                delay = min(
+                    policy.max_delay_s,
+                    policy.base_delay_s * 2 ** (attempt - 1),
+                )
+                delay *= 1.0 + policy.jitter * self._rng.random()
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                if time.monotonic() + delay > start + policy.total_deadline_s:
+                    raise
+                telemetry.count("client.retry")
+                telemetry.count(f"client.retry.{reason}")
+                telemetry.info(
+                    "client.retrying", method=method, path=path,
+                    attempt=attempt, delay_s=round(delay, 3), reason=reason,
+                )
+                time.sleep(delay)
+                attempt += 1
+
+    @staticmethod
+    def _retry_reason(exc: ServeClientError, policy: RetryPolicy) -> str | None:
+        """Why this error is retryable, or None when it is not."""
+        if exc.transport:
+            return "transport"
+        if exc.status in policy.retry_statuses:
+            return f"status_{exc.status}"
+        return None
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str | None = None,
+    ) -> dict:
+        try:
+            faults.point("client.request", method=method, path=path)
+        except FaultInjectedError as exc:
+            # Client-side transport chaos: an injected strike looks like any
+            # other connection failure, so the retry loop handles it.
+            raise ServeClientError(
+                f"{method} {path} -> injected fault: {exc}",
+                status=0, transport=True,
+            ) from exc
         request = urllib.request.Request(
             self.base_url + path, data=body, method=method
         )
@@ -135,6 +252,12 @@ class ServeClient:
                 payload = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 payload = {"error": raw.decode("utf-8", "replace")}
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            if retry_after is not None and "retry_after_s" not in payload:
+                try:
+                    payload["retry_after_s"] = float(retry_after)
+                except ValueError:
+                    pass
             raise ServeClientError(
                 f"{method} {path} -> HTTP {exc.code}: "
                 f"{payload.get('error', 'unknown error')}",
@@ -142,5 +265,17 @@ class ServeClient:
             ) from exc
         except urllib.error.URLError as exc:
             raise ServeClientError(
-                f"{method} {path} -> {exc.reason}", status=0
+                f"{method} {path} -> {exc.reason}", status=0, transport=True
+            ) from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # A reset/closed socket mid-response (RemoteDisconnected is a
+            # ConnectionResetError) surfaces here rather than as URLError.
+            raise ServeClientError(
+                f"{method} {path} -> {type(exc).__name__}: {exc}",
+                status=0, transport=True,
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ServeClientError(
+                f"{method} {path} -> unparseable response body: {exc}",
+                status=0, transport=True,
             ) from exc

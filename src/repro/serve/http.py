@@ -22,9 +22,12 @@ Stdlib-only (``http.server.ThreadingHTTPServer`` + ``json``).  Endpoints:
 from __future__ import annotations
 
 import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.featurize import ProfileError
+from repro.faults import FaultInjectedError, faults
 from repro.obs import telemetry
 from repro.serve.batching import QueueFullError, ServiceClosedError
 from repro.serve.service import InferenceService
@@ -112,6 +115,18 @@ class ServeHandler(BaseHTTPRequestHandler):
         if parsed.path != "/v1/infer":
             self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
             return
+        try:
+            # Chaos hook: a "serve.accept" rule sheds this request with a
+            # retryable 503, exercising the client's backoff path.
+            faults.point("serve.accept", path=parsed.path)
+        except FaultInjectedError as exc:
+            telemetry.count("serve.fault_reject")
+            self._send_json(
+                503,
+                {"error": f"fault injected: {exc}", "retry_after_s": 0.05},
+                headers={"Retry-After": "1"},
+            )
+            return
         if self.service.draining:
             self._send_json(503, {"error": "server is draining"})
             return
@@ -161,10 +176,16 @@ class ServeHandler(BaseHTTPRequestHandler):
             )
             return
         if request.error is not None:
-            self._send_json(
-                504 if "deadline" in str(request.error).lower() else 500,
-                {"error": str(request.error)},
-            )
+            if isinstance(request.error, ProfileError):
+                # The upload's *content* defeated featurization — that is
+                # the client's data, not a server fault.
+                telemetry.count("serve.bad_request")
+                status = 400
+            elif "deadline" in str(request.error).lower():
+                status = 504
+            else:
+                status = 500
+            self._send_json(status, {"error": str(request.error)})
             return
         self._send_json(
             200,
@@ -205,6 +226,19 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, payload: dict, headers: dict | None = None
     ) -> None:
+        try:
+            # Chaos hook: a "serve.respond" rule drops the connection
+            # before any bytes are written, so the client sees an abrupt
+            # disconnect (never a torn half-response).
+            faults.point("serve.respond", status=status)
+        except FaultInjectedError:
+            telemetry.count("serve.fault_disconnect")
+            self.close_connection = True
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")

@@ -3,6 +3,16 @@
 Built on the stdlib :mod:`csv` module but presenting the lenient semantics an
 AutoML ingestion layer needs: missing-token normalization, ragged-row repair,
 and simple delimiter sniffing.
+
+Real-world CSVs are hostile: NUL bytes from binary junk, mixed/mislabeled
+encodings, rows of varying arity, unbalanced quotes.  This module absorbs
+them deterministically — replacement-decoding non-UTF-8 bytes, stripping
+NULs, padding/truncating ragged rows — counting each repair in telemetry
+(``csv.decode_replaced`` / ``csv.nul_bytes`` / ``csv.ragged_rows``), and
+raises the typed :class:`CSVReadError` for input that cannot become a table
+at all.  The mangled-CSV fuzz corpus under ``tests/data/mangled/`` holds
+this contract: any bytes either parse or raise ``CSVReadError``, never an
+untyped crash.
 """
 
 from __future__ import annotations
@@ -11,6 +21,8 @@ import csv
 import io
 import os
 
+from repro.faults import FaultInjectedError, faults
+from repro.obs import telemetry
 from repro.tabular.table import Table
 
 _SNIFF_DELIMITERS = ",;\t|"
@@ -18,7 +30,8 @@ _SNIFF_DELIMITERS = ",;\t|"
 
 class CSVReadError(ValueError):
     """Raised when CSV input cannot be turned into a usable :class:`Table`
-    (unreadable file, undecodable bytes, empty input, no data columns).
+    (unreadable file, empty input, no data columns, csv-level parse
+    failure).
 
     Subclasses :class:`ValueError` so call sites that caught the old
     untyped errors keep working; new call sites (the ``repro-infer`` CLI,
@@ -27,12 +40,59 @@ class CSVReadError(ValueError):
     """
 
 
+# BOM → declared codec, longest signature first (UTF-32-LE's BOM starts
+# with UTF-16-LE's).
+_BOM_CODECS = (
+    (b"\xff\xfe\x00\x00", "utf-32-le"),
+    (b"\x00\x00\xfe\xff", "utf-32-be"),
+    (b"\xff\xfe", "utf-16-le"),
+    (b"\xfe\xff", "utf-16-be"),
+)
+
+
+def decode_csv_bytes(data: bytes) -> str:
+    """Raw file bytes → parseable text, absorbing encoding damage.
+
+    Strict UTF-8 when possible; otherwise replacement decoding (each bad
+    byte becomes U+FFFD, counted in ``csv.decode_replaced``).  NUL bytes —
+    which the :mod:`csv` module rejects outright on some versions — are
+    stripped and counted; a UTF-8 BOM is dropped.
+
+    Bytes that *declare* an encoding via a UTF-16/32 BOM are decoded with
+    that codec; if the declared codec then fails, the file is lying about
+    itself and replacement-salvage would only yield NUL-riddled mojibake,
+    so that raises :class:`CSVReadError` instead.
+    """
+    for bom, codec in _BOM_CODECS:
+        if data.startswith(bom):
+            try:
+                text = data[len(bom):].decode(codec)
+            except UnicodeDecodeError as exc:
+                raise CSVReadError(
+                    f"input declares {codec} via its BOM but is not valid "
+                    f"{codec}: {exc}"
+                ) from exc
+            break
+    else:
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError:
+            text = data.decode("utf-8", errors="replace")
+            telemetry.count("csv.decode_replaced")
+    if text.startswith("\ufeff"):
+        text = text[1:]
+    if "\x00" in text:
+        telemetry.count("csv.nul_bytes", text.count("\x00"))
+        text = text.replace("\x00", "")
+    return text
+
+
 def read_csv(path: str | os.PathLike, delimiter: str | None = None) -> Table:
     """Read a CSV file from disk into a :class:`Table`."""
-    with open(path, newline="", encoding="utf-8") as handle:
-        text = handle.read()
+    with open(path, "rb") as handle:
+        data = handle.read()
     name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
-    return read_csv_text(text, name=name, delimiter=delimiter)
+    return read_csv_text(decode_csv_bytes(data), name=name, delimiter=delimiter)
 
 
 def load_csv_table(path: str | os.PathLike, delimiter: str | None = None) -> Table:
@@ -40,37 +100,62 @@ def load_csv_table(path: str | os.PathLike, delimiter: str | None = None) -> Tab
     :class:`CSVReadError`.
 
     This is the ingestion entry point shared by ``repro-infer`` and the
-    ``repro.serve`` service: a missing file, a permission error, bytes that
-    are not UTF-8, or an empty file all surface as one typed error with a
-    human-readable message.
+    ``repro.serve`` service: a missing file, a permission error, or an
+    empty/unparseable file all surface as one typed error with a
+    human-readable message.  (Undecodable bytes no longer fail — they are
+    replacement-decoded; see :func:`decode_csv_bytes`.)
     """
     try:
+        faults.point("csv.read", path=os.fspath(path))
         return read_csv(path, delimiter=delimiter)
     except OSError as exc:
         raise CSVReadError(
             f"cannot read {os.fspath(path)!r}: {exc.strerror or exc}"
         ) from exc
-    except UnicodeDecodeError as exc:
-        raise CSVReadError(
-            f"{os.fspath(path)!r} is not UTF-8 text ({exc.reason} at byte "
-            f"{exc.start}); is this really a CSV file?"
-        ) from exc
+    except FaultInjectedError as exc:
+        raise CSVReadError(f"cannot read {os.fspath(path)!r}: {exc}") from exc
 
 
 def read_csv_text(text: str, name: str = "", delimiter: str | None = None) -> Table:
     """Parse CSV text into a :class:`Table` (first row is the header).
 
-    Raises :class:`CSVReadError` on empty input.
+    Raises :class:`CSVReadError` on empty input or a csv-level parse
+    failure (e.g. a field past the parser's size limit).  Rows whose arity
+    differs from the header are padded/truncated and counted in
+    ``csv.ragged_rows``.
     """
+    if "\x00" in text:
+        # Callers that bypass decode_csv_bytes (HTTP bodies) get the same
+        # NUL tolerance as the file path.
+        telemetry.count("csv.nul_bytes", text.count("\x00"))
+        text = text.replace("\x00", "")
     if delimiter is None:
         delimiter = sniff_delimiter(text)
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
     try:
-        header = next(reader)
-    except StopIteration:
-        raise CSVReadError("empty CSV input") from None
-    header = _dedupe_header([h.strip() for h in header])
-    return Table.from_rows(header, reader, name=name)
+        raw_rows = list(reader)
+    except csv.Error as exc:
+        raise CSVReadError(f"malformed CSV: {exc}") from exc
+    # The header is the first row with any content; files of blank lines
+    # are as empty as zero-byte ones.
+    header_index = next(
+        (i for i, row in enumerate(raw_rows) if any(cell.strip() for cell in row)),
+        None,
+    )
+    if header_index is None:
+        raise CSVReadError("empty CSV input")
+    header = _dedupe_header([h.strip() for h in raw_rows[header_index]])
+    width = len(header)
+    rows: list[list[str | None]] = []
+    ragged = 0
+    for row in raw_rows[header_index + 1:]:
+        if len(row) != width:
+            ragged += 1
+            row = (list(row) + [None] * width)[:width]
+        rows.append(row)
+    if ragged:
+        telemetry.count("csv.ragged_rows", ragged)
+    return Table.from_rows(header, rows, name=name)
 
 
 def write_csv(table: Table, path: str | os.PathLike) -> None:

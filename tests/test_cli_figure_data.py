@@ -79,11 +79,13 @@ class TestInferCli:
         assert captured.out == ""
 
     def test_unreadable_csv_exits_nonzero(self, saved_model, tmp_path, capsys):
+        # A UTF-16 BOM followed by bytes that are not valid UTF-16: the file
+        # declares its encoding and lies, which is unsalvageable.
         binary = tmp_path / "binary.csv"
         binary.write_bytes(b"\xff\xfe\x00\x01garbage")
         code = infer_main([str(binary), "--model", str(saved_model)])
         assert code == 2
-        assert "not UTF-8" in capsys.readouterr().err
+        assert "not valid utf-16-le" in capsys.readouterr().err
 
 
 class TestFigureData:

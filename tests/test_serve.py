@@ -171,8 +171,11 @@ class TestRobustness:
             table = read_csv_text(CSV_TEXT, name="filler")
             service.batcher.submit(table)
             service.batcher.submit(table)
+            # The default client would retry the 429 away; this test wants
+            # to see the shed itself.
+            one_shot = ServeClient(client.base_url, retry=None)
             with pytest.raises(ServeClientError) as exc_info:
-                client.infer_csv_text(CSV_TEXT, deadline_ms=5000)
+                one_shot.infer_csv_text(CSV_TEXT, deadline_ms=5000)
             # Drain the never-started worker's queue by hand so teardown's
             # close() has nothing to wait on.
             service.batcher._queue.clear()
