@@ -10,12 +10,25 @@ either durably complete or not recorded at all.
 ``repro-bench all --run-dir DIR --resume`` then reloads the records and
 skips the completed experiments, replaying their stored output verbatim so
 the rendered run is byte-identical to an uninterrupted one.
+
+Sharded experiments additionally checkpoint each completed *sub-task*
+under ``DIR/shards/<experiment>/`` (:meth:`RunCheckpoint.record_shard`).
+A resumed run reloads them with :meth:`RunCheckpoint.completed_shards`,
+which validates that each record's stored parent experiment matches the
+directory it was found in — a record that disagrees (hand-moved files,
+colliding sanitized names) is discarded with a
+``checkpoint.shard_misattributed`` warning rather than letting one
+experiment resume from another's payloads.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import json
 import os
+import pickle
+import re
 from pathlib import Path
 
 from repro.obs import telemetry
@@ -24,6 +37,18 @@ from repro.obs.export import write_json
 #: Bumped if the record layout changes incompatibly; mismatched records are
 #: ignored (the experiment simply reruns) rather than misread.
 SCHEMA = 1
+
+
+def _safe_component(name: str) -> str:
+    """A filesystem-safe, collision-resistant file stem for a shard id.
+
+    Shard ids may contain path separators (``"logreg/fold0"``) or any other
+    punctuation; sanitizing can alias distinct ids, so a short digest of
+    the raw id keeps stems unique.
+    """
+    stem = re.sub(r"[^A-Za-z0-9._-]", "_", name)
+    digest = hashlib.sha1(name.encode("utf-8")).hexdigest()[:8]
+    return f"{stem}-{digest}"
 
 
 class RunCheckpoint:
@@ -38,6 +63,17 @@ class RunCheckpoint:
 
     def path(self, name: str) -> Path:
         return self.experiments_dir / f"{name}.json"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.run_dir / "shards"
+
+    def shard_path(self, experiment: str, shard_id: str) -> Path:
+        return (
+            self.shards_dir
+            / _safe_component(experiment)
+            / f"{_safe_component(shard_id)}.json"
+        )
 
     def record(self, rec: dict) -> None:
         """Durably mark one experiment complete (atomic write).
@@ -82,4 +118,69 @@ class RunCheckpoint:
                 )
                 continue
             out[stored["name"]] = stored
+        return out
+
+    def record_shard(self, experiment: str, shard_id: str, payload,
+                     meta: dict | None = None) -> None:
+        """Durably mark one sub-task complete (atomic write).
+
+        The payload (an arbitrary picklable object) is stored pickled +
+        base64 with a sha256 checksum, tagged with the *parent experiment
+        name* so resume can detect records that landed under the wrong
+        experiment's directory.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        stored = {
+            "schema": SCHEMA,
+            "experiment": experiment,
+            "shard": shard_id,
+            "payload": base64.b64encode(blob).decode("ascii"),
+            "payload_sha256": hashlib.sha256(blob).hexdigest(),
+        }
+        if meta:
+            stored.update(meta)
+        path = self.shard_path(experiment, shard_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_json(str(path), stored)
+        telemetry.count("checkpoint.shard_recorded")
+
+    def completed_shards(self, experiment: str) -> dict[str, object]:
+        """shard id → payload for the experiment's durable sub-tasks.
+
+        Only load run dirs you produced yourself — payloads are pickles.
+        Invalid records degrade to "not completed" (the shard reruns);
+        records whose stored parent experiment disagrees with the directory
+        they sit in are *discarded* and counted as
+        ``checkpoint.shard_misattributed`` — replaying them would graft one
+        experiment's payloads onto another.
+        """
+        out: dict[str, object] = {}
+        shard_dir = self.shards_dir / _safe_component(experiment)
+        if not shard_dir.is_dir():
+            return out
+        for path in sorted(shard_dir.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+                if stored.get("schema") != SCHEMA or "payload" not in stored:
+                    raise ValueError(f"unrecognized shard record schema in {path}")
+                blob = base64.b64decode(stored["payload"].encode("ascii"))
+                if hashlib.sha256(blob).hexdigest() != stored.get("payload_sha256"):
+                    raise ValueError(f"shard payload checksum mismatch in {path}")
+            except (OSError, ValueError, KeyError) as exc:
+                telemetry.count("checkpoint.invalid")
+                telemetry.warning(
+                    "checkpoint.shard_record_invalid",
+                    path=str(path), error=str(exc),
+                )
+                continue
+            if stored.get("experiment") != experiment:
+                telemetry.count("checkpoint.shard_misattributed")
+                telemetry.warning(
+                    "checkpoint.shard_misattributed",
+                    path=str(path), expected=experiment,
+                    found=stored.get("experiment"),
+                )
+                continue
+            out[stored["shard"]] = pickle.loads(blob)
         return out

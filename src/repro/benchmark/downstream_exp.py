@@ -5,25 +5,34 @@ AutoGluon / OurRF, trains linear and forest downstream models under each
 assignment, and reports per-dataset deltas vs the true types (Table 5),
 the coverage/accuracy and under/match/outperform summaries (Table 4), and
 the CDFs of performance deltas (Figure 8).
+
+Sharding: the suite decomposes per dataset (:class:`DownstreamShards`) —
+each shard generates one dataset, infers every approach's assignment once
+(reused for both scoring and the Table 4A coverage/accuracy counts, where
+the monolithic path used to infer twice), and evaluates both downstream
+models.  :func:`merge_downstream` rebuilds the
+:class:`DownstreamExperimentResult` from the per-dataset payloads in
+canonical suite order, so sharded output is byte-identical to serial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from repro.benchmark.context import BenchmarkContext
 from repro.benchmark.formatting import format_table
+from repro.benchmark.sharding import Shardable
 from repro.datagen.downstream import DOWNSTREAM_SPECS, DownstreamDataset, make_dataset
+from repro.downstream.harness import FOREST, LINEAR, evaluate_assignment
 from repro.downstream.suite import (
     InferenceAccuracy,
     SuiteResult,
     TruthComparison,
     compare_to_truth,
-    inference_accuracy_on_suite,
     model_assignments,
-    run_suite,
     tool_assignments,
     truth_assignments,
 )
@@ -60,50 +69,170 @@ class DownstreamExperimentResult:
         return xs, ys
 
 
-def run_downstream_experiment(
-    context: BenchmarkContext,
-    dataset_names: tuple[str, ...] | None = None,
-    seed: int = 0,
-) -> DownstreamExperimentResult:
-    """Run the full downstream comparison (or a named subset of datasets)."""
+def downstream_specs(dataset_names: tuple[str, ...] | None = None) -> tuple:
+    """The suite specs, optionally filtered, in canonical suite order."""
     specs = DOWNSTREAM_SPECS
     if dataset_names is not None:
         wanted = set(dataset_names)
         specs = tuple(s for s in specs if s.name in wanted)
-    datasets = [make_dataset(spec, seed=seed + i) for i, spec in enumerate(specs)]
+    return tuple(specs)
+
+
+def _shard_impl(
+    context: BenchmarkContext,
+    shard_id: str,
+    dataset_names: tuple[str, ...] | None,
+    seed: int,
+) -> tuple[dict, DownstreamDataset]:
+    """One suite cell: (payload, the generated dataset).
+
+    The payload holds every approach's scores for both model kinds plus
+    the per-dataset Table 4A coverage/accuracy counts.  Assignments are
+    inferred once and reused for scoring and coverage — the tools and the
+    trained model are deterministic, so this matches inferring twice.
+    """
+    specs = downstream_specs(dataset_names)
+    index = next((i for i, s in enumerate(specs) if s.name == shard_id), None)
+    if index is None:
+        raise ValueError(f"unknown downstream shard {shard_id!r}")
+    dataset = make_dataset(specs[index], seed=seed + index)
 
     our_rf = context.our_rf
     tools = {"pandas": PandasTool(), "tfdv": TFDVTool(), "autogluon": AutoGluonTool()}
-    approaches = {
-        "truth": truth_assignments,
-        "pandas": lambda ds: tool_assignments(ds, tools["pandas"]),
-        "tfdv": lambda ds: tool_assignments(ds, tools["tfdv"]),
-        "autogluon": lambda ds: tool_assignments(ds, tools["autogluon"]),
-        "ourrf": lambda ds: model_assignments(ds, our_rf),
+    assignments = {
+        "truth": truth_assignments(dataset),
+        "pandas": tool_assignments(dataset, tools["pandas"]),
+        "tfdv": tool_assignments(dataset, tools["tfdv"]),
+        "autogluon": tool_assignments(dataset, tools["autogluon"]),
+        "ourrf": model_assignments(dataset, our_rf),
     }
 
-    suite = run_suite(datasets, approaches, seed=seed)
+    scores: dict[str, dict[str, object]] = {}
+    for model_kind in (LINEAR, FOREST):
+        for approach, assignment in assignments.items():
+            scores.setdefault(approach, {})[model_kind] = evaluate_assignment(
+                dataset, assignment, model_kind=model_kind, seed=seed
+            )
 
-    inference = [
-        inference_accuracy_on_suite(
-            datasets,
-            name,
-            approaches[name],
-            coverage_fn=(
-                (lambda ds, col, t=tools[name]: t.covers_column(ds.table[col]))
-                if name in tools
-                else None
-            ),
-        )
-        for name in DOWNSTREAM_APPROACHES
-    ]
+    inference: dict[str, tuple[int, int, int]] = {}
+    for approach in DOWNSTREAM_APPROACHES:
+        assignment = assignments[approach]
+        tool = tools.get(approach)
+        covered = correct = total = 0
+        for column, truth in dataset.true_types.items():
+            total += 1
+            if tool is not None and not tool.covers_column(dataset.table[column]):
+                continue
+            covered += 1
+            if assignment.get(column) == truth:
+                correct += 1
+        inference[approach] = (covered, total, correct)
+
+    return {"scores": scores, "inference": inference}, dataset
+
+
+def run_downstream_shard(
+    context: BenchmarkContext,
+    shard_id: str,
+    dataset_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> dict:
+    """Compute one dataset's payload (the picklable sub-task body)."""
+    payload, _ = _shard_impl(context, shard_id, dataset_names, seed)
+    return payload
+
+
+def merge_downstream(
+    shards: Mapping[str, dict],
+    dataset_names: tuple[str, ...] | None = None,
+    datasets: list[DownstreamDataset] | None = None,
+) -> DownstreamExperimentResult:
+    """Rebuild the experiment result from per-dataset payloads.
+
+    Iterates the canonical spec order (never the mapping's insertion
+    order), so the result — and everything rendered from it — is
+    independent of shard completion order.
+    """
+    specs = downstream_specs(dataset_names)
+    missing = [s.name for s in specs if s.name not in shards]
+    if missing:
+        raise ValueError(f"downstream merge missing shard(s): {missing}")
+
+    suite = SuiteResult()
+    for spec in specs:
+        payload = shards[spec.name]
+        for model_kind in (LINEAR, FOREST):
+            for approach in ("truth", *DOWNSTREAM_APPROACHES):
+                suite.add(approach, payload["scores"][approach][model_kind])
+
+    inference = []
+    for approach in DOWNSTREAM_APPROACHES:
+        covered = total = correct = 0
+        for spec in specs:
+            c, t, r = shards[spec.name]["inference"][approach]
+            covered += c
+            total += t
+            correct += r
+        inference.append(InferenceAccuracy(approach, covered, total, correct))
+
     comparisons = {
         kind: compare_to_truth(suite, list(DOWNSTREAM_APPROACHES), kind)
         for kind in ("linear", "forest")
     }
     return DownstreamExperimentResult(
-        suite=suite, inference=inference, comparisons=comparisons, datasets=datasets
+        suite=suite, inference=inference, comparisons=comparisons,
+        datasets=list(datasets or []),
     )
+
+
+def run_downstream_experiment(
+    context: BenchmarkContext,
+    dataset_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> DownstreamExperimentResult:
+    """Run the full downstream comparison (or a named subset of datasets).
+
+    Serial path: every shard in canonical order, then the shared merge.
+    """
+    shards: dict[str, dict] = {}
+    datasets: list[DownstreamDataset] = []
+    for spec in downstream_specs(dataset_names):
+        payload, dataset = _shard_impl(context, spec.name, dataset_names, seed)
+        shards[spec.name] = payload
+        datasets.append(dataset)
+    return merge_downstream(shards, dataset_names, datasets=datasets)
+
+
+def render_downstream(result: DownstreamExperimentResult) -> str:
+    """The experiment's full rendered output (Tables 4, 5 and Figure 8)."""
+    return "\n".join(
+        [render_table4(result), render_table5(result), render_figure8(result)]
+    )
+
+
+class DownstreamShards(Shardable):
+    """Shard the downstream suite per dataset (default runner arguments)."""
+
+    name = "downstream"
+
+    def __init__(
+        self,
+        dataset_names: tuple[str, ...] | None = None,
+        seed: int = 0,
+    ):
+        self.dataset_names = dataset_names
+        self.seed = seed
+
+    def shard_ids(self, context: BenchmarkContext) -> list[str]:
+        return [s.name for s in downstream_specs(self.dataset_names)]
+
+    def run_shard(self, context: BenchmarkContext, shard_id: str):
+        return run_downstream_shard(
+            context, shard_id, self.dataset_names, self.seed
+        )
+
+    def merge(self, context: BenchmarkContext, shards: Mapping[str, object]) -> str:
+        return render_downstream(merge_downstream(shards, self.dataset_names))
 
 
 def render_table4(result: DownstreamExperimentResult) -> str:

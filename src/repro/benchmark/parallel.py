@@ -8,16 +8,32 @@ the parent process; forked workers inherit them copy-on-write, and with an
 :class:`~repro.cache.ArtifactCache` enabled they are also persisted for
 later runs.
 
-Fault tolerance: each experiment gets its own forked :class:`Process` and
-result pipe (not a ``Pool`` — a pool deadlocks when a worker is SIGKILLed
+Task DAG: the schedulable unit is a :class:`_TaskSpec` — either a whole
+experiment or, for experiments registered in
+:mod:`repro.benchmark.sharding`, one sub-task (shard) of it.  Sharding
+(``shard_heavy=True``, the CLI's ``--shard-heavy``) expands each heavy
+experiment into its seeded (dataset × model × fold) cells so they spread
+across all workers instead of serializing inside one; a per-experiment
+:class:`_Assembly` collects the shard payloads and runs the experiment's
+declared merge in the parent.  Merges are pure functions of the payload
+values, so the assembled output is byte-identical to a serial run
+regardless of ``jobs`` or completion order.
+
+Fault tolerance: each task gets its own forked :class:`Process` and result
+pipe (not a ``Pool`` — a pool deadlocks when a worker is SIGKILLed
 mid-task).  The parent detects workers that die (pipe EOF / process exit
 without a result) or hang (``worker_timeout_s`` exceeded, or the worker's
 heartbeat file going stale) and restarts them up to ``max_restarts`` times;
-an experiment that still cannot finish yields a *failure record* —
-``{"name", "failed": True, "error", "traceback", "attempts"}`` — instead of
-hanging the run.  Exceptions raised *inside* an experiment are
-deterministic and are not retried; the worker reports them as a failure
-record directly.
+a task that still cannot finish fails its experiment with a *failure
+record* — ``{"name", "failed": True, "error", "traceback", "attempts"}`` —
+instead of hanging the run (remaining sub-tasks of a failed experiment are
+cancelled).  Exceptions raised *inside* a task are deterministic and are
+not retried; the worker reports them as a failure record directly.
+
+Checkpointing: with a :class:`~repro.benchmark.checkpoint.RunCheckpoint`,
+each completed shard is durably recorded (tagged with its parent
+experiment) the moment it lands, and a resumed run replays those payloads
+instead of recomputing them — only the missing cells rerun.
 
 Output determinism: results are yielded in the canonical experiment order
 regardless of completion order, so the rendered experiment text is
@@ -26,15 +42,17 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import os
+import re
 import shutil
 import tempfile
 import threading
 import time
 import traceback
 from multiprocessing.connection import wait as _conn_wait
-from typing import Iterator, Sequence
+from typing import Iterator, NamedTuple, Sequence
 
 from repro.benchmark.context import BenchmarkContext
 from repro.faults import faults
@@ -52,6 +70,20 @@ _STALE_INTERVALS = 10
 _MIN_STALE_S = 30.0
 #: Parent scheduling-loop poll interval.
 _POLL_S = 0.2
+
+
+class _TaskSpec(NamedTuple):
+    """One schedulable unit: a whole experiment, or one shard of one."""
+
+    key: str  # unique across the run ("table18" or "table15::mushrooms")
+    experiment: str
+    shard: str | None
+
+    def safe_stem(self) -> str:
+        """Filesystem-safe unique stem for heartbeat files."""
+        stem = re.sub(r"[^A-Za-z0-9._-]", "_", self.key)
+        digest = hashlib.sha1(self.key.encode("utf-8")).hexdigest()[:6]
+        return f"{stem}.{digest}"
 
 
 def warm_up(context: BenchmarkContext) -> None:
@@ -87,8 +119,41 @@ def _run_one(name: str, attempt: int = 0) -> dict:
     return record
 
 
-def _exception_record(name: str, attempt: int, exc: BaseException) -> dict:
+def _run_shard(name: str, shard_id: str, attempt: int = 0) -> dict:
+    """Run one sub-task of a shardable experiment (in a worker)."""
+    from repro.benchmark.sharding import get_shardable
+
+    faults.point(
+        "worker.run", experiment=name, shard=shard_id, attempt=attempt,
+        pid=os.getpid(),
+    )
+    shardable = get_shardable(name)
+    if shardable is None:
+        raise ValueError(f"experiment {name!r} is not shardable")
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    payload = shardable.run_shard(_CONTEXT, shard_id)
     return {
+        "name": name,
+        "shard": shard_id,
+        "payload": payload,
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+        "pid": os.getpid(),
+        "attempt": attempt,
+    }
+
+
+def _run_task(experiment: str, shard: str | None, attempt: int) -> dict:
+    if shard is None:
+        return _run_one(experiment, attempt)
+    return _run_shard(experiment, shard, attempt)
+
+
+def _exception_record(
+    name: str, attempt: int, exc: BaseException, shard: str | None = None
+) -> dict:
+    record = {
         "name": name,
         "failed": True,
         "error": f"{type(exc).__name__}: {exc}",
@@ -96,12 +161,20 @@ def _exception_record(name: str, attempt: int, exc: BaseException) -> dict:
         "pid": os.getpid(),
         "attempt": attempt,
     }
+    if shard is not None:
+        record["shard"] = shard
+    return record
 
 
 def _worker_main(
-    name: str, attempt: int, conn, heartbeat_path: str, heartbeat_s: float
+    experiment: str,
+    shard: str | None,
+    attempt: int,
+    conn,
+    heartbeat_path: str,
+    heartbeat_s: float,
 ) -> None:
-    """Forked worker entry point: run one experiment, pipe back one record.
+    """Forked worker entry point: run one task, pipe back one record.
 
     A daemon thread touches ``heartbeat_path`` every ``heartbeat_s`` so the
     parent can tell a long-running worker from a wedged one even when the
@@ -122,9 +195,9 @@ def _worker_main(
 
         threading.Thread(target=beat, daemon=True, name="heartbeat").start()
     try:
-        record = _run_one(name, attempt)
+        record = _run_task(experiment, shard, attempt)
     except Exception as exc:  # deterministic failure: report, don't retry
-        record = _exception_record(name, attempt, exc)
+        record = _exception_record(experiment, attempt, exc, shard=shard)
     stop.set()
     try:
         conn.send(record)
@@ -132,14 +205,124 @@ def _worker_main(
         conn.close()
 
 
+class _Assembly:
+    """One sharded experiment's collection point.
+
+    Accumulates ``{shard_id: payload}`` (plus timing provenance) as shard
+    tasks land, and produces the experiment's final record by running the
+    declared merge once every cell is present — or a failure record if any
+    cell permanently failed.
+    """
+
+    def __init__(self, name, shardable, shard_ids, preloaded):
+        self.name = name
+        self.shardable = shardable
+        self.shard_ids = list(shard_ids)
+        self.payloads: dict[str, object] = dict(preloaded)
+        self.resumed_shards = len(preloaded)
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.max_attempts = 1
+        self.failure: dict | None = None
+
+    @property
+    def ready(self) -> bool:
+        return self.failure is None and all(
+            shard in self.payloads for shard in self.shard_ids
+        )
+
+    def add(self, shard_id: str, record: dict) -> None:
+        self.payloads[shard_id] = record["payload"]
+        self.wall_s += record.get("wall_s") or 0.0
+        self.cpu_s += record.get("cpu_s") or 0.0
+        self.max_attempts = max(self.max_attempts, record.get("attempt", 0) + 1)
+
+    def fail(self, shard_id: str, error: str, tb: str, attempts: int) -> dict:
+        if self.failure is None:
+            self.failure = {
+                "name": self.name,
+                "failed": True,
+                "error": f"shard {shard_id!r}: {error}",
+                "traceback": tb,
+                "attempts": max(attempts, self.max_attempts),
+            }
+        return self.failure
+
+    def finish(self, context: BenchmarkContext) -> dict:
+        """The experiment's final record (merge runs in the parent)."""
+        if self.failure is not None:
+            return self.failure
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        with telemetry.span(
+            "parallel.merge", experiment=self.name, n_shards=len(self.shard_ids)
+        ):
+            output = self.shardable.merge(context, self.payloads)
+        return {
+            "name": self.name,
+            "output": output,
+            "wall_s": self.wall_s + (time.perf_counter() - wall0),
+            "cpu_s": self.cpu_s + (time.process_time() - cpu0),
+            "pid": os.getpid(),
+            "attempt": 0,
+            "attempts": self.max_attempts,
+            "sharded": True,
+            "n_shards": len(self.shard_ids),
+            "resumed_shards": self.resumed_shards,
+        }
+
+
+def _expand_specs(
+    names: list[str],
+    context: BenchmarkContext,
+    checkpoint,
+) -> tuple[list[_TaskSpec], dict[str, _Assembly]]:
+    """Experiment names → task specs, sharding the registered heavies.
+
+    With a checkpoint, already-recorded shard payloads are preloaded into
+    the assemblies (validated against their parent experiment name) and
+    their tasks are not scheduled at all.
+    """
+    from repro.benchmark.sharding import get_shardable
+
+    specs: list[_TaskSpec] = []
+    assemblies: dict[str, _Assembly] = {}
+    for name in names:
+        shardable = get_shardable(name)
+        if shardable is None:
+            specs.append(_TaskSpec(name, name, None))
+            continue
+        shard_ids = shardable.shard_ids(context)
+        preloaded: dict[str, object] = {}
+        if checkpoint is not None:
+            done = checkpoint.completed_shards(name)
+            preloaded = {sid: done[sid] for sid in shard_ids if sid in done}
+            if preloaded:
+                telemetry.info(
+                    "parallel.shards_resumed", experiment=name,
+                    n=len(preloaded),
+                )
+        assemblies[name] = _Assembly(name, shardable, shard_ids, preloaded)
+        for shard_id in shard_ids:
+            if shard_id not in preloaded:
+                specs.append(
+                    _TaskSpec(f"{name}::{shard_id}", name, shard_id)
+                )
+        telemetry.info(
+            "parallel.sharded", experiment=name, n_shards=len(shard_ids),
+            resumed=len(preloaded),
+        )
+    return specs, assemblies
+
+
 class _Task:
     """One in-flight worker: its process, result pipe, and liveness state."""
 
-    __slots__ = ("name", "attempt", "process", "conn", "heartbeat",
+    __slots__ = ("spec", "attempt", "process", "conn", "heartbeat",
                  "started", "record", "eof")
 
-    def __init__(self, name, attempt, process, conn, heartbeat):
-        self.name = name
+    def __init__(self, spec, attempt, process, conn, heartbeat):
+        self.spec = spec
         self.attempt = attempt
         self.process = process
         self.conn = conn
@@ -167,13 +350,24 @@ def run_parallel(
     worker_timeout_s: float | None = None,
     heartbeat_s: float = 1.0,
     warm: bool = True,
+    shard_heavy: bool = True,
+    checkpoint=None,
+    resume: bool = False,
 ) -> Iterator[dict]:
     """Run experiments in ``jobs`` worker processes, yielding result (or
     failure) records in the order of ``names`` as they become available.
 
+    With ``shard_heavy`` (the default), experiments registered in
+    :mod:`repro.benchmark.sharding` are decomposed into per-cell sub-tasks
+    scheduled across the same workers and deterministically merged.  A
+    ``checkpoint`` (:class:`~repro.benchmark.checkpoint.RunCheckpoint`)
+    durably records each completed shard; with ``resume`` the recorded
+    payloads are replayed instead of recomputed.
+
     Falls back to in-process serial execution when only one job is asked
-    for or the platform cannot fork; in that mode an experiment exception
-    becomes a failure record but crashes/hangs are not survivable.
+    for, there is only one task to run, or the platform cannot fork; in
+    that mode an experiment exception becomes a failure record but
+    crashes/hangs are not survivable.
     """
     global _CONTEXT
     names = list(names)
@@ -181,11 +375,14 @@ def run_parallel(
         warm_up(context)
     _CONTEXT = context
     try:
-        if (
-            jobs <= 1
-            or len(names) <= 1
-            or "fork" not in mp.get_all_start_methods()
-        ):
+        can_fork = "fork" in mp.get_all_start_methods()
+        specs = [_TaskSpec(name, name, None) for name in names]
+        assemblies: dict[str, _Assembly] = {}
+        if jobs > 1 and can_fork and shard_heavy:
+            specs, assemblies = _expand_specs(
+                names, context, checkpoint if resume else None
+            )
+        if jobs <= 1 or not can_fork or (len(specs) <= 1 and not assemblies):
             for name in names:
                 try:
                     yield _run_one(name)
@@ -198,7 +395,8 @@ def run_parallel(
                     yield record
             return
         yield from _run_forked(
-            names, jobs, max_restarts, worker_timeout_s, heartbeat_s
+            names, specs, assemblies, jobs, max_restarts, worker_timeout_s,
+            heartbeat_s, checkpoint,
         )
     finally:
         _CONTEXT = None
@@ -206,31 +404,47 @@ def run_parallel(
 
 def _run_forked(
     names: list[str],
+    specs: list[_TaskSpec],
+    assemblies: dict[str, _Assembly],
     jobs: int,
     max_restarts: int,
     worker_timeout_s: float | None,
     heartbeat_s: float,
+    checkpoint,
 ) -> Iterator[dict]:
     ctx = mp.get_context("fork")
     stale_after = max(_MIN_STALE_S, _STALE_INTERVALS * heartbeat_s)
     heartbeat_dir = tempfile.mkdtemp(prefix="repro-bench-hb-")
-    # pop() from the end → experiments start in canonical order.
-    pending: list[tuple[str, int]] = [(name, 0) for name in reversed(names)]
+    # pop() from the end → tasks start in canonical order.
+    pending: list[tuple[_TaskSpec, int]] = [
+        (spec, 0) for spec in reversed(specs)
+    ]
     active: dict[object, _Task] = {}  # parent pipe end → task
-    results: dict[str, dict] = {}
+    results: dict[str, dict] = {}  # experiment name → final record
     next_index = 0
 
-    def spawn(name: str, attempt: int) -> None:
+    def finish_assembly(assembly: _Assembly) -> None:
+        results[assembly.name] = assembly.finish(_CONTEXT)
+
+    # Resume can leave an assembly fully populated before anything runs.
+    for assembly in assemblies.values():
+        if assembly.ready:
+            finish_assembly(assembly)
+
+    def spawn(spec: _TaskSpec, attempt: int) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
-        heartbeat = os.path.join(heartbeat_dir, f"{name}.{attempt}.hb")
+        heartbeat = os.path.join(
+            heartbeat_dir, f"{spec.safe_stem()}.{attempt}.hb"
+        )
         process = ctx.Process(
             target=_worker_main,
-            args=(name, attempt, child_conn, heartbeat, heartbeat_s),
-            name=f"repro-bench-{name}",
+            args=(spec.experiment, spec.shard, attempt, child_conn,
+                  heartbeat, heartbeat_s),
+            name=f"repro-bench-{spec.key}",
         )
         process.start()
         child_conn.close()
-        active[parent_conn] = _Task(name, attempt, process, parent_conn, heartbeat)
+        active[parent_conn] = _Task(spec, attempt, process, parent_conn, heartbeat)
 
     def reap(task: _Task, grace_s: float = 10.0) -> None:
         task.process.join(timeout=grace_s)
@@ -243,22 +457,87 @@ def _run_forked(
         except OSError:
             pass
 
+    def fail_experiment(
+        spec: _TaskSpec, error: str, tb: str, attempts: int
+    ) -> None:
+        """One task is permanently lost → its whole experiment fails."""
+        if spec.experiment in results:
+            return  # already failed via a sibling shard
+        if spec.shard is None:
+            results[spec.experiment] = {
+                "name": spec.experiment,
+                "failed": True,
+                "error": error,
+                "traceback": tb,
+                "attempts": attempts,
+            }
+        else:
+            results[spec.experiment] = assemblies[spec.experiment].fail(
+                spec.shard, error, tb, attempts
+            )
+        # Cancel the failed experiment's not-yet-started sibling tasks.
+        pending[:] = [
+            (s, a) for (s, a) in pending if s.experiment != spec.experiment
+        ]
+
+    def complete(task: _Task) -> None:
+        """A worker piped back a record: file it into results/assemblies."""
+        spec = task.spec
+        record = dict(task.record)
+        record["attempts"] = task.attempt + 1
+        if spec.shard is None:
+            results[spec.experiment] = record
+            return
+        if record.get("failed"):
+            # Deterministic failure inside a shard: fails the experiment.
+            fail_experiment(
+                spec, record["error"], record.get("traceback", ""),
+                task.attempt + 1,
+            )
+            return
+        if spec.experiment in results:
+            return  # experiment already failed; drop the stray payload
+        assembly = assemblies[spec.experiment]
+        assembly.add(spec.shard, record)
+        telemetry.count("parallel.shards_completed")
+        if checkpoint is not None:
+            try:
+                checkpoint.record_shard(
+                    spec.experiment, spec.shard, record["payload"],
+                    meta={
+                        "wall_s": record.get("wall_s"),
+                        "cpu_s": record.get("cpu_s"),
+                        "pid": record.get("pid"),
+                        "attempt": record.get("attempt", 0),
+                    },
+                )
+            except OSError as exc:
+                telemetry.warning(
+                    "checkpoint.shard_record_failed",
+                    experiment=spec.experiment, shard=spec.shard,
+                    error=str(exc),
+                )
+        if assembly.ready:
+            finish_assembly(assembly)
+
     def retry_or_fail(task: _Task, reason: str) -> None:
+        if task.spec.experiment in results:
+            return  # experiment already failed; don't resurrect its shards
         if task.attempt < max_restarts:
             telemetry.count("worker.restart")
             telemetry.warning(
-                "worker.restarted", experiment=task.name,
-                attempt=task.attempt + 1, reason=reason,
+                "worker.restarted", experiment=task.spec.experiment,
+                shard=task.spec.shard, attempt=task.attempt + 1,
+                reason=reason,
             )
-            pending.append((task.name, task.attempt + 1))
+            pending.append((task.spec, task.attempt + 1))
         else:
-            results[task.name] = {
-                "name": task.name,
-                "failed": True,
-                "error": f"{reason} (after {task.attempt + 1} attempts)",
-                "traceback": "",
-                "attempts": task.attempt + 1,
-            }
+            fail_experiment(
+                task.spec,
+                f"{reason} (after {task.attempt + 1} attempts)",
+                "",
+                task.attempt + 1,
+            )
 
     try:
         while pending or active:
@@ -279,21 +558,20 @@ def _run_forked(
                 if task.record is not None:
                     del active[conn]
                     reap(task)
-                    record = dict(task.record)
-                    record["attempts"] = task.attempt + 1
-                    results[task.name] = record
+                    complete(task)
                 elif task.eof or not task.process.is_alive():
                     del active[conn]
                     reap(task, grace_s=5.0)
                     exitcode = task.process.exitcode
                     telemetry.warning(
-                        "worker.died", experiment=task.name,
-                        attempt=task.attempt, exitcode=exitcode,
+                        "worker.died", experiment=task.spec.experiment,
+                        shard=task.spec.shard, attempt=task.attempt,
+                        exitcode=exitcode,
                     )
                     retry_or_fail(
                         task,
                         f"worker died (exit code {exitcode}) before "
-                        f"finishing {task.name!r}",
+                        f"finishing {task.spec.key!r}",
                     )
                 else:
                     elapsed = now - task.started
@@ -301,25 +579,31 @@ def _run_forked(
                     if worker_timeout_s is not None and elapsed > worker_timeout_s:
                         reason = (
                             f"worker exceeded the {worker_timeout_s:.0f}s "
-                            f"timeout on {task.name!r}"
+                            f"timeout on {task.spec.key!r}"
                         )
                     elif elapsed > stale_after and task.heartbeat_stale(stale_after):
                         reason = (
                             f"worker heartbeat stale for over "
-                            f"{stale_after:.0f}s on {task.name!r}"
+                            f"{stale_after:.0f}s on {task.spec.key!r}"
                         )
                     if reason is not None:
                         del active[conn]
                         task.process.kill()
                         reap(task, grace_s=5.0)
                         telemetry.warning(
-                            "worker.hung", experiment=task.name,
-                            attempt=task.attempt, reason=reason,
+                            "worker.hung", experiment=task.spec.experiment,
+                            shard=task.spec.shard, attempt=task.attempt,
+                            reason=reason,
                         )
                         retry_or_fail(task, reason)
             while next_index < len(names) and names[next_index] in results:
                 yield results.pop(names[next_index])
                 next_index += 1
+        # Everything scheduled has finished; drain records that became
+        # ready without any task running (fully-resumed assemblies).
+        while next_index < len(names) and names[next_index] in results:
+            yield results.pop(names[next_index])
+            next_index += 1
     finally:
         for task in active.values():
             task.process.kill()

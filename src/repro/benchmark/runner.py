@@ -21,6 +21,7 @@ from typing import Callable, Iterator
 
 from repro.benchmark.checkpoint import RunCheckpoint
 from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.sharding import is_shardable
 from repro.cache import ArtifactCache
 from repro.faults import add_fault_flags, configure_faults, faults
 from repro.obs import (
@@ -65,16 +66,11 @@ def _table3(context: BenchmarkContext) -> str:
 
 def _downstream(context: BenchmarkContext) -> str:
     from repro.benchmark.downstream_exp import (
-        render_figure8,
-        render_table4,
-        render_table5,
+        render_downstream,
         run_downstream_experiment,
     )
 
-    result = run_downstream_experiment(context)
-    return "\n".join(
-        [render_table4(result), render_table5(result), render_figure8(result)]
-    )
+    return render_downstream(run_downstream_experiment(context))
 
 
 def _table7(context: BenchmarkContext) -> str:
@@ -150,6 +146,12 @@ def _labeling(context: BenchmarkContext) -> str:
     )
 
 
+def _tuning(context: BenchmarkContext) -> str:
+    from repro.benchmark.tuning_exp import render_tuning, run_tuning
+
+    return render_tuning(run_tuning(context))
+
+
 def _leaderboard(context: BenchmarkContext) -> str:
     from repro.benchmark.leaderboard import build_leaderboard
 
@@ -171,6 +173,7 @@ EXPERIMENTS: dict[str, Callable[[BenchmarkContext], str]] = {
     "table18": _table18,  # + figure 10
     "figure7": _figure7,
     "labeling": _labeling,
+    "tuning": _tuning,  # nested-CV grid search (Section 4.1 protocol)
     "leaderboard": _leaderboard,
 }
 
@@ -301,6 +304,13 @@ def main(argv: list[str] | None = None) -> int:
              "builds the shared artifacts (corpus, split, OurRF)",
     )
     perf.add_argument(
+        "--shard-heavy", action=argparse.BooleanOptionalAction, default=True,
+        help="with --jobs > 1, decompose the heavy experiments "
+             "(table15, downstream, tuning) into per-cell sub-tasks "
+             "scheduled across all workers and merged deterministically "
+             "(default: on; --no-shard-heavy runs them monolithically)",
+    )
+    perf.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="content-addressed artifact cache directory (default: "
              "$REPRO_CACHE_DIR if set, else caching is off)",
@@ -389,13 +399,19 @@ def main(argv: list[str] | None = None) -> int:
         """Resumed records replayed in place + fresh records as they finish,
         merged back into canonical experiment order."""
         fresh = [name for name in names if name not in completed]
-        if args.jobs > 1 and len(fresh) > 1:
+        shardable_work = args.shard_heavy and any(
+            is_shardable(name) for name in fresh
+        )
+        if args.jobs > 1 and (len(fresh) > 1 or shardable_work):
             from repro.benchmark.parallel import run_parallel
 
             fresh_iter = run_parallel(
                 fresh, context, jobs=args.jobs,
                 max_restarts=args.max_worker_restarts,
                 worker_timeout_s=args.worker_timeout,
+                shard_heavy=args.shard_heavy,
+                checkpoint=checkpoint,
+                resume=args.resume,
             )
         else:
             fresh_iter = _iter_serial(fresh, context)

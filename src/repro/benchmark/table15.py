@@ -4,14 +4,24 @@ Routes integer columns to BOTH numeric and one-hot representations — for
 the tools unconditionally, for NewRF only when the type-inference confidence
 falls below the 0.4 threshold — and compares against truth and the
 exclusive-representation baselines on the classification datasets.
+
+Sharding: the experiment decomposes per dataset
+(:class:`Table15Shards`) — each shard generates its dataset, evaluates
+every approach under both downstream models (all evaluations seed their
+RNGs locally, so the cells are order-independent), and
+:func:`merge_table15` folds the per-dataset score maps back into the
+table rows.  ``run_table15`` runs the same shard/merge code serially, so
+sharded and serial output are identical by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.benchmark.context import BenchmarkContext
 from repro.benchmark.formatting import format_table
+from repro.benchmark.sharding import Shardable
 from repro.core.featurize import profile_table
 from repro.core.newrf import NewRF, Representation
 from repro.datagen.downstream import DOWNSTREAM_SPECS, make_dataset
@@ -59,46 +69,94 @@ class Table15Row:
     best_tool_count: int
 
 
-def run_table15(
-    context: BenchmarkContext,
-    dataset_names: tuple[str, ...] | None = None,
-    seed: int = 0,
-) -> list[Table15Row]:
+#: Tool column order is load-bearing: it fixes the approach row order.
+TABLE15_TOOLS = ("pandas", "tfdv", "autogluon")
+
+
+def _make_tools() -> dict:
+    return {"pandas": PandasTool(), "tfdv": TFDVTool(), "autogluon": AutoGluonTool()}
+
+
+def classification_specs(dataset_names: tuple[str, ...] | None = None) -> list:
+    """The classification dataset specs, optionally filtered, in suite order.
+
+    The per-dataset generation seed is ``seed + index`` *within this
+    filtered list*, so filtering changes the seeds (as it always has).
+    """
     specs = [s for s in DOWNSTREAM_SPECS if s.task == "classification"]
     if dataset_names is not None:
         wanted = set(dataset_names)
         specs = [s for s in specs if s.name in wanted]
-    datasets = [make_dataset(spec, seed=seed + i) for i, spec in enumerate(specs)]
+    return specs
 
-    tools = {"pandas": PandasTool(), "tfdv": TFDVTool(), "autogluon": AutoGluonTool()}
+
+def run_table15_shard(
+    context: BenchmarkContext,
+    shard_id: str,
+    dataset_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """One Table 15 cell: every approach's score on one dataset.
+
+    Returns ``{model_kind: {approach: score}}``.  Every
+    ``evaluate_assignment`` call seeds its RNGs locally, so the payload is
+    identical whether this runs serially, in a forked worker, or out of
+    order relative to its sibling shards.
+    """
+    specs = classification_specs(dataset_names)
+    index = next(
+        (i for i, s in enumerate(specs) if s.name == shard_id), None
+    )
+    if index is None:
+        raise ValueError(f"unknown table15 shard {shard_id!r}")
+    dataset = make_dataset(specs[index], seed=seed + index)
+
+    tools = _make_tools()
     newrf = NewRF(context.our_rf)
+    payload: dict[str, dict[str, float]] = {}
+    for model_kind in ("linear", "forest"):
+        scores: dict[str, float] = {}
+        scores["truth"] = evaluate_assignment(
+            dataset, truth_assignments(dataset), model_kind, seed=seed
+        ).value
+        for name, tool in tools.items():
+            scores[f"{name}:exclusive"] = evaluate_assignment(
+                dataset, tool_assignments(dataset, tool), model_kind, seed=seed
+            ).value
+            scores[f"{name}:double"] = evaluate_assignment(
+                dataset, doubled_tool_assignments(dataset, tool),
+                model_kind, seed=seed,
+            ).value
+        scores["newrf"] = evaluate_assignment(
+            dataset, newrf_assignments(dataset, newrf), model_kind, seed=seed
+        ).value
+        payload[model_kind] = scores
+    return payload
+
+
+def merge_table15(
+    shards: Mapping[str, Mapping[str, Mapping[str, float]]],
+    dataset_names: tuple[str, ...] | None = None,
+) -> list[Table15Row]:
+    """Fold per-dataset shard payloads into the Table 15 rows.
+
+    Pure function of the payload values — iteration follows the canonical
+    spec order, never the mapping's insertion order.
+    """
+    specs = classification_specs(dataset_names)
+    names = [s.name for s in specs]
+    missing = [n for n in names if n not in shards]
+    if missing:
+        raise ValueError(f"table15 merge missing shard(s): {missing}")
 
     rows = []
     for model_kind in ("linear", "forest"):
         scores: dict[str, dict[str, float]] = {}
-        for dataset in datasets:
-            truth_score = evaluate_assignment(
-                dataset, truth_assignments(dataset), model_kind, seed=seed
-            )
-            scores.setdefault("truth", {})[dataset.name] = truth_score.value
-            for name, tool in tools.items():
-                exclusive = evaluate_assignment(
-                    dataset, tool_assignments(dataset, tool), model_kind, seed=seed
-                )
-                doubled = evaluate_assignment(
-                    dataset, doubled_tool_assignments(dataset, tool),
-                    model_kind, seed=seed,
-                )
-                scores.setdefault(f"{name}:exclusive", {})[dataset.name] = (
-                    exclusive.value
-                )
-                scores.setdefault(f"{name}:double", {})[dataset.name] = doubled.value
-            newrf_score = evaluate_assignment(
-                dataset, newrf_assignments(dataset, newrf), model_kind, seed=seed
-            )
-            scores.setdefault("newrf", {})[dataset.name] = newrf_score.value
+        for name in names:
+            for approach, value in shards[name][model_kind].items():
+                scores.setdefault(approach, {})[name] = value
 
-        approaches = [f"{name}:double" for name in tools] + ["newrf"]
+        approaches = [f"{name}:double" for name in TABLE15_TOOLS] + ["newrf"]
         for approach in approaches:
             under_truth = under_base = over_base = best = 0
             baseline_key = (
@@ -106,18 +164,18 @@ def run_table15(
                 if approach != "newrf"
                 else None
             )
-            for dataset in datasets:
-                value = scores[approach][dataset.name]
-                truth_value = scores["truth"][dataset.name]
+            for name in names:
+                value = scores[approach][name]
+                truth_value = scores["truth"][name]
                 if value < truth_value - 0.5:
                     under_truth += 1
                 if baseline_key is not None:
-                    baseline_value = scores[baseline_key][dataset.name]
+                    baseline_value = scores[baseline_key][name]
                     if value < baseline_value - 0.5:
                         under_base += 1
                     elif value > baseline_value + 0.5:
                         over_base += 1
-                rivals = [scores[a][dataset.name] for a in approaches]
+                rivals = [scores[a][name] for a in approaches]
                 if value >= max(rivals) - 1e-12:
                     best += 1
             rows.append(
@@ -131,6 +189,44 @@ def run_table15(
                 )
             )
     return rows
+
+
+def run_table15(
+    context: BenchmarkContext,
+    dataset_names: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> list[Table15Row]:
+    """Serial path: every shard in canonical order, then the shared merge."""
+    shards = {
+        spec.name: run_table15_shard(context, spec.name, dataset_names, seed)
+        for spec in classification_specs(dataset_names)
+    }
+    return merge_table15(shards, dataset_names)
+
+
+class Table15Shards(Shardable):
+    """Shard Table 15 per classification dataset (default runner arguments)."""
+
+    name = "table15"
+
+    def __init__(
+        self,
+        dataset_names: tuple[str, ...] | None = None,
+        seed: int = 0,
+    ):
+        self.dataset_names = dataset_names
+        self.seed = seed
+
+    def shard_ids(self, context: BenchmarkContext) -> list[str]:
+        return [s.name for s in classification_specs(self.dataset_names)]
+
+    def run_shard(self, context: BenchmarkContext, shard_id: str):
+        return run_table15_shard(
+            context, shard_id, self.dataset_names, self.seed
+        )
+
+    def merge(self, context: BenchmarkContext, shards: Mapping[str, object]) -> str:
+        return render_table15(merge_table15(shards, self.dataset_names))
 
 
 def render_table15(rows: list[Table15Row]) -> str:

@@ -55,6 +55,10 @@ KIND_MODULES: dict[str, tuple[str, ...]] = {
     # model kind, split seed) — the dataset content is hashed into the key
     # directly, so the generators are not part of the closure.
     "score": ("repro.downstream", "repro.ml", "repro.core", "repro.tabular"),
+    # A tuning memo entry is a pure function of (matrix digest, model,
+    # params/grid, fold layout) — the matrix content is hashed into the key
+    # directly, so only the tuning protocol and the estimators matter.
+    "tune": ("repro.core.tuning", "repro.ml"),
 }
 
 

@@ -7,14 +7,27 @@ Appendix B (:data:`repro.core.models.PAPER_GRIDS`).
 
 Classical models are tuned on a pre-built feature matrix; the k-NN is tuned
 over (n_neighbors, gamma) with its name/stats distance.
+
+Cache-aware grid search: with an active :class:`repro.cache.ArtifactCache`
+every nested-CV grid point — one ``(dataset digest, model, params, fold)``
+fit/score — is memoized under kind ``"tune"``, and each completed outer
+fold (best params + test score) is memoized as a whole.  Grid points are
+therefore computed once across repeated tuning runs, overlapping grids,
+and sub-experiment shards; tuning itself is deterministic, so the cached
+and uncached :class:`TuningResult` are exactly equal
+(``tests/test_core_tuning.py`` locks this down).  The digest covers the
+feature matrix and labels byte-for-byte, so any perturbation of the data,
+the params, or the fold layout addresses a different entry.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache import active_cache, artifact_key
 from repro.core.feature_sets import FeatureSetBuilder
 from repro.core.featurize import LabeledDataset
 from repro.core.models import (
@@ -27,12 +40,108 @@ from repro.ml.linear import LogisticRegression
 from repro.ml.model_selection import GridSearchCV, StratifiedKFold
 from repro.ml.preprocessing import StandardScaler
 from repro.ml.svm import RBFSVM
+from repro.obs import telemetry
 
 _ESTIMATORS = {
     "logreg": (LogisticRegression, True),
     "svm": (RBFSVM, True),
     "rf": (RandomForestClassifier, False),
 }
+
+#: GridSearchCV's held-out-validation fraction (the paper's protocol);
+#: part of every tuning cache key because it shapes the inner split.
+VALIDATION_FRACTION = 0.25
+
+
+def matrix_digest(X: np.ndarray, y: list) -> str:
+    """Content hash of one tuning problem (feature matrix + labels).
+
+    Any change to the data — a perturbed cell, a reordered row, a changed
+    label — yields a different digest, and therefore different cache keys
+    for every grid point computed on it.
+    """
+    X = np.ascontiguousarray(np.asarray(X, dtype=float))
+    digest = hashlib.sha256()
+    digest.update(str(X.shape).encode("ascii"))
+    digest.update(X.tobytes())
+    digest.update("\x1f".join(repr(label) for label in y).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _canonical_grid(grid: dict) -> dict:
+    return {key: [repr(v) for v in grid[key]] for key in sorted(grid)}
+
+
+def _canonical_params(params: dict) -> dict:
+    return {key: repr(params[key]) for key in sorted(params)}
+
+
+def tuning_cache_key(
+    role: str,
+    *,
+    digest: str,
+    model_name: str,
+    fold_index: int,
+    n_folds: int,
+    random_state: int,
+    params: dict | None = None,
+    grid: dict | None = None,
+) -> str:
+    """The content address of one tuning memo entry.
+
+    ``role`` is ``"candidate"`` (one grid point's validation score, keyed
+    by its ``params``) or ``"fold"`` (one completed outer fold, keyed by
+    its whole ``grid``).  The key changes with any perturbation of the
+    dataset content (via ``digest``), the params/grid, or the fold layout
+    (``fold_index``/``n_folds``/``random_state``).
+    """
+    payload: dict = {
+        "role": role,
+        "digest": digest,
+        "model": model_name,
+        "fold": int(fold_index),
+        "n_folds": int(n_folds),
+        "random_state": int(random_state),
+        "validation_fraction": VALIDATION_FRACTION,
+    }
+    if params is not None:
+        payload["params"] = _canonical_params(params)
+    if grid is not None:
+        payload["grid"] = _canonical_grid(grid)
+    return artifact_key("tune", payload)
+
+
+class _GridPointMemo:
+    """Per-candidate fit/score memo handed to :class:`GridSearchCV`.
+
+    One entry per ``(dataset digest, model, params, fold)`` — shared by
+    every tuning run, shard, or overlapping grid that lands on the same
+    grid point.
+    """
+
+    def __init__(self, cache, digest, model_name, fold_index, n_folds,
+                 random_state):
+        self.cache = cache
+        self.key_kwargs = dict(
+            digest=digest, model_name=model_name, fold_index=fold_index,
+            n_folds=n_folds, random_state=random_state,
+        )
+
+    def _key(self, params: dict) -> str:
+        return tuning_cache_key("candidate", params=params, **self.key_kwargs)
+
+    def get(self, params: dict) -> float | None:
+        value = self.cache.get("tune", self._key(params))
+        if value is not None:
+            telemetry.count("tuning.gridpoint_hits")
+        return value
+
+    def put(self, params: dict, score: float) -> None:
+        try:
+            self.cache.put("tune", self._key(params), float(score))
+        except OSError as exc:
+            # A sick cache dir slows tuning down, never fails it.
+            telemetry.warning("tuning.memo_store_failed", error=str(exc))
 
 
 @dataclass
@@ -48,6 +157,137 @@ class TuningResult:
         return float(np.mean(self.fold_scores))
 
 
+def _tuning_matrix(
+    model_name: str,
+    dataset: LabeledDataset,
+    feature_set: tuple[str, ...],
+) -> tuple[np.ndarray, list]:
+    """The (scaled) feature matrix and label list one model tunes on."""
+    if model_name not in _ESTIMATORS:
+        raise ValueError(
+            f"unknown classical model {model_name!r}; "
+            f"choose from {sorted(_ESTIMATORS)}"
+        )
+    _, needs_scaling = _ESTIMATORS[model_name]
+    builder = FeatureSetBuilder(parts=feature_set)
+    X = builder.transform(dataset.profiles)
+    y = [label.value for label in dataset.labels]
+    if needs_scaling:
+        X = StandardScaler().fit_transform(X)
+    return X, y
+
+
+def tune_fold(
+    model_name: str,
+    X: np.ndarray,
+    y: list,
+    grid: dict,
+    train_idx: np.ndarray,
+    test_idx: np.ndarray,
+    *,
+    fold_index: int,
+    n_folds: int,
+    random_state: int = 0,
+    cache=None,
+    digest: str | None = None,
+) -> dict:
+    """One outer fold of the nested-CV protocol on a pre-built matrix.
+
+    Returns ``{"best_params", "best_score", "test_score"}``.  With a cache
+    and digest, the completed fold is memoized under kind ``"tune"`` and
+    each grid candidate's fit/score is memoized individually (so a
+    different grid that shares candidates still reuses them).
+    """
+    fold_key_params = None
+    if cache is not None and digest is not None:
+        fold_key = tuning_cache_key(
+            "fold", digest=digest, model_name=model_name, grid=grid,
+            fold_index=fold_index, n_folds=n_folds, random_state=random_state,
+        )
+        cached = cache.get("tune", fold_key)
+        if cached is not None:
+            telemetry.count("tuning.fold_hits")
+            return cached
+        fold_key_params = fold_key
+
+    estimator_cls, _ = _ESTIMATORS[model_name]
+    memo = None
+    if cache is not None and digest is not None:
+        memo = _GridPointMemo(
+            cache, digest, model_name, fold_index, n_folds, random_state
+        )
+    search = GridSearchCV(
+        estimator_cls(),
+        grid,
+        validation_fraction=VALIDATION_FRACTION,
+        random_state=random_state,
+        candidate_memo=memo,
+    )
+    search.fit(X[train_idx], [y[i] for i in train_idx])
+    score = search.score(X[test_idx], [y[i] for i in test_idx])
+    fold = {
+        "best_params": dict(search.best_params_),
+        "best_score": float(search.best_score_),
+        "test_score": float(score),
+    }
+    if fold_key_params is not None:
+        try:
+            cache.put("tune", fold_key_params, fold)
+        except OSError as exc:
+            telemetry.warning("tuning.memo_store_failed", error=str(exc))
+    return fold
+
+
+def tune_classical_fold(
+    model_name: str,
+    dataset: LabeledDataset,
+    fold_index: int,
+    feature_set: tuple[str, ...] = ("stats", "name"),
+    param_grid: dict | None = None,
+    n_folds: int = 5,
+    random_state: int = 0,
+    use_cache: bool = True,
+) -> dict:
+    """One outer fold of :func:`tune_classical_model`, dataset-in.
+
+    The sub-task body for sharded tuning experiments: folds are
+    independent (the splitter is deterministic in ``random_state``), so
+    they can run in any worker in any order and
+    :func:`reduce_tuning_folds` recovers exactly the serial result.
+    """
+    if not 0 <= fold_index < n_folds:
+        raise ValueError(f"fold_index {fold_index} outside 0..{n_folds - 1}")
+    X, y = _tuning_matrix(model_name, dataset, feature_set)
+    grid = param_grid if param_grid is not None else PAPER_GRIDS[model_name]
+    cache = active_cache() if use_cache else None
+    digest = matrix_digest(X, y) if cache is not None else None
+    splitter = StratifiedKFold(n_splits=n_folds, random_state=random_state)
+    folds = list(splitter.split(y))
+    train_idx, test_idx = folds[fold_index]
+    return tune_fold(
+        model_name, X, y, grid, train_idx, test_idx,
+        fold_index=fold_index, n_folds=n_folds, random_state=random_state,
+        cache=cache, digest=digest,
+    )
+
+
+def reduce_tuning_folds(model_name: str, folds: list[dict]) -> TuningResult:
+    """Fold records (in outer-fold order) → the serial TuningResult.
+
+    Mirrors the serial reduction exactly: the overall best params come
+    from the fold with the strictly highest inner validation score, ties
+    resolved in favour of the earliest fold.
+    """
+    fold_scores = [float(fold["test_score"]) for fold in folds]
+    best_params: dict = {}
+    best_score = -np.inf
+    for fold in folds:
+        if fold["best_score"] > best_score:
+            best_score = fold["best_score"]
+            best_params = dict(fold["best_params"])
+    return TuningResult(model_name, best_params, fold_scores)
+
+
 def tune_classical_model(
     model_name: str,
     dataset: LabeledDataset,
@@ -55,46 +295,32 @@ def tune_classical_model(
     param_grid: dict | None = None,
     n_folds: int = 5,
     random_state: int = 0,
+    use_cache: bool = True,
 ) -> TuningResult:
     """Nested CV + grid search for logreg / svm / rf.
 
     Outer folds estimate generalization; within each outer training fold a
     random fourth validates the grid candidates (the paper's protocol).
     ``param_grid`` defaults to the Appendix B grid for the model (pass a
-    smaller grid to keep runs fast).
+    smaller grid to keep runs fast).  With an active artifact cache (and
+    ``use_cache``), folds and grid points are memoized — the result is
+    exactly equal to an uncached run, just served from disk.
     """
-    if model_name not in _ESTIMATORS:
-        raise ValueError(
-            f"unknown classical model {model_name!r}; "
-            f"choose from {sorted(_ESTIMATORS)}"
-        )
-    estimator_cls, needs_scaling = _ESTIMATORS[model_name]
+    X, y = _tuning_matrix(model_name, dataset, feature_set)
     grid = param_grid if param_grid is not None else PAPER_GRIDS[model_name]
-
-    builder = FeatureSetBuilder(parts=feature_set)
-    X = builder.transform(dataset.profiles)
-    y = [label.value for label in dataset.labels]
-    if needs_scaling:
-        X = StandardScaler().fit_transform(X)
+    cache = active_cache() if use_cache else None
+    digest = matrix_digest(X, y) if cache is not None else None
 
     splitter = StratifiedKFold(n_splits=n_folds, random_state=random_state)
-    fold_scores: list[float] = []
-    best_params: dict = {}
-    best_score = -np.inf
-    for train_idx, test_idx in splitter.split(y):
-        search = GridSearchCV(
-            estimator_cls(),
-            grid,
-            validation_fraction=0.25,
-            random_state=random_state,
+    folds = [
+        tune_fold(
+            model_name, X, y, grid, train_idx, test_idx,
+            fold_index=fold_index, n_folds=n_folds,
+            random_state=random_state, cache=cache, digest=digest,
         )
-        search.fit(X[train_idx], [y[i] for i in train_idx])
-        score = search.score(X[test_idx], [y[i] for i in test_idx])
-        fold_scores.append(float(score))
-        if search.best_score_ > best_score:
-            best_score = search.best_score_
-            best_params = dict(search.best_params_)
-    return TuningResult(model_name, best_params, fold_scores)
+        for fold_index, (train_idx, test_idx) in enumerate(splitter.split(y))
+    ]
+    return reduce_tuning_folds(model_name, folds)
 
 
 def tune_knn(

@@ -162,6 +162,11 @@ class GridSearchCV:
     ``validation_fraction`` mode mirrors the paper: "a random fourth of the
     examples in a training fold being used for validation during
     hyper-parameter tuning".  Set ``cv`` to an int for k-fold scoring instead.
+
+    ``candidate_memo`` (any object with ``get(params) -> float | None`` and
+    ``put(params, score)``) short-circuits a candidate's fit/score when a
+    prior run already computed it; grid search is deterministic, so a memo
+    hit reproduces the computed score exactly.
     """
 
     def __init__(
@@ -171,12 +176,14 @@ class GridSearchCV:
         cv: int | None = None,
         validation_fraction: float = 0.25,
         random_state: int = 0,
+        candidate_memo=None,
     ):
         self.estimator = estimator
         self.param_grid = param_grid
         self.cv = cv
         self.validation_fraction = validation_fraction
         self.random_state = random_state
+        self.candidate_memo = candidate_memo
 
     def _candidates(self) -> Iterator[dict]:
         keys = sorted(self.param_grid)
@@ -188,6 +195,11 @@ class GridSearchCV:
         y_list = list(y)
         results = []
         for params in self._candidates():
+            if self.candidate_memo is not None:
+                cached = self.candidate_memo.get(params)
+                if cached is not None:
+                    results.append((float(cached), params))
+                    continue
             if self.cv is not None:
                 model = clone(self.estimator).set_params(**params)
                 score = float(
@@ -209,6 +221,8 @@ class GridSearchCV:
                 model = clone(self.estimator).set_params(**params)
                 model.fit(x_tr, y_tr)
                 score = float(model.score(x_val, y_val))
+            if self.candidate_memo is not None:
+                self.candidate_memo.put(params, score)
             results.append((score, params))
         results.sort(key=lambda item: -item[0])
         self.best_score_, self.best_params_ = results[0]

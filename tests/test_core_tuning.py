@@ -1,9 +1,23 @@
-"""Tests for the nested-CV tuning utilities."""
+"""Tests for the nested-CV tuning utilities and the cache-aware grid search."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.tuning import TuningResult, fit_tuned, tune_classical_model, tune_knn
+from repro.cache import ArtifactCache, set_active_cache
+from repro.core.tuning import (
+    TuningResult,
+    fit_tuned,
+    matrix_digest,
+    reduce_tuning_folds,
+    tune_classical_fold,
+    tune_classical_model,
+    tune_knn,
+    tuning_cache_key,
+)
 from repro.datagen.corpus import generate_corpus
+from repro.obs import telemetry
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +78,177 @@ def test_fit_tuned_unknown():
     result = TuningResult("mystery", {}, [0.0])
     with pytest.raises(ValueError, match="unknown model"):
         fit_tuned(result, None)
+
+
+# ---------------------------------------------------------------------------
+# Cache-aware grid search: key properties and cached == uncached parity
+# ---------------------------------------------------------------------------
+
+
+def _problem(seed: int, n: int = 12, d: int = 3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = [int(v) for v in rng.integers(0, 2, size=n)]
+    return X, y
+
+
+def _key(digest, **overrides):
+    base = dict(
+        digest=digest, model_name="logreg", fold_index=0, n_folds=3,
+        random_state=0, params={"C": 1.0},
+    )
+    base.update(overrides)
+    role = base.pop("role", "candidate")
+    return tuning_cache_key(role, **base)
+
+
+class TestTuningCacheKey:
+    @given(seed=st.integers(0, 10**6), n=st.integers(6, 40),
+           d=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_same_data_same_digest(self, seed, n, d):
+        X, y = _problem(seed, n, d)
+        assert matrix_digest(X, y) == matrix_digest(X.copy(), list(y))
+
+    @given(seed=st.integers(0, 10**6), n=st.integers(6, 40),
+           d=st.integers(1, 8), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_perturbed_data_changes_digest(self, seed, n, d, data):
+        X, y = _problem(seed, n, d)
+        base = matrix_digest(X, y)
+        row = data.draw(st.integers(0, n - 1), label="row")
+        col = data.draw(st.integers(0, d - 1), label="col")
+        perturbed = X.copy()
+        perturbed[row, col] += 1e-9
+        assert matrix_digest(perturbed, y) != base
+        flipped = list(y)
+        flipped[row] = 1 - flipped[row]
+        assert matrix_digest(X, flipped) != base
+        # a row swap preserves the multiset but not the content address
+        if n >= 2 and not np.array_equal(X[0], X[1]):
+            swapped = X.copy()
+            swapped[[0, 1]] = swapped[[1, 0]]
+            assert matrix_digest(swapped, y) != base
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_same_inputs_same_key_and_param_order_irrelevant(self, seed):
+        X, y = _problem(seed)
+        digest = matrix_digest(X, y)
+        params_a = {"n_estimators": 25, "max_depth": 10}
+        params_b = {"max_depth": 10, "n_estimators": 25}
+        assert (
+            _key(digest, model_name="rf", params=params_a)
+            == _key(digest, model_name="rf", params=params_b)
+        )
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_perturbation_changes_key(self, seed):
+        X, y = _problem(seed)
+        digest = matrix_digest(X, y)
+        base = _key(digest)
+        perturbations = [
+            {"digest": matrix_digest(X + 1e-9, y)},
+            {"model_name": "svm"},
+            {"fold_index": 1},
+            {"n_folds": 5},
+            {"random_state": 1},
+            {"params": {"C": 1.0000001}},
+            {"params": {"C": 1.0, "gamma": 0.1}},
+            {"role": "fold", "params": None, "grid": {"C": [1.0]}},
+        ]
+        keys = [_key(digest, **p) for p in perturbations]
+        assert base not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_int_and_float_params_do_not_collide(self):
+        X, y = _problem(0)
+        digest = matrix_digest(X, y)
+        assert _key(digest, params={"C": 1}) != _key(digest, params={"C": 1.0})
+
+
+class TestCachedTuningParity:
+    GRID = {"C": [0.1, 10.0]}
+
+    def _tune(self, dataset, use_cache):
+        return tune_classical_model(
+            "logreg", dataset, param_grid=self.GRID, n_folds=3,
+            use_cache=use_cache,
+        )
+
+    def test_cached_equals_uncached_exactly(self, tuning_dataset, tmp_path):
+        uncached = self._tune(tuning_dataset, use_cache=False)
+        telemetry.enable()
+        telemetry.reset()
+        set_active_cache(ArtifactCache(tmp_path / "cache"))
+        try:
+            first = self._tune(tuning_dataset, use_cache=True)  # populates
+            warm = self._tune(tuning_dataset, use_cache=True)  # replays
+            fold_hits = telemetry.metrics.counter("tuning.fold_hits").value
+        finally:
+            set_active_cache(None)
+            telemetry.reset()
+            telemetry.disable()
+        assert first == uncached
+        assert warm == uncached
+        assert fold_hits == 3  # the warm run served every outer fold
+        assert (tmp_path / "cache" / "tune").is_dir()
+
+    def test_overlapping_grid_reuses_grid_points(self, tuning_dataset, tmp_path):
+        telemetry.enable()
+        telemetry.reset()
+        set_active_cache(ArtifactCache(tmp_path / "cache"))
+        try:
+            self._tune(tuning_dataset, use_cache=True)
+            # A different grid sharing one candidate: the shared grid
+            # points replay from cache even though the fold key differs.
+            overlapping = tune_classical_model(
+                "logreg", tuning_dataset, param_grid={"C": [0.1, 1.0]},
+                n_folds=3, use_cache=True,
+            )
+            hits = telemetry.metrics.counter("tuning.gridpoint_hits").value
+        finally:
+            set_active_cache(None)
+            telemetry.reset()
+            telemetry.disable()
+        assert hits == 3  # C=0.1 in each of the 3 outer folds
+        assert overlapping.best_params["C"] in (0.1, 1.0)
+
+    def test_no_active_cache_is_uncached(self, tuning_dataset):
+        assert (
+            self._tune(tuning_dataset, use_cache=True)
+            == self._tune(tuning_dataset, use_cache=False)
+        )
+
+
+class TestShardedTuningReduction:
+    def test_fold_shards_reduce_to_serial_result(self, tuning_dataset):
+        serial = tune_classical_model(
+            "logreg", tuning_dataset, param_grid={"C": [0.1, 10.0]},
+            n_folds=3, use_cache=False,
+        )
+        folds = [
+            tune_classical_fold(
+                "logreg", tuning_dataset, i, param_grid={"C": [0.1, 10.0]},
+                n_folds=3, use_cache=False,
+            )
+            for i in range(3)
+        ]
+        assert reduce_tuning_folds("logreg", folds) == serial
+
+    def test_fold_index_validated(self, tuning_dataset):
+        with pytest.raises(ValueError, match="fold_index"):
+            tune_classical_fold(
+                "logreg", tuning_dataset, 3, param_grid={"C": [1.0]},
+                n_folds=3,
+            )
+
+    def test_tie_break_prefers_earliest_fold(self):
+        folds = [
+            {"best_params": {"C": 0.1}, "best_score": 0.9, "test_score": 0.8},
+            {"best_params": {"C": 10.0}, "best_score": 0.9, "test_score": 0.7},
+        ]
+        result = reduce_tuning_folds("logreg", folds)
+        assert result.best_params == {"C": 0.1}
+        assert result.fold_scores == [0.8, 0.7]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import contextlib
 import io
 import re
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -38,6 +39,9 @@ from repro.core.stats import (
 )
 from repro.datagen.corpus import generate_corpus
 from repro.tabular.column import Column
+from repro.tabular.csv_io import CSVReadError, load_csv_table
+
+MANGLED_DIR = Path(__file__).parent / "data" / "mangled"
 from repro.tabular.dtypes import (
     looks_like_datetime,
     looks_like_email,
@@ -148,6 +152,27 @@ class TestVectorizedStatsParity:
         columns = [c for table in corpus.files for c in table]
         batch = compute_stats_batch(columns)
         for column, stats in zip(columns, batch):
+            assert (compute_stats(column).values == stats.values).all()
+
+    def test_fuzz_corpus_batch_matches_reference(self):
+        """The batched kernel equals the per-cell oracle on every column
+        the mangled-CSV fuzz corpus can produce (NULs, mixed encodings,
+        ragged rows, exotic unicode — the inputs vectorization tends to
+        mishandle)."""
+        columns = []
+        for path in sorted(MANGLED_DIR.glob("*.csv")):
+            try:
+                table = load_csv_table(path)
+            except CSVReadError:
+                continue  # contentless/undecodable files yield no columns
+            columns.extend(list(table))
+        assert len(columns) >= 10  # the corpus must actually exercise us
+        batch = compute_stats_batch(columns)
+        assert len(batch) == len(columns)
+        for column, stats in zip(columns, batch):
+            _assert_stats_close(
+                stats, reference_compute_stats(column), column.name
+            )
             assert (compute_stats(column).values == stats.values).all()
 
     def test_scan_cache_across_batches_is_equivalent(self):

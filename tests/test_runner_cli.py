@@ -13,7 +13,7 @@ def test_registry_covers_every_paper_artifact():
     expected = {
         "table1", "table2", "table3", "downstream", "table7", "table11",
         "table12", "table14", "table15", "figure9", "table17", "table18",
-        "figure7", "labeling", "leaderboard",
+        "figure7", "labeling", "tuning", "leaderboard",
     }
     assert set(EXPERIMENTS) == expected
 
