@@ -17,10 +17,18 @@ Smoke mode (``--smoke``, used by the CI ``serve-smoke`` job) fires N
 concurrent requests at a server (``--server URL``, or a self-started one)
 and fails on any 5xx response or a wall-time ceiling breach.
 
+Trace-overhead mode (``--trace-overhead``, evidence for ``BENCH_pr6.json``)
+measures server throughput with distributed tracing active end to end
+(traceparent propagation, queue-wait span synthesis, rolling-window
+metrics), microbenchmarks the span machinery itself, and compares
+columns/sec against a committed baseline file (``BENCH_pr3.json``) with a
+5% regression bar.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_serve.py --out BENCH_pr3.json
     PYTHONPATH=src python scripts/bench_serve.py --smoke --server http://127.0.0.1:8123
+    PYTHONPATH=src python scripts/bench_serve.py --trace-overhead --out BENCH_pr6.json
 """
 
 from __future__ import annotations
@@ -304,6 +312,118 @@ def run_full(args) -> int:
     return 0
 
 
+def microbench_tracing(iterations: int = 20_000) -> dict:
+    """Cost of the span/trace machinery itself, measured in-process."""
+    from repro.obs import Telemetry, TraceContext
+
+    t = Telemetry().enable()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with t.span("bench.span", k=1):
+            pass
+    span_wall = time.perf_counter() - start
+
+    header = TraceContext.generate().to_traceparent()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        TraceContext.from_traceparent(header)
+    parse_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        TraceContext.generate()
+    mint_wall = time.perf_counter() - start
+    return {
+        "iterations": iterations,
+        "span_enter_exit_us": round(1e6 * span_wall / iterations, 3),
+        "traceparent_parse_us": round(1e6 * parse_wall / iterations, 3),
+        "context_mint_us": round(1e6 * mint_wall / iterations, 3),
+    }
+
+
+def run_trace_overhead(args) -> int:
+    """Server throughput with tracing on, vs the committed PR 3 baseline."""
+    out: dict = {
+        "benchmark": "distributed-tracing overhead on repro-serve throughput",
+        "python": sys.version.split()[0],
+        "knobs": {
+            "tables": args.tables, "rows": args.rows,
+            "concurrency": args.concurrency, "passes": args.passes,
+            "train_examples": args.train_examples, "trees": args.trees,
+            "max_wait_ms": args.max_wait_ms,
+        },
+        "tracing": {
+            "traceparent_propagation": True,
+            "queue_wait_span_synthesis": True,
+            "rolling_window_metrics": True,
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-trace-") as tmp:
+        root = Path(tmp)
+        model_path = root / "bench.model"
+        print(f"training artifact ({args.train_examples} examples, "
+              f"{args.trees} trees) ...", flush=True)
+        train_artifact(model_path, args.train_examples, args.trees, args.seed)
+        csvs = make_workload(root / "tables", args.tables, args.rows, args.seed)
+
+        trace_path = root / "server-spans.jsonl"
+        print("starting warm server (tracing active) ...", flush=True)
+        server = ManagedServer(
+            ["--model", str(model_path),
+             "--max-wait-ms", str(args.max_wait_ms), "--wait-ready",
+             "--trace-out", str(trace_path)]
+        )
+        try:
+            ServeClient(server.url).wait_ready(timeout_s=120)
+            # One warmup pass so the measured run sees hot caches, as the
+            # PR 3 baseline run did.
+            run_server_load(server.url, csvs, args.concurrency, 1)
+            load = run_server_load(
+                server.url, csvs, args.concurrency, args.passes
+            )
+        finally:
+            exit_code = server.stop()
+        load.pop("responses")
+        out["server"] = load
+        out["server"]["clean_shutdown"] = exit_code == 0
+        print(f"  {load['columns_per_s']} columns/s with tracing", flush=True)
+        if trace_path.exists():
+            with open(trace_path, encoding="utf-8") as handle:
+                out["server"]["spans_exported"] = sum(
+                    1 for line in handle if line.strip()
+                )
+
+    out["microbenchmark_tracing"] = microbench_tracing()
+    print(json.dumps(out["microbenchmark_tracing"], indent=2))
+
+    comparison: dict = {"baseline_file": args.baseline}
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        before = baseline["server"]["columns_per_s"]
+        after = load["columns_per_s"]
+        delta_pct = round(100.0 * (after - before) / before, 2)
+        comparison.update(
+            baseline_columns_per_s=before,
+            traced_columns_per_s=after,
+            delta_pct=delta_pct,
+            within_5pct=delta_pct >= -5.0,
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        comparison["error"] = f"baseline unavailable: {exc}"
+    out["comparison_to_baseline"] = comparison
+
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(comparison, indent=2))
+    print(f"wrote {args.out}")
+    if load["errors"]:
+        return 1
+    if comparison.get("within_5pct") is False:
+        print("FAIL: tracing overhead exceeds the 5% throughput bar")
+        return 1
+    return 0
+
+
 def run_smoke(args) -> int:
     owned: ManagedServer | None = None
     if args.server:
@@ -374,8 +494,23 @@ def main(argv: list[str] | None = None) -> int:
                        help="cache dir for the self-started smoke server")
     smoke.add_argument("--requests", type=int, default=20)
     smoke.add_argument("--ceiling-s", type=float, default=120.0)
+    overhead = parser.add_argument_group("trace-overhead mode")
+    overhead.add_argument(
+        "--trace-overhead", action="store_true",
+        help="measure serve throughput with tracing active and compare "
+             "against --baseline (evidence for BENCH_pr6.json)",
+    )
+    overhead.add_argument(
+        "--baseline", default="BENCH_pr3.json", metavar="PATH",
+        help="committed benchmark file whose server.columns_per_s is the "
+             "no-tracing reference",
+    )
     args = parser.parse_args(argv)
-    return run_smoke(args) if args.smoke else run_full(args)
+    if args.smoke:
+        return run_smoke(args)
+    if args.trace_overhead:
+        return run_trace_overhead(args)
+    return run_full(args)
 
 
 if __name__ == "__main__":

@@ -90,6 +90,9 @@ class RunCheckpoint:
             "cpu_s": rec.get("cpu_s"),
             "pid": rec.get("pid"),
             "attempt": rec.get("attempt", 0),
+            # Provenance link into the run's trace (additive; schema stays
+            # unchanged — older readers ignore unknown keys).
+            "trace_id": rec.get("trace_id"),
         }
         self.experiments_dir.mkdir(parents=True, exist_ok=True)
         write_json(str(self.path(rec["name"])), stored)

@@ -56,8 +56,9 @@ from typing import Iterator, NamedTuple, Sequence
 
 from repro.benchmark.context import BenchmarkContext
 from repro.faults import faults
-from repro.obs import telemetry
-from repro.obs.export import spans_summary
+from repro.obs import current_context, telemetry
+from repro.obs.export import spans_summary, spans_to_records, write_jsonl
+from repro.obs.trace import SpanRecord
 
 #: Set in the parent just before forking; workers read it after the fork.
 _CONTEXT: BenchmarkContext | None = None
@@ -104,7 +105,8 @@ def _run_one(name: str, attempt: int = 0) -> dict:
     span_base = len(telemetry.spans)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
-    output = run_experiment(name, _CONTEXT)
+    with telemetry.span("parallel.task", experiment=name):
+        output = run_experiment(name, _CONTEXT)
     record = {
         "name": name,
         "output": output,
@@ -116,6 +118,12 @@ def _run_one(name: str, attempt: int = 0) -> dict:
     if telemetry.enabled:
         record["spans"] = spans_summary(telemetry.spans[span_base:])
         record["metrics"] = telemetry.metrics.snapshot()
+        # Full span records (with trace/span ids) ride the result pipe back
+        # so the parent can stitch every worker's spans into one trace.
+        record["trace_records"] = spans_to_records(telemetry.spans[span_base:])
+        ambient = current_context()
+        if ambient is not None:
+            record["trace_id"] = ambient.trace_id
     return record
 
 
@@ -130,10 +138,12 @@ def _run_shard(name: str, shard_id: str, attempt: int = 0) -> dict:
     shardable = get_shardable(name)
     if shardable is None:
         raise ValueError(f"experiment {name!r} is not shardable")
+    span_base = len(telemetry.spans)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
-    payload = shardable.run_shard(_CONTEXT, shard_id)
-    return {
+    with telemetry.span("parallel.shard", experiment=name, shard=shard_id):
+        payload = shardable.run_shard(_CONTEXT, shard_id)
+    record = {
         "name": name,
         "shard": shard_id,
         "payload": payload,
@@ -142,6 +152,12 @@ def _run_shard(name: str, shard_id: str, attempt: int = 0) -> dict:
         "pid": os.getpid(),
         "attempt": attempt,
     }
+    if telemetry.enabled:
+        record["trace_records"] = spans_to_records(telemetry.spans[span_base:])
+        ambient = current_context()
+        if ambient is not None:
+            record["trace_id"] = ambient.trace_id
+    return record
 
 
 def _run_task(experiment: str, shard: str | None, attempt: int) -> dict:
@@ -173,6 +189,7 @@ def _worker_main(
     conn,
     heartbeat_path: str,
     heartbeat_s: float,
+    trace_path: str | None = None,
 ) -> None:
     """Forked worker entry point: run one task, pipe back one record.
 
@@ -199,6 +216,14 @@ def _worker_main(
     except Exception as exc:  # deterministic failure: report, don't retry
         record = _exception_record(experiment, attempt, exc, shard=shard)
     stop.set()
+    if trace_path is not None and record.get("trace_records"):
+        # Per-worker span export: survives even if the parent dies before
+        # ingesting the piped copy, and gives `repro-obs trace merge` its
+        # multi-process input files.
+        try:
+            write_jsonl(trace_path, record["trace_records"])
+        except OSError:
+            pass
     try:
         conn.send(record)
     finally:
@@ -353,6 +378,7 @@ def run_parallel(
     shard_heavy: bool = True,
     checkpoint=None,
     resume: bool = False,
+    trace_dir: str | None = None,
 ) -> Iterator[dict]:
     """Run experiments in ``jobs`` worker processes, yielding result (or
     failure) records in the order of ``names`` as they become available.
@@ -385,7 +411,10 @@ def run_parallel(
         if jobs <= 1 or not can_fork or (len(specs) <= 1 and not assemblies):
             for name in names:
                 try:
-                    yield _run_one(name)
+                    record = _run_one(name)
+                    # In-process: spans are already in the live tracer.
+                    record.pop("trace_records", None)
+                    yield record
                 except Exception as exc:
                     telemetry.warning(
                         "experiment.failed", experiment=name, error=str(exc)
@@ -396,7 +425,7 @@ def run_parallel(
             return
         yield from _run_forked(
             names, specs, assemblies, jobs, max_restarts, worker_timeout_s,
-            heartbeat_s, checkpoint,
+            heartbeat_s, checkpoint, trace_dir,
         )
     finally:
         _CONTEXT = None
@@ -411,10 +440,13 @@ def _run_forked(
     worker_timeout_s: float | None,
     heartbeat_s: float,
     checkpoint,
+    trace_dir: str | None = None,
 ) -> Iterator[dict]:
     ctx = mp.get_context("fork")
     stale_after = max(_MIN_STALE_S, _STALE_INTERVALS * heartbeat_s)
     heartbeat_dir = tempfile.mkdtemp(prefix="repro-bench-hb-")
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     # pop() from the end → tasks start in canonical order.
     pending: list[tuple[_TaskSpec, int]] = [
         (spec, 0) for spec in reversed(specs)
@@ -436,10 +468,14 @@ def _run_forked(
         heartbeat = os.path.join(
             heartbeat_dir, f"{spec.safe_stem()}.{attempt}.hb"
         )
+        trace_path = (
+            os.path.join(trace_dir, f"{spec.safe_stem()}.{attempt}.jsonl")
+            if trace_dir is not None else None
+        )
         process = ctx.Process(
             target=_worker_main,
             args=(spec.experiment, spec.shard, attempt, child_conn,
-                  heartbeat, heartbeat_s),
+                  heartbeat, heartbeat_s, trace_path),
             name=f"repro-bench-{spec.key}",
         )
         process.start()
@@ -485,6 +521,14 @@ def _run_forked(
         spec = task.spec
         record = dict(task.record)
         record["attempts"] = task.attempt + 1
+        # Adopt the worker's spans (ids intact) so the parent's tracer — and
+        # therefore the manifest and any --trace-out export — holds the
+        # whole multi-process trace.
+        trace_records = record.pop("trace_records", None)
+        if trace_records and telemetry.enabled:
+            telemetry.tracer.ingest(
+                [SpanRecord.from_dict(r) for r in trace_records]
+            )
         if spec.shard is None:
             results[spec.experiment] = record
             return
@@ -509,6 +553,7 @@ def _run_forked(
                         "cpu_s": record.get("cpu_s"),
                         "pid": record.get("pid"),
                         "attempt": record.get("attempt", 0),
+                        "trace_id": record.get("trace_id"),
                     },
                 )
             except OSError as exc:

@@ -25,13 +25,16 @@ from repro.benchmark.sharding import is_shardable
 from repro.cache import ArtifactCache
 from repro.faults import add_fault_flags, configure_faults, faults
 from repro.obs import (
+    TRACEPARENT_ENV,
     RunManifest,
+    TraceContext,
     Tracer,
     add_observability_flags,
     configure_telemetry,
+    set_process_context,
     telemetry,
 )
-from repro.obs.export import write_json
+from repro.obs.export import write_json, write_spans_jsonl
 
 
 def _table1(context: BenchmarkContext) -> str:
@@ -361,6 +364,19 @@ def main(argv: list[str] | None = None) -> int:
 
     observing = configure_telemetry(args)
     fault_plan = configure_faults(args)
+    run_context = None
+    if observing:
+        # One trace names the whole run.  Installing it as the process
+        # default (and in the environment) before any fork means every
+        # worker's spans — and any exec'd child's — share this trace_id.
+        # Inherit only an *environment* context (we are someone's child);
+        # a previous in-process run's context is never reused.
+        inherited = TraceContext.from_traceparent(
+            os.environ.get(TRACEPARENT_ENV)
+        )
+        run_context = set_process_context(inherited or TraceContext.generate())
+    else:
+        inherited = None
 
     kwargs = {"seed": args.seed}
     if args.scale is not None:
@@ -379,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=str(cache_dir) if cache_dir else None,
     )
+    if run_context is not None:
+        manifest.trace_id = run_context.trace_id
     if fault_plan is not None:
         manifest.extra["fault_plan"] = fault_plan.source
 
@@ -405,6 +423,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.jobs > 1 and (len(fresh) > 1 or shardable_work):
             from repro.benchmark.parallel import run_parallel
 
+            trace_dir = None
+            if observing and args.trace_out:
+                trace_dir = args.trace_out + ".workers"
+            elif observing and args.run_dir:
+                trace_dir = os.path.join(args.run_dir, "traces")
             fresh_iter = run_parallel(
                 fresh, context, jobs=args.jobs,
                 max_restarts=args.max_worker_restarts,
@@ -412,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
                 shard_heavy=args.shard_heavy,
                 checkpoint=checkpoint,
                 resume=args.resume,
+                trace_dir=trace_dir,
             )
         else:
             fresh_iter = _iter_serial(fresh, context)
@@ -481,10 +505,20 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_out:
             write_json(args.metrics_out, telemetry.metrics.snapshot())
             telemetry.info("metrics.written", path=args.metrics_out)
+        if args.trace_out:
+            n = write_spans_jsonl(args.trace_out, telemetry.spans)
+            telemetry.info(
+                "trace.written", path=args.trace_out, spans=n,
+                dropped=telemetry.tracer.dropped,
+            )
         if args.manifest:
             manifest.finalize(telemetry)
             manifest.write(args.manifest)
             telemetry.info("manifest.written", path=args.manifest)
+    if run_context is not None and inherited is None:
+        # This run minted the process context; clear it (and the exported
+        # env var) so a later in-process invocation starts its own trace.
+        set_process_context(None)
     return 1 if failures else 0
 
 

@@ -20,6 +20,12 @@ A :class:`Shardable` declares that decomposition:
   the payload *values* (never of completion order), so sharded output is
   byte-identical to a serial run at any ``--jobs``.
 
+Tracing: shard workers are forked after the runner installs the run's
+:class:`~repro.obs.context.TraceContext` as the process default, so every
+``parallel.shard`` span (and everything beneath it) carries the run's
+trace_id; the engine pipes those spans back and merges them into the
+parent tracer, the run manifest, and ``--trace-out``.
+
 The serial experiment entry points (``run_table15``,
 ``run_downstream_experiment``, ``run_tuning``) are themselves implemented
 as "run every shard in canonical order, then merge", so the serial and

@@ -30,7 +30,7 @@ from repro.obs import (
     configure_telemetry,
     telemetry,
 )
-from repro.obs.export import write_json
+from repro.obs.export import write_json, write_spans_jsonl
 from repro.core.featurize import ProfileError
 from repro.tabular.csv_io import CSVReadError, decode_csv_bytes, load_csv_table
 
@@ -77,7 +77,7 @@ def _render(predictions: list[dict], as_json: bool) -> str:
     return "\n".join(lines)
 
 
-def _infer_via_server(args) -> int:
+def _infer_via_server(args, observing: bool) -> int:
     from repro.serve.client import ServeClient, ServeClientError
 
     try:
@@ -89,20 +89,36 @@ def _infer_via_server(args) -> int:
     client = ServeClient(args.server)
     table = os.path.splitext(os.path.basename(args.csv))[0]
     try:
-        response = client.infer_csv_text(
-            text, table=table, deadline_ms=args.deadline_ms
-        )
+        # The client mints the request's traceparent inside its own
+        # "client.request" span; that span (exported via --trace-out) is
+        # the root the server's spans hang off.
+        with telemetry.span("infer.server", table=table, server=args.server):
+            response = client.infer_csv_text(
+                text, table=table, deadline_ms=args.deadline_ms
+            )
     except ServeClientError as exc:
         print(f"repro-infer: {exc}", file=sys.stderr)
         return 3
+    finally:
+        if observing:
+            _write_server_mode_telemetry(args)
     if response.get("degraded"):
         print(
             "repro-infer: warning: server answered in degraded (rule-based) "
             "mode; primary model not loaded yet",
             file=sys.stderr,
         )
+    if response.get("trace_id"):
+        telemetry.info("infer.trace", trace_id=response["trace_id"])
     print(_render(response["predictions"], args.as_json))
     return 0
+
+
+def _write_server_mode_telemetry(args) -> None:
+    if args.metrics_out:
+        write_json(args.metrics_out, telemetry.metrics.snapshot())
+    if getattr(args, "trace_out", None):
+        write_spans_jsonl(args.trace_out, telemetry.spans)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -146,7 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     configure_faults(args)
 
     if args.server:
-        return _infer_via_server(args)
+        return _infer_via_server(args, observing)
 
     manifest = RunManifest(
         command="repro-infer",
@@ -175,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
     if observing:
         if args.metrics_out:
             write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.trace_out:
+            write_spans_jsonl(args.trace_out, telemetry.spans)
         if args.manifest:
             manifest.finalize(telemetry)
             manifest.write(args.manifest)

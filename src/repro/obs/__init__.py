@@ -19,9 +19,25 @@ tests and scripts call :meth:`Telemetry.enable` directly.
 
 from __future__ import annotations
 
+from repro.obs.context import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    current_context,
+    set_process_context,
+    span_context,
+    use_context,
+)
 from repro.obs.logging import LEVELS, StructLogger
 from repro.obs.manifest import RunManifest, git_sha
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RollingHistogram,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     NoopSpan,
@@ -40,9 +56,15 @@ class Telemetry:
 
     def __init__(self):
         self._enabled = False
-        self.tracer = Tracer()
+        self.tracer = Tracer(on_drop=self._on_span_drop)
         self.metrics = MetricsRegistry()
         self.logger = StructLogger(level="warning")
+
+    def _on_span_drop(self, n: int) -> None:
+        # Surfaces ring-buffer truncation: the tracer already counted the
+        # drop internally; mirror it into a scrapeable counter.
+        if self._enabled:
+            self.metrics.counter("trace.dropped").inc(n)
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -88,6 +110,32 @@ class Telemetry:
         if self._enabled:
             self.metrics.histogram(name).observe(value)
 
+    def observe_window(self, name: str, value: float) -> None:
+        """Record into a rolling-window histogram (recent-seconds quantiles)."""
+        if self._enabled:
+            self.metrics.window(name).observe(value)
+
+    def record_span(
+        self,
+        name: str,
+        started_at: float,
+        wall_s: float,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
+        **attrs,
+    ):
+        """Record a span measured outside any context manager (queue waits)."""
+        if not self._enabled:
+            return None
+        return self.tracer.record_external(
+            name,
+            started_at,
+            wall_s,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            **attrs,
+        )
+
     # -- logs ----------------------------------------------------------------
     def log(self, level: str, event: str, **fields) -> None:
         if self._enabled:
@@ -131,13 +179,23 @@ def add_observability_flags(parser) -> None:
         help="write a JSON run manifest (seed, scale, git SHA, per-experiment "
              "timings, span breakdown, metrics) here",
     )
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export all recorded spans (with trace/span ids) as JSONL here; "
+             "feed the file to `repro-obs trace show`",
+    )
 
 
 def configure_telemetry(args) -> bool:
     """Enable the global singleton iff any observability flag was given."""
-    wants = bool(args.log_level or args.metrics_out or args.manifest)
+    wants = bool(
+        getattr(args, "log_level", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "manifest", None)
+        or getattr(args, "trace_out", None)
+    )
     if wants:
-        telemetry.enable(log_level=args.log_level)
+        telemetry.enable(log_level=getattr(args, "log_level", None))
     return wants
 
 __all__ = [
@@ -150,13 +208,22 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "NoopSpan",
+    "RollingHistogram",
     "RunManifest",
     "Span",
     "SpanRecord",
     "StructLogger",
     "Telemetry",
+    "TraceContext",
+    "TRACEPARENT_ENV",
     "Tracer",
     "aggregate_spans",
+    "current_context",
     "git_sha",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "set_process_context",
+    "span_context",
     "telemetry",
+    "use_context",
 ]

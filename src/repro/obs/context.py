@@ -1,0 +1,174 @@
+"""W3C-style trace-context propagation across threads and processes.
+
+A :class:`TraceContext` is the (trace_id, span_id) pair that stitches spans
+recorded in different threads and processes into one tree: ``trace_id``
+names the end-to-end operation (one client request, one benchmark run) and
+``span_id`` names the node new child spans should hang off.
+
+Propagation surfaces, smallest to largest:
+
+* **within a thread** — the tracer's span stack (unchanged from PR 1);
+* **across threads** — :func:`use_context` installs a thread-local ambient
+  context, so a span opened on an empty stack (an HTTP handler thread, the
+  micro-batcher worker) parents itself to the propagated remote span
+  instead of starting a fresh trace;
+* **across processes** — the 55-char ``traceparent`` string
+  (``00-<32 hex trace_id>-<16 hex span_id>-01``, the W3C Trace Context
+  wire format) travels as an HTTP header (``ServeClient`` →
+  ``repro-serve``) or via the ``REPRO_TRACEPARENT`` environment variable
+  (``repro-bench --jobs N`` parent → forked/spawned workers).
+
+A process-level default context (:func:`set_process_context`) covers the
+fork path: the parent installs the run's context once, forked workers
+inherit it by memory, and exec'd grandchildren read it back from the
+environment.  Everything degrades to ``None`` — with no ambient context a
+root span simply mints a fresh trace id, exactly the pre-PR-6 behavior
+plus ids.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Environment variable carrying the traceparent into child processes.
+TRACEPARENT_ENV = "REPRO_TRACEPARENT"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+_ALL_ZERO_TRACE = "0" * 32
+_ALL_ZERO_SPAN = "0" * 16
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a trace: the trace id plus the parent span id."""
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def generate(cls) -> "TraceContext":
+        return cls(new_trace_id(), new_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id (a new node under this one)."""
+        return TraceContext(self.trace_id, new_span_id())
+
+    def to_traceparent(self) -> str:
+        """The W3C wire form: ``00-<trace_id>-<span_id>-01``."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        """Parse a traceparent string; None on anything malformed.
+
+        Malformed headers are *dropped*, never guessed at — a request with
+        a bad header simply starts a fresh trace, which is the W3C-mandated
+        behavior for unparseable context.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        trace_id = match.group("trace_id")
+        span_id = match.group("span_id")
+        if trace_id == _ALL_ZERO_TRACE or span_id == _ALL_ZERO_SPAN:
+            return None  # all-zero ids are explicitly invalid in the spec
+        return cls(trace_id, span_id)
+
+
+class _ThreadAmbient(threading.local):
+    context: "TraceContext | None" = None
+
+
+_thread_ambient = _ThreadAmbient()
+
+#: Process-wide default, below the thread-local in precedence.  Set by the
+#: CLIs at startup (and inherited by forked workers); lazily seeded from
+#: $REPRO_TRACEPARENT so exec'd subprocesses attach without code changes.
+_process_context: TraceContext | None = None
+_env_checked = False
+
+
+def current_context() -> TraceContext | None:
+    """The ambient context: thread-local, else process default, else env."""
+    context = _thread_ambient.context
+    if context is not None:
+        return context
+    global _process_context, _env_checked
+    if _process_context is None and not _env_checked:
+        _env_checked = True
+        _process_context = TraceContext.from_traceparent(
+            os.environ.get(TRACEPARENT_ENV)
+        )
+    return _process_context
+
+
+def set_process_context(
+    context: TraceContext | None, export_env: bool = True
+) -> TraceContext | None:
+    """Install the process-level default (e.g. one benchmark run's root).
+
+    With ``export_env`` the context is also published as
+    ``$REPRO_TRACEPARENT`` so exec'd children (not just forked ones) join
+    the same trace.  Passing None clears both.
+    """
+    global _process_context, _env_checked
+    _process_context = context
+    _env_checked = True
+    if export_env:
+        if context is None:
+            os.environ.pop(TRACEPARENT_ENV, None)
+        else:
+            os.environ[TRACEPARENT_ENV] = context.to_traceparent()
+    return context
+
+
+@contextmanager
+def use_context(context: TraceContext | None):
+    """Thread-locally install ``context`` for the duration of the block.
+
+    ``None`` is accepted and means "no remote parent": the block runs with
+    whatever the process default resolves to.  Handler threads wrap each
+    request in this so concurrent requests on one server never bleed trace
+    ids into each other.
+    """
+    previous = _thread_ambient.context
+    _thread_ambient.context = context
+    try:
+        yield context
+    finally:
+        _thread_ambient.context = previous
+
+
+def span_context(span) -> TraceContext | None:
+    """The :class:`TraceContext` naming an *open* span, or None.
+
+    Returns None for no-op spans (telemetry disabled) and for spans that
+    have not entered yet; real spans carry ``trace_id``/``span_id`` from
+    ``__enter__`` on.
+    """
+    trace_id = getattr(span, "trace_id", None)
+    span_id = getattr(span, "span_id", None)
+    if not trace_id or not span_id:
+        return None
+    return TraceContext(trace_id, span_id)

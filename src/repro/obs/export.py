@@ -88,3 +88,23 @@ def spans_summary(spans: list[SpanRecord]) -> dict[str, dict]:
 
 def write_spans_jsonl(path: str, spans: list[SpanRecord]) -> int:
     return write_jsonl(path, spans_to_records(spans))
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Read a JSON Lines file, skipping blank lines.
+
+    Malformed lines raise ``ValueError`` naming the offending line number —
+    span exports are written atomically, so a parse failure means the file
+    is not ours (or was hand-edited), which should be loud.
+    """
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+    return records

@@ -57,6 +57,8 @@ class RunManifest:
         self.experiments: list[dict] = []
         self.spans: dict = {}
         self.metrics: dict = {}
+        self.trace_id: str | None = None
+        self.spans_dropped: int = 0
 
     def add_experiment(self, name: str, wall_s: float, **fields) -> None:
         self.experiments.append({"name": name, "wall_s": wall_s, **fields})
@@ -67,6 +69,12 @@ class RunManifest:
         if telemetry is not None:
             self.spans = spans_summary(telemetry.spans)
             self.metrics = telemetry.metrics.snapshot()
+            self.spans_dropped = telemetry.tracer.dropped
+            if self.trace_id is None:
+                for record in telemetry.spans:
+                    if record.trace_id is not None:
+                        self.trace_id = record.trace_id
+                        break
         return self
 
     def to_dict(self) -> dict:
@@ -88,6 +96,8 @@ class RunManifest:
             "experiments": self.experiments,
             "spans": self.spans,
             "metrics": self.metrics,
+            "trace_id": self.trace_id,
+            "spans_dropped": self.spans_dropped,
         }
         out.update(self.extra)
         return out

@@ -4,14 +4,33 @@ Instruments count things (columns featurized, model fits), track last-seen
 values (epoch loss), and summarize distributions (prediction confidence,
 per-batch seconds) with p50/p90/p99.  The registry snapshot is plain dicts,
 ready for ``json.dump`` into ``--metrics-out`` files and run manifests.
+
+Long-lived servers additionally need *recent* behavior, not
+since-process-start aggregates: a :class:`RollingHistogram` keeps only the
+samples observed in the last ``window_s`` seconds, so ``/metrics`` reports
+the p99 of the last minute instead of a p99 diluted by hours of quiet
+traffic.  :func:`render_prometheus` turns a registry snapshot into the
+Prometheus text exposition format (``GET /metrics``), and
+:func:`parse_prometheus_text` is the matching validating parser used by
+tests and the CI scrape step.
 """
 
 from __future__ import annotations
 
+import re
 import threading
+import time
+from collections import deque
 
 #: Histogram sample cap; past it samples are thinned 2:1 (deterministically).
 DEFAULT_MAX_SAMPLES = 8192
+
+#: Default rolling-histogram window: "what happened in the last minute".
+DEFAULT_WINDOW_S = 60.0
+
+#: Rolling-histogram sample cap: at most this many samples are retained per
+#: window, evicting oldest-first (the summary then covers the newest slice).
+DEFAULT_WINDOW_SAMPLES = 8192
 
 
 class Counter:
@@ -114,6 +133,73 @@ class Histogram:
         }
 
 
+class RollingHistogram:
+    """Distribution over a sliding time window (p50/p90/p99 of the last
+    ``window_s`` seconds, not cumulative-forever).
+
+    Samples are ``(monotonic timestamp, value)`` pairs in a deque; anything
+    older than the window is pruned on observe and on summary.  Lifetime
+    ``total_count``/``total_sum`` are kept exactly so rate math stays
+    possible even as samples age out.  ``now`` is injectable for tests.
+    """
+
+    __slots__ = ("name", "window_s", "max_samples", "total_count",
+                 "total_sum", "_samples", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        window_s: float = DEFAULT_WINDOW_S,
+        max_samples: int = DEFAULT_WINDOW_SAMPLES,
+    ):
+        self.name = name
+        self.window_s = float(window_s)
+        self.max_samples = int(max_samples)
+        self.total_count = 0
+        self.total_sum = 0.0
+        self._samples: deque[tuple[float, float]] = deque()
+        self._lock = threading.Lock()
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        while len(samples) > self.max_samples:
+            samples.popleft()
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        value = float(value)
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self.total_count += 1
+            self.total_sum += value
+            self._samples.append((now, value))
+            self._prune(now)
+
+    def summary(self, now: float | None = None) -> dict:
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self._prune(now)
+            values = sorted(value for _, value in self._samples)
+        count = len(values)
+        return {
+            "window_s": self.window_s,
+            "count": count,
+            "sum": sum(values),
+            "min": values[0] if count else 0.0,
+            "max": values[-1] if count else 0.0,
+            "mean": (sum(values) / count) if count else 0.0,
+            "p50": percentile(values, 50.0),
+            "p90": percentile(values, 90.0),
+            "p99": percentile(values, 99.0),
+            "total_count": self.total_count,
+            "total_sum": self.total_sum,
+        }
+
+
 class MetricsRegistry:
     """Create-on-first-use registry of named counters, gauges, histograms."""
 
@@ -122,6 +208,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._windows: dict[str, RollingHistogram] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -141,6 +228,15 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram(name)
             return self._histograms[name]
 
+    def window(
+        self, name: str, window_s: float = DEFAULT_WINDOW_S
+    ) -> RollingHistogram:
+        """The named rolling histogram (``window_s`` binds on first use)."""
+        with self._lock:
+            if name not in self._windows:
+                self._windows[name] = RollingHistogram(name, window_s=window_s)
+            return self._windows[name]
+
     def snapshot(self) -> dict:
         """Plain-dict view of every metric, sorted by name (JSON-ready)."""
         with self._lock:
@@ -155,6 +251,10 @@ class MetricsRegistry:
                     name: h.summary()
                     for name, h in sorted(self._histograms.items())
                 },
+                "windows": {
+                    name: w.summary()
+                    for name, w in sorted(self._windows.items())
+                },
             }
 
     def reset(self) -> None:
@@ -162,6 +262,132 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._windows.clear()
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms) + len(self._windows))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (https://prometheus.io/docs/instrumenting/exposition_formats/)
+# ---------------------------------------------------------------------------
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: ``name{label="v",...} value`` (labels optional).
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """``serve.request_ms`` → ``repro_serve_request_ms``."""
+    sanitized = _NAME_SANITIZE_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Counters become ``<name>_total`` counters, gauges stay gauges, and both
+    cumulative histograms and rolling windows become summaries with
+    ``quantile`` labels (windows carry an extra ``window_s`` label and a
+    ``_window`` suffix to keep the metric families distinct).
+    """
+    lines: list[str] = []
+
+    def emit(family: str, kind: str, samples: list[tuple[str, float]]) -> None:
+        lines.append(f"# TYPE {family} {kind}")
+        for suffix_and_labels, value in samples:
+            lines.append(f"{family}{suffix_and_labels} {_fmt(value)}")
+
+    for name, value in snapshot.get("counters", {}).items():
+        emit(prometheus_name(name, prefix) + "_total", "counter",
+             [("", value)])
+    for name, value in snapshot.get("gauges", {}).items():
+        emit(prometheus_name(name, prefix), "gauge", [("", value)])
+    for name, summary in snapshot.get("histograms", {}).items():
+        family = prometheus_name(name, prefix)
+        emit(family, "summary", [
+            ('{quantile="0.5"}', summary["p50"]),
+            ('{quantile="0.9"}', summary["p90"]),
+            ('{quantile="0.99"}', summary["p99"]),
+            ("_sum", summary["sum"]),
+            ("_count", summary["count"]),
+        ])
+    for name, summary in snapshot.get("windows", {}).items():
+        family = prometheus_name(name, prefix) + "_window"
+        window = f'window_s="{summary["window_s"]:g}"'
+        emit(family, "summary", [
+            ('{%s,quantile="0.5"}' % window, summary["p50"]),
+            ('{%s,quantile="0.9"}' % window, summary["p90"]),
+            ('{%s,quantile="0.99"}' % window, summary["p99"]),
+            ("_sum{%s}" % window, summary["sum"]),
+            ("_count{%s}" % window, summary["count"]),
+        ])
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Validating parser for the exposition format subset we emit.
+
+    Returns ``{family: {"type": kind, "samples": {sample_key: value}}}``
+    where ``sample_key`` is the raw ``name{labels}`` string.  Raises
+    ``ValueError`` on any malformed line — the point is to *fail* CI when
+    ``/metrics`` stops being scrapeable, not to be forgiving.
+    """
+    families: dict[str, dict] = {}
+    declared: str | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared = parts[2]
+                if parts[3] not in ("counter", "gauge", "summary",
+                                    "histogram", "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {parts[3]!r}"
+                    )
+                families[declared] = {"type": parts[3], "samples": {}}
+            continue
+        match = _SAMPLE_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if _LABEL_RE.match(pair.strip()) is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}"
+                    )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {match.group('value')!r}"
+            ) from None
+        name = match.group("name")
+        family = next(
+            (f for f in (declared,) if f is not None
+             and (name == f or name.startswith(f + "_"))),
+            None,
+        ) or name
+        families.setdefault(family, {"type": "untyped", "samples": {}})
+        key = name + ("{" + labels + "}" if labels else "")
+        families[family]["samples"][key] = value
+    return families

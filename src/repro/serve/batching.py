@@ -22,7 +22,7 @@ import time
 from collections import deque
 from typing import Callable
 
-from repro.obs import telemetry
+from repro.obs import TraceContext, telemetry
 from repro.tabular.table import Table
 
 
@@ -50,12 +50,18 @@ class InferenceRequest:
     __slots__ = (
         "table", "deadline", "enqueued_at", "started_at", "finished_at",
         "predictions", "model", "degraded", "error", "batch_requests",
-        "batch_columns", "_done",
+        "batch_columns", "trace", "_done",
     )
 
-    def __init__(self, table: Table, deadline: float | None):
+    def __init__(
+        self,
+        table: Table,
+        deadline: float | None,
+        trace: TraceContext | None = None,
+    ):
         self.table = table
         self.deadline = deadline  # time.monotonic() instant, or None
+        self.trace = trace  # submitting request's span; batch spans adopt it
         self.enqueued_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -174,14 +180,20 @@ class MicroBatcher:
         return len(self._queue)
 
     # -- submission ----------------------------------------------------------
-    def submit(self, table: Table, deadline: float | None = None) -> InferenceRequest:
+    def submit(
+        self,
+        table: Table,
+        deadline: float | None = None,
+        trace: TraceContext | None = None,
+    ) -> InferenceRequest:
         """Enqueue one table; the caller then ``wait()``s on the request."""
-        request = InferenceRequest(table, deadline)
+        request = InferenceRequest(table, deadline, trace=trace)
         with self._cv:
             if self._closed:
                 raise ServiceClosedError("service is draining")
             if len(self._queue) >= self.queue_limit:
                 telemetry.count("serve.shed")
+                telemetry.observe_window("serve.shed_window", 1.0)
                 raise QueueFullError(
                     len(self._queue), self.queue_limit,
                     retry_after_s=max(1.0, 2.0 * self.max_wait_s),
@@ -207,10 +219,24 @@ class MicroBatcher:
                 request.fail(DeadlineExceededError("deadline passed in queue"))
             if not live:
                 continue
+            wall_now = time.time()
             for request in live:
                 request.started_at = now
                 request.batch_requests = len(live)
                 request.batch_columns = sum(r.n_columns for r in live)
+                # Nothing *runs* while a request waits in the queue, so the
+                # wait span is synthesized from its enqueue/start timestamps
+                # (monotonic delta re-anchored onto the wall clock).
+                if request.trace is not None:
+                    wait_s = max(0.0, now - request.enqueued_at)
+                    telemetry.record_span(
+                        "serve.queue_wait",
+                        started_at=wall_now - wait_s,
+                        wall_s=wait_s,
+                        trace_id=request.trace.trace_id,
+                        parent_span_id=request.trace.span_id,
+                        table=request.table.name,
+                    )
             try:
                 self.runner(live)
             except BaseException as exc:  # runner bug: fail the batch, keep serving
@@ -246,6 +272,8 @@ class MicroBatcher:
                 batch.append(candidate)
                 n_columns += candidate.n_columns
             telemetry.gauge("serve.queue_depth", len(self._queue))
+            telemetry.observe_window("serve.queue_depth_window", len(self._queue))
         telemetry.observe("serve.batch_size", len(batch))
         telemetry.observe("serve.batch_columns", n_columns)
+        telemetry.observe_window("serve.batch_size_window", len(batch))
         return batch

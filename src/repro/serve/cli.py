@@ -27,7 +27,7 @@ from repro.obs import (
     add_observability_flags,
     telemetry,
 )
-from repro.obs.export import write_json
+from repro.obs.export import write_json, write_spans_jsonl
 from repro.serve.http import make_server
 from repro.serve.registry import ModelRegistry, TrainConfig
 from repro.serve.service import InferenceService
@@ -156,6 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         server.server_close()
         if args.metrics_out:
             write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.trace_out:
+            n = write_spans_jsonl(args.trace_out, telemetry.spans)
+            telemetry.info("serve.trace_exported", path=args.trace_out,
+                           spans=n, dropped=telemetry.tracer.dropped)
         if args.manifest:
             manifest.extra["model_fingerprint"] = registry.fingerprint
             manifest.extra["model_state"] = registry.state

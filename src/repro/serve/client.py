@@ -27,7 +27,7 @@ import urllib.request
 from dataclasses import dataclass
 
 from repro.faults import FaultInjectedError, faults
-from repro.obs import telemetry
+from repro.obs import TraceContext, span_context, telemetry
 
 
 class ServeClientError(RuntimeError):
@@ -144,7 +144,20 @@ class ServeClient:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        return self._request("GET", "/metrics")
+        return self._request("GET", "/metrics.json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition from ``GET /metrics``."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"GET /metrics -> {exc}", status=0, transport=True
+            ) from exc
 
     def wait_ready(self, timeout_s: float = 60.0, poll_s: float = 0.2) -> dict:
         """Poll ``/healthz`` until the primary model is resident.
@@ -183,14 +196,36 @@ class ServeClient:
         body: bytes | None = None,
         content_type: str | None = None,
     ) -> dict:
+        # Every request gets a trace context.  With telemetry enabled the
+        # client span itself is recorded and becomes the root the server's
+        # spans hang off; disabled, a context is still minted so the server
+        # side of the trace is stitched under one trace_id either way.
+        with telemetry.span(
+            "client.request", method=method, path=path.split("?", 1)[0]
+        ) as span:
+            context = span_context(span) or TraceContext.generate()
+            return self._request_with_retry(
+                method, path, body, content_type, context
+            )
+
+    def _request_with_retry(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        content_type: str | None,
+        context: TraceContext,
+    ) -> dict:
         policy = self.retry
         if policy is None:
-            return self._request_once(method, path, body, content_type)
+            return self._request_once(method, path, body, content_type, context)
         start = time.monotonic()
         attempt = 1
         while True:
             try:
-                return self._request_once(method, path, body, content_type)
+                return self._request_once(
+                    method, path, body, content_type, context
+                )
             except ServeClientError as exc:
                 reason = self._retry_reason(exc, policy)
                 if reason is None or attempt >= policy.max_attempts:
@@ -209,6 +244,7 @@ class ServeClient:
                 telemetry.info(
                     "client.retrying", method=method, path=path,
                     attempt=attempt, delay_s=round(delay, 3), reason=reason,
+                    trace_id=context.trace_id,
                 )
                 time.sleep(delay)
                 attempt += 1
@@ -228,6 +264,7 @@ class ServeClient:
         path: str,
         body: bytes | None = None,
         content_type: str | None = None,
+        context: TraceContext | None = None,
     ) -> dict:
         try:
             faults.point("client.request", method=method, path=path)
@@ -243,6 +280,8 @@ class ServeClient:
         )
         if content_type:
             request.add_header("Content-Type", content_type)
+        if context is not None:
+            request.add_header("traceparent", context.to_traceparent())
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
                 return json.loads(resp.read().decode("utf-8"))

@@ -14,9 +14,15 @@ Stdlib-only (``http.server.ThreadingHTTPServer`` + ``json``).  Endpoints:
     Service + model state (including the model artifact fingerprint).
 
 ``GET /metrics``
-    JSON snapshot of the ``repro.obs`` metrics registry
+    Prometheus text exposition of the ``repro.obs`` metrics registry
     (``serve.request`` / ``serve.batch_size`` / ``serve.queue_depth`` /
-    ``serve.shed`` and everything else the process recorded).
+    ``serve.shed`` and everything else the process recorded), including
+    rolling-window quantiles.  ``Accept: application/json`` — or ``GET
+    /metrics.json`` — returns the raw JSON snapshot instead.
+
+Every ``POST /v1/infer`` honors an incoming W3C ``traceparent`` header:
+the server's spans join the caller's trace, and the trace id is echoed in
+the response body (``trace_id``) and the ``X-Trace-Id`` header.
 """
 
 from __future__ import annotations
@@ -28,7 +34,12 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.featurize import ProfileError
 from repro.faults import FaultInjectedError, faults
-from repro.obs import telemetry
+from repro.obs import (
+    TraceContext,
+    render_prometheus,
+    telemetry,
+    use_context,
+)
 from repro.serve.batching import QueueFullError, ServiceClosedError
 from repro.serve.service import InferenceService
 from repro.tabular.column import Column
@@ -105,12 +116,31 @@ class ServeHandler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path
         if path == "/healthz":
             self._send_json(200, self.service.health())
-        elif path == "/metrics":
+        elif path == "/metrics.json":
             self._send_json(200, telemetry.metrics.snapshot())
+        elif path == "/metrics":
+            # Prometheus text exposition by default; JSON on request, so
+            # pre-PR-6 scrapers that send Accept: application/json keep
+            # working without switching to /metrics.json.
+            if "application/json" in (self.headers.get("Accept") or ""):
+                self._send_json(200, telemetry.metrics.snapshot())
+            else:
+                self._send_text(
+                    200,
+                    render_prometheus(telemetry.metrics.snapshot()),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        # A malformed/absent traceparent means "start fresh", never an error.
+        context = TraceContext.from_traceparent(self.headers.get("traceparent"))
+        with use_context(context):
+            self._handle_post(context)
+
+    def _handle_post(self, context: TraceContext | None) -> None:
+        trace_id = context.trace_id if context is not None else None
         parsed = urlparse(self.path)
         if parsed.path != "/v1/infer":
             self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
@@ -125,10 +155,13 @@ class ServeHandler(BaseHTTPRequestHandler):
                 503,
                 {"error": f"fault injected: {exc}", "retry_after_s": 0.05},
                 headers={"Retry-After": "1"},
+                trace_id=trace_id,
             )
             return
         if self.service.draining:
-            self._send_json(503, {"error": "server is draining"})
+            self._send_json(
+                503, {"error": "server is draining"}, trace_id=trace_id
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -149,23 +182,44 @@ class ServeHandler(BaseHTTPRequestHandler):
             deadline_s = self._deadline_s(parsed)
         except BadRequestError as exc:
             telemetry.count("serve.bad_request")
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             return
 
         try:
             request = self.service.infer(table, deadline_s=deadline_s)
         except QueueFullError as exc:
+            # A shed request without an incoming traceparent still has the
+            # server-minted trace id (carried on the exception).
+            trace_id = trace_id or getattr(exc, "trace_id", None)
+            telemetry.warning(
+                "serve.shed_request", table=table.name, trace_id=trace_id,
+                queue_depth=exc.depth, queue_limit=exc.limit,
+            )
             self._send_json(
                 429,
                 {"error": str(exc), "retry_after_s": exc.retry_after_s},
                 headers={"Retry-After": str(max(1, round(exc.retry_after_s)))},
+                trace_id=trace_id,
             )
             return
         except ServiceClosedError:
-            self._send_json(503, {"error": "server is draining"})
+            self._send_json(
+                503, {"error": "server is draining"}, trace_id=trace_id
+            )
             return
 
+        if trace_id is None and request.trace is not None:
+            # No (valid) incoming traceparent: echo the trace the server
+            # started for this request instead of dropping correlation.
+            trace_id = request.trace.trace_id
+
         if request.predictions is None and request.error is None:
+            telemetry.warning(
+                "serve.deadline_exceeded", table=table.name,
+                trace_id=trace_id,
+                deadline_ms=round(1000.0 * deadline_s, 1)
+                if deadline_s else None,
+            )
             self._send_json(
                 504,
                 {
@@ -173,6 +227,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                     "deadline_ms": round(1000.0 * deadline_s, 1)
                     if deadline_s else None,
                 },
+                trace_id=trace_id,
             )
             return
         if request.error is not None:
@@ -185,7 +240,9 @@ class ServeHandler(BaseHTTPRequestHandler):
                 status = 504
             else:
                 status = 500
-            self._send_json(status, {"error": str(request.error)})
+            self._send_json(
+                status, {"error": str(request.error)}, trace_id=trace_id
+            )
             return
         self._send_json(
             200,
@@ -201,6 +258,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                     "batch_columns": request.batch_columns,
                 },
             },
+            trace_id=trace_id,
         )
 
     # -- plumbing ------------------------------------------------------------
@@ -224,7 +282,31 @@ class ServeHandler(BaseHTTPRequestHandler):
         return values[0] if values else None
 
     def _send_json(
-        self, status: int, payload: dict, headers: dict | None = None
+        self,
+        status: int,
+        payload: dict,
+        headers: dict | None = None,
+        trace_id: str | None = None,
+    ) -> None:
+        if trace_id is not None:
+            payload = {**payload, "trace_id": trace_id}
+            headers = {**(headers or {}), "X-Trace-Id": trace_id}
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"),
+            "application/json", headers,
+        )
+
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain"
+    ) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type, None)
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None,
     ) -> None:
         try:
             # Chaos hook: a "serve.respond" rule drops the connection
@@ -239,9 +321,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             except OSError:
                 pass
             return
-        body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for key, value in (headers or {}).items():
             self.send_header(key, value)

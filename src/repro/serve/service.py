@@ -22,8 +22,8 @@ import time
 from repro.core.pipeline import ColumnPrediction, TypeInferencePipeline
 from repro.core.featurize import profile_columns
 from repro.core.stats import StatsScanCache
-from repro.obs import telemetry
-from repro.serve.batching import InferenceRequest, MicroBatcher
+from repro.obs import span_context, telemetry, use_context
+from repro.serve.batching import InferenceRequest, MicroBatcher, QueueFullError
 from repro.serve.registry import ModelRegistry
 from repro.tabular.table import Table
 from repro.tools.rules import RuleBaselineTool
@@ -94,22 +94,46 @@ class InferenceService:
         telemetry.count("serve.request_columns", len(table.column_names))
         with telemetry.span(
             "serve.request", table=table.name, n_columns=len(table.column_names)
-        ):
-            request = self.batcher.submit(table, deadline=deadline)
+        ) as span:
+            # The request's trace context must ride INTO submit(): the
+            # batcher worker may pick the request up before this thread
+            # runs another line, so stamping it afterwards would race.
+            try:
+                request = self.batcher.submit(
+                    table, deadline=deadline, trace=span_context(span)
+                )
+            except QueueFullError as exc:
+                # No request object survives a shed; carry the trace id on
+                # the exception so the HTTP layer can still echo it.
+                exc.trace_id = getattr(span, "trace_id", None)
+                raise
             finished = request.wait()
         if not finished:
             telemetry.count("serve.deadline_exceeded")
         else:
-            telemetry.observe("serve.request_ms", request.queue_ms + request.infer_ms)
+            latency_ms = request.queue_ms + request.infer_ms
+            telemetry.observe("serve.request_ms", latency_ms)
+            telemetry.observe_window("serve.request_ms_window", latency_ms)
         return request
 
     # -- batch runner (worker thread) ----------------------------------------
     def _run_batch(self, batch: list[InferenceRequest]) -> None:
         model = self.registry.current()
         n_columns = sum(r.n_columns for r in batch)
-        with telemetry.span(
+        # The batch span runs on the batcher worker thread, where the span
+        # stack is empty — adopt the first member's trace so the tree is
+        # request → queue_wait / batch → profile/predict.  A multi-request
+        # batch has one parent slot; the other members' trace ids are kept
+        # as an attribute so nothing is unattributable.
+        trace = next((r.trace for r in batch if r.trace is not None), None)
+        extra = {}
+        if len(batch) > 1:
+            extra["member_trace_ids"] = sorted(
+                {r.trace.trace_id for r in batch if r.trace is not None}
+            )
+        with use_context(trace), telemetry.span(
             "serve.batch", n_requests=len(batch), n_columns=n_columns,
-            degraded=model is None,
+            degraded=model is None, **extra,
         ):
             if model is None:
                 self._run_degraded(batch)
@@ -121,7 +145,8 @@ class InferenceService:
             telemetry.count("serve.scan_cache_reset")
             self._scan_cache = StatsScanCache()
         columns = [column for request in batch for column in request.table]
-        profiles = profile_columns(columns, scan_cache=self._scan_cache)
+        with telemetry.span("serve.profile", n_columns=len(columns)):
+            profiles = profile_columns(columns, scan_cache=self._scan_cache)
         # Stamp provenance per request (profile_columns took the flat list).
         offset = 0
         for request in batch:
@@ -129,7 +154,8 @@ class InferenceService:
                 profile.source_file = request.table.name
             offset += request.n_columns
         pipeline = TypeInferencePipeline(model)
-        predictions = pipeline.predict_profiles(profiles)
+        with telemetry.span("serve.predict", n_columns=len(profiles)):
+            predictions = pipeline.predict_profiles(profiles)
         offset = 0
         label = getattr(model, "name", type(model).__name__)
         for request in batch:

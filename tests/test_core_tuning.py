@@ -92,9 +92,11 @@ def _problem(seed: int, n: int = 12, d: int = 3):
     return X, y
 
 
-def _key(digest, **overrides):
+def _key(default_digest, **overrides):
+    # The positional name must differ from the "digest" kwarg so callers can
+    # override the digest via **overrides without a duplicate-argument error.
     base = dict(
-        digest=digest, model_name="logreg", fold_index=0, n_folds=3,
+        digest=default_digest, model_name="logreg", fold_index=0, n_folds=3,
         random_state=0, params={"C": 1.0},
     )
     base.update(overrides)

@@ -1,0 +1,287 @@
+"""Trace-context propagation, rolling windows, and Prometheus exposition."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import Telemetry, telemetry
+from repro.obs.context import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    current_context,
+    set_process_context,
+    span_context,
+    use_context,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    RollingHistogram,
+    parse_prometheus_text,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.trace import SpanRecord, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_context(monkeypatch):
+    monkeypatch.delenv(TRACEPARENT_ENV, raising=False)
+    set_process_context(None, export_env=False)
+    yield
+    set_process_context(None, export_env=False)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = TraceContext.generate()
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed == context
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+
+    def test_wire_format(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        assert context.to_traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-zzzz-1234567890abcdef-01",          # non-hex trace id
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace id
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "00-" + "a" * 32 + "-" + "b" * 16,          # missing flags
+    ])
+    def test_malformed_headers_are_dropped(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_case_and_whitespace_tolerated(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        header = "  " + context.to_traceparent().upper() + " "
+        assert TraceContext.from_traceparent(header) == context
+
+    def test_child_keeps_trace_id(self):
+        context = TraceContext.generate()
+        child = context.child()
+        assert child.trace_id == context.trace_id
+        assert child.span_id != context.span_id
+
+
+class TestAmbientContext:
+    def test_use_context_is_thread_local(self):
+        context = TraceContext.generate()
+        seen: dict = {}
+
+        def other_thread():
+            seen["other"] = current_context()
+
+        with use_context(context):
+            assert current_context() == context
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+        assert current_context() is None
+
+    def test_process_context_exports_env(self):
+        context = TraceContext.generate()
+        set_process_context(context)
+        assert os.environ[TRACEPARENT_ENV] == context.to_traceparent()
+        assert current_context() == context
+        set_process_context(None)
+        assert TRACEPARENT_ENV not in os.environ
+
+    def test_env_context_is_read_lazily(self, monkeypatch):
+        context = TraceContext.generate()
+        monkeypatch.setenv(TRACEPARENT_ENV, context.to_traceparent())
+        import repro.obs.context as ctx_module
+        monkeypatch.setattr(ctx_module, "_env_checked", False)
+        monkeypatch.setattr(ctx_module, "_process_context", None)
+        assert current_context() == context
+
+    def test_root_span_adopts_ambient_context(self):
+        t = Telemetry().enable()
+        remote = TraceContext.generate()
+        with use_context(remote):
+            with t.span("handler"):
+                with t.span("inner"):
+                    pass
+        handler = next(s for s in t.spans if s.name == "handler")
+        inner = next(s for s in t.spans if s.name == "inner")
+        assert handler.trace_id == remote.trace_id
+        assert handler.parent_span_id == remote.span_id
+        assert inner.trace_id == remote.trace_id
+        assert inner.parent_span_id == handler.span_id
+
+    def test_root_span_without_context_mints_fresh_trace(self):
+        t = Telemetry().enable()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        a, b = t.spans
+        assert a.trace_id and b.trace_id
+        assert a.trace_id != b.trace_id
+        assert a.parent_span_id is None
+
+    def test_span_context_of_noop_span_is_none(self):
+        t = Telemetry()  # disabled
+        span = t.span("nope")
+        assert span_context(span) is None
+
+    def test_span_context_of_open_span(self):
+        t = Telemetry().enable()
+        with t.span("open") as span:
+            context = span_context(span)
+            assert context is not None
+            assert context.span_id == span.span_id
+            assert context.trace_id == span.trace_id
+
+
+class TestTracerDrops:
+    def test_on_drop_fires_past_the_cap(self):
+        drops: list[int] = []
+        tracer = Tracer(max_records=2, on_drop=drops.append)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+        assert drops == [1, 1, 1]
+
+    def test_telemetry_counts_dropped_spans(self):
+        t = Telemetry()
+        t.tracer.max_records = 1
+        t.enable()
+        with t.span("kept"):
+            pass
+        with t.span("dropped"):
+            pass
+        assert t.metrics.counter("trace.dropped").value == 1
+        assert t.tracer.dropped == 1
+
+    def test_record_external_synthesizes_span(self):
+        t = Telemetry().enable()
+        record = t.record_span(
+            "queue.wait", started_at=123.0, wall_s=0.25,
+            trace_id="ab" * 16, parent_span_id="cd" * 8, table="t1",
+        )
+        assert record is not None
+        assert record.span_id
+        assert record.trace_id == "ab" * 16
+        assert record.parent_span_id == "cd" * 8
+        assert t.spans[-1].name == "queue.wait"
+        assert t.spans[-1].attrs == {"table": "t1"}
+
+    def test_ingest_adopts_foreign_records(self):
+        tracer = Tracer()
+        foreign = SpanRecord.from_dict(
+            {"name": "w", "started_at": 1.0, "wall_s": 0.5, "cpu_s": 0.1,
+             "depth": 0, "parent": None, "trace_id": "ab" * 16,
+             "span_id": "cd" * 8}
+        )
+        assert tracer.ingest([foreign]) == 1
+        assert tracer.records[0].trace_id == "ab" * 16
+
+    def test_ingest_honors_cap(self):
+        drops: list[int] = []
+        tracer = Tracer(max_records=1, on_drop=drops.append)
+        records = [
+            SpanRecord(name=f"s{i}", started_at=0.0, wall_s=0.0, cpu_s=0.0,
+                       depth=0, parent=None)
+            for i in range(3)
+        ]
+        assert tracer.ingest(records) == 1
+        assert tracer.dropped == 2
+        assert drops == [2]
+
+
+class TestRollingHistogram:
+    def test_window_forgets_old_samples(self):
+        window = RollingHistogram("lat", window_s=10.0)
+        window.observe(100.0, now=0.0)
+        window.observe(200.0, now=5.0)
+        summary = window.summary(now=6.0)
+        assert summary["count"] == 2
+        assert summary["max"] == 200.0
+        # 100.0 (t=0) has left the 10s window by t=11.
+        summary = window.summary(now=11.0)
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == 200.0
+        # Lifetime totals survive the pruning.
+        assert summary["total_count"] == 2
+        assert summary["total_sum"] == 300.0
+
+    def test_quantiles_over_window_only(self):
+        window = RollingHistogram("lat", window_s=10.0)
+        for value in range(100):
+            window.observe(1000.0, now=0.0)  # ancient outliers
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.observe(value, now=20.0)
+        summary = window.summary(now=21.0)
+        assert summary["count"] == 4
+        assert summary["p99"] <= 4.0
+
+    def test_registry_snapshot_includes_windows(self):
+        registry = MetricsRegistry()
+        registry.window("serve.lat", window_s=30.0).observe(5.0)
+        snapshot = registry.snapshot()
+        assert "serve.lat" in snapshot["windows"]
+        assert snapshot["windows"]["serve.lat"]["window_s"] == 30.0
+        assert snapshot["windows"]["serve.lat"]["count"] == 1
+
+
+class TestPrometheusExposition:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.request").inc(3)
+        registry.gauge("serve.queue_depth").set(2)
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("serve.batch_size").observe(value)
+            registry.window("serve.request_ms_window").observe(value)
+        return registry.snapshot()
+
+    def test_name_sanitization(self):
+        assert prometheus_name("serve.request") == "repro_serve_request"
+        assert prometheus_name("a-b c/d") == "repro_a_b_c_d"
+
+    def test_render_and_parse_round_trip(self):
+        text = render_prometheus(self._snapshot())
+        families = parse_prometheus_text(text)
+        counter = families["repro_serve_request_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"]["repro_serve_request_total"] == 3.0
+        gauge = families["repro_serve_queue_depth"]
+        assert gauge["samples"]["repro_serve_queue_depth"] == 2.0
+        histogram = families["repro_serve_batch_size"]
+        assert histogram["type"] == "summary"
+        assert histogram["samples"]["repro_serve_batch_size_count"] == 3.0
+        assert histogram["samples"]["repro_serve_batch_size_sum"] == 6.0
+        assert any("quantile" in key for key in histogram["samples"])
+        window = families["repro_serve_request_ms_window_window"]
+        assert window["type"] == "summary"
+        assert any("window_s" in key for key in window["samples"])
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not prometheus\n")
+
+    def test_parser_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_name one_point_five\n")
+
+
+class TestSingletonFacade:
+    def test_observe_window_gated_on_enabled(self):
+        was_enabled = telemetry.enabled
+        telemetry.disable()
+        try:
+            telemetry.observe_window("x", 1.0)
+            assert len(telemetry.metrics) == 0
+        finally:
+            if was_enabled:
+                telemetry.enable()

@@ -80,3 +80,69 @@ def test_cli_without_obs_flags_keeps_telemetry_disabled(capsys, tmp_path):
     assert telemetry.enabled is False
     assert len(telemetry.spans) == 0
     assert len(telemetry.metrics) == 0
+
+
+def test_jobs2_worker_spans_merge_under_one_trace(tmp_path, capsys):
+    """Forked --jobs workers inherit the run's trace context; their spans
+    come back over the result pipe and land in the manifest and the
+    --trace-out export under a single trace_id."""
+    manifest_path = tmp_path / "run.json"
+    trace_path = tmp_path / "spans.jsonl"
+    try:
+        exit_code = main(
+            [
+                "table18,labeling", "--scale", "300", "--seed", "1",
+                "--jobs", "2",
+                "--manifest", str(manifest_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+    finally:
+        telemetry.disable().reset()
+    assert exit_code == 0
+    capsys.readouterr()
+
+    manifest = json.loads(manifest_path.read_text())
+    trace_id = manifest["trace_id"]
+    assert trace_id and len(trace_id) == 32
+    assert manifest["spans_dropped"] == 0
+
+    from repro.obs.export import read_jsonl
+
+    records = list(read_jsonl(trace_path))
+    tasks = [r for r in records if r["name"] == "parallel.task"]
+    assert {r["attrs"]["experiment"] for r in tasks} == {"table18", "labeling"}
+    # Every span that carries a trace id carries the run's: both forked
+    # workers joined the parent's trace instead of starting their own.
+    traced = [r for r in records if r.get("trace_id")]
+    assert traced
+    assert {r["trace_id"] for r in traced} == {trace_id}
+
+    # Per-worker JSONL exports (crash-surviving) landed next to --trace-out
+    # and hold the same trace.
+    worker_dir = tmp_path / "spans.jsonl.workers"
+    worker_files = sorted(worker_dir.glob("*.jsonl"))
+    assert len(worker_files) == 2
+    for path in worker_files:
+        worker_records = list(read_jsonl(path))
+        assert worker_records
+        assert {r["trace_id"] for r in worker_records} == {trace_id}
+
+
+def test_sequential_rerun_does_not_reuse_previous_trace(tmp_path, capsys):
+    """Two in-process runs mint distinct run traces (no env/context leak)."""
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    try:
+        assert main(["table18", "--scale", "300", "--seed", "1",
+                     "--manifest", str(first)]) == 0
+        telemetry.disable().reset()
+        assert main(["table18", "--scale", "300", "--seed", "1",
+                     "--manifest", str(second)]) == 0
+    finally:
+        telemetry.disable().reset()
+    capsys.readouterr()
+    trace_a = json.loads(first.read_text())["trace_id"]
+    trace_b = json.loads(second.read_text())["trace_id"]
+    assert trace_a and trace_b
+    assert trace_a != trace_b

@@ -213,6 +213,253 @@ class TestRobustness:
         assert "serve.batch_size" in snapshot["histograms"]
 
 
+class TestTracing:
+    """Distributed-trace stitching over a real socket (client and server in
+    one process, but on different threads and talking real HTTP)."""
+
+    def _spans_by_name(self):
+        by_name: dict[str, list] = {}
+        for record in telemetry.spans:
+            by_name.setdefault(record.name, []).append(record)
+        return by_name
+
+    def test_client_span_parents_server_request(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            response = client.infer_csv_text(CSV_TEXT, table="traced")
+        spans = self._spans_by_name()
+        (client_span,) = spans["client.request"]
+        (server_span,) = spans["serve.request"]
+        # One trace across the HTTP hop, parented by the client's span.
+        assert client_span.trace_id
+        assert server_span.trace_id == client_span.trace_id
+        assert server_span.parent_span_id == client_span.span_id
+        # The response echoes the trace id for log correlation.
+        assert response["trace_id"] == client_span.trace_id
+
+    def test_server_side_span_tree_is_stitched(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            client.infer_csv_text(CSV_TEXT, table="traced")
+        spans = self._spans_by_name()
+        (request,) = spans["serve.request"]
+        (queue_wait,) = spans["serve.queue_wait"]
+        (batch,) = spans["serve.batch"]
+        (predict,) = spans["serve.predict"]
+        # Queue wait and the batch both hang off the request span even
+        # though they ran on the batcher thread.
+        assert queue_wait.trace_id == request.trace_id
+        assert queue_wait.parent_span_id == request.span_id
+        assert batch.trace_id == request.trace_id
+        assert batch.parent_span_id == request.span_id
+        # Kernel spans nest under the batch via the ordinary span stack.
+        assert predict.trace_id == request.trace_id
+        assert predict.parent_span_id == batch.span_id
+
+    def test_batch_span_lists_member_traces(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.25) as (client, _):
+            threads = [
+                threading.Thread(
+                    target=lambda: client.infer_csv_text(CSV_TEXT, table="m")
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        batches = self._spans_by_name()["serve.batch"]
+        multi = [b for b in batches if b.attrs.get("n_requests", 0) > 1]
+        assert multi, "expected at least one multi-request batch"
+        listed = multi[0].attrs.get("member_trace_ids")
+        assert listed and len(listed) == multi[0].attrs["n_requests"]
+        # Every listed member trace belongs to a recorded request span.
+        request_traces = {
+            r.trace_id for r in self._spans_by_name()["serve.request"]
+        }
+        assert set(listed) <= request_traces
+
+    def test_malformed_traceparent_starts_fresh_trace(self, served_model):
+        import urllib.request
+
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            request = urllib.request.Request(
+                client.base_url + "/v1/infer?table=t",
+                data=CSV_TEXT.encode("utf-8"),
+                method="POST",
+                headers={"Content-Type": "text/csv",
+                         "traceparent": "not-a-traceparent"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+                header_trace = resp.headers.get("X-Trace-Id")
+        spans = self._spans_by_name()
+        (server_span,) = spans["serve.request"]
+        # A fresh server-side trace, not a guess at the malformed header.
+        assert server_span.parent_span_id is None
+        assert server_span.trace_id == payload["trace_id"] == header_trace
+
+    def test_shed_response_carries_trace_id(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(
+            registry, start_batcher=False, queue_limit=1, max_wait_s=0.0
+        ) as (client, service):
+            from repro.tabular.csv_io import read_csv_text
+
+            service.batcher.submit(read_csv_text(CSV_TEXT, name="filler"))
+            one_shot = ServeClient(client.base_url, retry=None)
+            with pytest.raises(ServeClientError) as exc_info:
+                one_shot.infer_csv_text(CSV_TEXT, deadline_ms=5000)
+            service.batcher._queue.clear()
+        assert exc_info.value.status == 429
+        # The shed error body names the trace, so the client-side log line
+        # and the server's shed log line correlate.
+        (client_span,) = self._spans_by_name()["client.request"]
+        assert exc_info.value.payload["trace_id"] == client_span.trace_id
+
+
+class TestPrometheusEndpoint:
+    def test_metrics_text_is_valid_exposition(self, served_model):
+        from repro.obs import parse_prometheus_text
+
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            client.infer_csv_text(CSV_TEXT)
+            text = client.metrics_text()
+        families = parse_prometheus_text(text)
+        assert families["repro_serve_request_total"]["type"] == "counter"
+        assert families["repro_serve_request_total"]["samples"][
+            "repro_serve_request_total"
+        ] >= 1.0
+        assert families["repro_serve_batch_size"]["type"] == "summary"
+        # Rolling windows are exported as *_window summaries.
+        assert any(name.endswith("_window") for name in families)
+
+    def test_metrics_content_negotiation(self, served_model):
+        import urllib.request
+
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            client.infer_csv_text(CSV_TEXT)
+            # Plain scrape: Prometheus text with the versioned content type.
+            request = urllib.request.Request(client.base_url + "/metrics")
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                assert resp.headers.get_content_type() == "text/plain"
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                assert b"# TYPE" in resp.read()
+            # JSON consumers: Accept negotiation and the explicit path.
+            request = urllib.request.Request(
+                client.base_url + "/metrics",
+                headers={"Accept": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                negotiated = json.loads(resp.read().decode("utf-8"))
+            legacy = client.metrics()
+        assert negotiated["counters"]["serve.request"] >= 1
+        assert legacy["counters"]["serve.request"] >= 1
+
+    def test_rolling_windows_populated_by_traffic(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            client.infer_csv_text(CSV_TEXT)
+            snapshot = client.metrics()
+        windows = snapshot["windows"]
+        assert windows["serve.request_ms_window"]["count"] >= 1
+        assert windows["serve.batch_size_window"]["count"] >= 1
+        assert windows["serve.request_ms_window"]["p99"] > 0
+
+
+@pytest.mark.slow
+class TestCrossProcessTrace:
+    """The acceptance scenario: repro-infer --server against a live
+    repro-serve, both exporting spans, stitched by repro-obs into one tree."""
+
+    def test_trace_merge_stitches_client_and_server_files(
+        self, served_model_path, tmp_path
+    ):
+        from repro.obs.cli import build_tree, main as obs_main
+        from repro.obs.export import read_jsonl
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        server_trace = tmp_path / "server.jsonl"
+        client_trace = tmp_path / "client.jsonl"
+        csv_path = tmp_path / "sample.csv"
+        csv_path.write_text(CSV_TEXT)
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve",
+                "--model", str(served_model_path),
+                "--port", "0", "--max-wait-ms", "50", "--wait-ready",
+                "--trace-out", str(server_trace),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            url = next(
+                tok for tok in banner.split() if tok.startswith("http://")
+            )
+            ServeClient(url).wait_ready(timeout_s=30)
+
+            infer = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", str(csv_path),
+                    "--server", url, "--json",
+                    "--trace-out", str(client_trace),
+                ],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert infer.returncode == 0, infer.stderr
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        # Both processes exported spans.
+        client_spans = list(read_jsonl(client_trace))
+        server_spans = list(read_jsonl(server_trace))
+        assert any(r["name"] == "client.request" for r in client_spans)
+        assert any(r["name"] == "serve.request" for r in server_spans)
+
+        merged = tmp_path / "merged.jsonl"
+        assert obs_main(
+            ["trace", "merge", str(client_trace), str(server_trace),
+             "-o", str(merged)]
+        ) == 0
+        records = list(read_jsonl(merged))
+        client_root = next(
+            r for r in records if r["name"] == "client.request"
+        )
+        trace_records = [
+            r for r in records if r.get("trace_id") == client_root["trace_id"]
+        ]
+        # The request's spans from BOTH processes share one trace id...
+        assert {r["name"] for r in trace_records} >= {
+            "client.request", "serve.request", "serve.batch", "serve.predict",
+        }
+        # ...and the client-side spans are the root ancestors of the server
+        # tree: infer.server (the CLI) > client.request > serve.request.
+        roots, children = build_tree(trace_records)
+        assert [r["name"] for r in roots] == ["infer.server"]
+        assert client_root["parent_span_id"] == roots[0]["span_id"]
+        served = {
+            r["name"] for r in children.get(client_root["span_id"], [])
+        }
+        assert "serve.request" in served
+        # `repro-obs trace show` renders the merged tree without error.
+        assert obs_main(["trace", "show", str(merged),
+                         "--trace-id", client_root["trace_id"]]) == 0
+
+
 @pytest.mark.slow
 class TestSigtermDrain:
     def test_sigterm_drains_in_flight_requests(self, served_model_path):
