@@ -1,0 +1,345 @@
+#!/usr/bin/env python
+"""Microbenchmarks for the PR-7 kernel frontier.
+
+Measures, on this machine:
+
+* Conv1D forward+backward — the retired strided-einsum kernel vs the
+  im2col GEMM kernel, at float64 and float32.
+* End-to-end CharCNN training batches (the ``charcnn.batch`` span), with
+  the einsum kernel monkeypatched back in for an honest before/after on
+  the same commit.
+* Levenshtein distance matrices — exact many-vs-many vs the banded,
+  early-exit kernel at several caps (correctness asserted within the cap).
+* NameStatsKNN.distance_matrix with and without ``name_cap``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py [--smoke] [--out FILE]
+
+``--smoke`` shrinks every problem so the whole script runs in seconds
+(CI); ``--out`` writes the numbers as JSON (used to land BENCH_pr7.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.ml.distances import (
+    levenshtein_many_vs_many,
+    levenshtein_many_vs_many_banded,
+)
+from repro.ml.neighbors import NameStatsKNN
+from repro.nn import charcnn as charcnn_mod
+from repro.nn.charcnn import CharCNNClassifier
+from repro.nn.layers import Conv1D, Layer
+
+
+class EinsumConv1D(Layer):
+    """The pre-PR-7 strided-einsum Conv1D, kept verbatim as the baseline.
+
+    Copied from the retired implementation (git history) so before/after
+    numbers come from one commit; float64-only, like the original.
+    """
+
+    def __init__(self, in_channels, out_channels, kernel_size, rng,
+                 dtype=np.float64):
+        super().__init__()
+        scale = np.sqrt(2.0 / (kernel_size * in_channels))
+        self.weight = rng.normal(
+            0.0, scale, size=(kernel_size, in_channels, out_channels)
+        ).astype(dtype)
+        self.bias = np.zeros(out_channels, dtype=dtype)
+        self.kernel_size = kernel_size
+        self.params = [self.weight, self.bias]
+        self.grads = [np.zeros_like(self.weight), np.zeros_like(self.bias)]
+
+    def _windows(self, x):
+        batch, seq, channels = x.shape
+        out_seq = seq - self.kernel_size + 1
+        stride_b, stride_s, stride_c = x.strides
+        return np.lib.stride_tricks.as_strided(
+            x,
+            shape=(batch, out_seq, self.kernel_size, channels),
+            strides=(stride_b, stride_s, stride_s, stride_c),
+            writeable=False,
+        )
+
+    def forward(self, x, training=False):
+        if x.shape[1] < self.kernel_size:
+            pad = self.kernel_size - x.shape[1]
+            x = np.pad(x, ((0, 0), (0, pad), (0, 0)))
+        self._x = x
+        windows = self._windows(x)
+        self._windows_cache = windows
+        return (
+            np.einsum("bokc,kcf->bof", windows, self.weight, optimize=True)
+            + self.bias
+        )
+
+    def backward(self, grad_out):
+        windows = self._windows_cache
+        self.grads[0] += np.einsum(
+            "bokc,bof->kcf", windows, grad_out, optimize=True
+        )
+        self.grads[1] += grad_out.sum(axis=(0, 1))
+        grad_x = np.zeros_like(self._x)
+        contribution = np.einsum(
+            "bof,kcf->bokc", grad_out, self.weight, optimize=True
+        )
+        for k in range(self.kernel_size):
+            grad_x[:, k : k + grad_out.shape[1], :] += contribution[:, :, k, :]
+        return grad_x
+
+
+def _time(fn, repeats, warmup=1):
+    """Best-of-N wall seconds (best-of is robust to scheduler noise)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_conv_layer(smoke):
+    batch, seq, channels, filters, kernel = (
+        (16, 30, 16, 32, 3) if smoke else (64, 120, 32, 128, 3)
+    )
+    repeats = 3 if smoke else 10
+    rng = np.random.default_rng(0)
+    results = {}
+    for name, cls, dtype in (
+        ("einsum_f64", EinsumConv1D, np.float64),
+        ("im2col_f64", Conv1D, np.float64),
+        ("im2col_f32", Conv1D, np.float32),
+    ):
+        layer = cls(channels, filters, kernel, np.random.default_rng(7),
+                    dtype=dtype)
+        x = rng.standard_normal((batch, seq, channels)).astype(dtype)
+        out_seq = seq - kernel + 1
+        g = rng.standard_normal((batch, out_seq, filters)).astype(dtype)
+
+        def step(layer=layer, x=x, g=g):
+            layer.zero_grad()
+            layer.forward(x, training=True)
+            layer.backward(g)
+
+        results[name] = _time(step, repeats)
+    results["speedup_f64"] = results["einsum_f64"] / results["im2col_f64"]
+    results["speedup_f32"] = results["einsum_f64"] / results["im2col_f32"]
+    results["shape"] = {
+        "batch": batch, "seq": seq, "channels": channels,
+        "filters": filters, "kernel": kernel,
+    }
+    return results
+
+
+def _make_training_set(rng, n, stats_dim=12, n_classes=5):
+    """The paper's CNN input shape: three text fields (attribute name plus
+    two sample values) and a stats matrix, shaped [field][example]."""
+    words = ["total", "amount", "customer_id", "zip", "email", "notes",
+             "created_at", "ratio", "flags", "city_name"]
+    names = [
+        f"{words[rng.integers(len(words))]}_{rng.integers(100)}"
+        for _ in range(n)
+    ]
+    sample1 = [f"{rng.normal():.4f}" for _ in range(n)]
+    sample2 = [
+        "".join(rng.choice(list("abcdefgh 0123"), size=rng.integers(4, 20)))
+        for _ in range(n)
+    ]
+    stats = rng.standard_normal((n, stats_dim))
+    y = [f"class_{rng.integers(n_classes)}" for _ in range(n)]
+    return [names, sample1, sample2], stats, y
+
+
+def bench_charcnn_batch(smoke):
+    """Mean ``charcnn.batch`` span: einsum-f64 (old) vs im2col f64/f32."""
+    from repro.obs import telemetry
+
+    n, epochs = (120, 2) if smoke else (600, 3)
+    rng = np.random.default_rng(5)
+    texts, stats, y = _make_training_set(rng, n)
+    results = {}
+    was_enabled = telemetry.enabled
+    if not was_enabled:
+        telemetry.enable(log_level="error")
+    for name, conv_cls, dtype in (
+        ("einsum_f64", EinsumConv1D, "float64"),
+        ("im2col_f64", Conv1D, "float64"),
+        ("im2col_f32", Conv1D, "float32"),
+    ):
+        original = charcnn_mod.Conv1D
+        charcnn_mod.Conv1D = conv_cls
+        try:
+            clf = CharCNNClassifier(
+                epochs=epochs, random_state=11, dtype=dtype
+            )
+            before = len(telemetry.spans)
+            start = time.perf_counter()
+            clf.fit(texts, stats, y)
+            wall = time.perf_counter() - start
+            batch_spans = [
+                s for s in telemetry.spans[before:]
+                if s.name == "charcnn.batch"
+            ]
+        finally:
+            charcnn_mod.Conv1D = original
+        # median span: robust to the first-batch warmup (buffer allocation,
+        # BLAS thread spin-up) and scheduler noise
+        results[name] = {
+            "fit_wall_s": wall,
+            "batch_span_median_s": (
+                float(np.median([s.wall_s for s in batch_spans]))
+                if batch_spans else None
+            ),
+            "n_batches": len(batch_spans),
+        }
+    if not was_enabled:
+        telemetry.disable()
+    for variant in ("im2col_f64", "im2col_f32"):
+        old = results["einsum_f64"]["batch_span_median_s"]
+        new = results[variant]["batch_span_median_s"]
+        if old and new:
+            results[f"speedup_{variant.split('_')[1]}"] = old / new
+    results["config"] = {"n_examples": n, "epochs": epochs}
+    return results
+
+
+def _random_names(rng, n, lo=3, hi=24):
+    alphabet = list("abcdefghijklmnopqrstuvwxyz_0123456789")
+    return [
+        "".join(rng.choice(alphabet, size=rng.integers(lo, hi)))
+        for _ in range(n)
+    ]
+
+
+def bench_levenshtein(smoke):
+    nq, nc = (40, 80) if smoke else (200, 400)
+    repeats = 2 if smoke else 3
+    rng = np.random.default_rng(13)
+    queries = _random_names(rng, nq)
+    corpus = _random_names(rng, nc)
+    exact = levenshtein_many_vs_many(queries, corpus)
+    results = {
+        "n_queries": nq, "n_corpus": nc,
+        "exact_s": _time(
+            lambda: levenshtein_many_vs_many(queries, corpus), repeats
+        ),
+        "caps": {},
+    }
+    for cap in (2, 5, 10):
+        banded = levenshtein_many_vs_many_banded(queries, corpus, cap)
+        within = exact <= cap
+        assert np.array_equal(banded[within], exact[within]), (
+            f"banded kernel diverged from exact within cap={cap}"
+        )
+        assert np.all(banded[~within] == cap + 1), (
+            f"banded kernel failed to clip beyond cap={cap}"
+        )
+        results["caps"][str(cap)] = {
+            "banded_s": _time(
+                lambda cap=cap: levenshtein_many_vs_many_banded(
+                    queries, corpus, cap
+                ),
+                repeats,
+            ),
+            "pct_within_cap": float(within.mean()),
+        }
+        results["caps"][str(cap)]["speedup"] = (
+            results["exact_s"] / results["caps"][str(cap)]["banded_s"]
+        )
+    return results
+
+
+def bench_knn_matrix(smoke):
+    n_train, n_query, cap = (80, 40, 5) if smoke else (400, 200, 5)
+    repeats = 2 if smoke else 3
+    rng = np.random.default_rng(23)
+    names = _random_names(rng, n_train)
+    stats = rng.standard_normal((n_train, 10))
+    y = [f"class_{rng.integers(4)}" for _ in range(n_train)]
+    q_names = _random_names(rng, n_query)
+    q_stats = rng.standard_normal((n_query, 10))
+
+    exact = NameStatsKNN().fit(names, stats, y)
+    banded = NameStatsKNN(name_cap=cap).fit(names, stats, y)
+    results = {
+        "n_train": n_train, "n_queries": n_query, "name_cap": cap,
+        "exact_s": _time(
+            lambda: exact.distance_matrix(q_names, q_stats), repeats
+        ),
+        "banded_s": _time(
+            lambda: banded.distance_matrix(q_names, q_stats), repeats
+        ),
+    }
+    results["speedup"] = results["exact_s"] / results["banded_s"]
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny problem sizes so the whole run takes seconds (CI)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the results as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    report = {"smoke": args.smoke}
+    print("== Conv1D layer (forward+backward, best-of-N) ==")
+    report["conv_layer"] = bench_conv_layer(args.smoke)
+    c = report["conv_layer"]
+    print(f"  einsum  f64: {c['einsum_f64'] * 1e3:8.2f} ms")
+    print(f"  im2col  f64: {c['im2col_f64'] * 1e3:8.2f} ms  "
+          f"({c['speedup_f64']:.2f}x)")
+    print(f"  im2col  f32: {c['im2col_f32'] * 1e3:8.2f} ms  "
+          f"({c['speedup_f32']:.2f}x)")
+
+    print("== CharCNN end-to-end (charcnn.batch span median) ==")
+    report["charcnn_batch"] = bench_charcnn_batch(args.smoke)
+    b = report["charcnn_batch"]
+    for name in ("einsum_f64", "im2col_f64", "im2col_f32"):
+        med = b[name]["batch_span_median_s"]
+        med_ms = f"{med * 1e3:8.2f} ms" if med is not None else "   (n/a)"
+        print(f"  {name}: {med_ms}  over {b[name]['n_batches']} batches")
+    for key in ("speedup_f64", "speedup_f32"):
+        if key in b:
+            print(f"  {key}: {b[key]:.2f}x")
+
+    print("== Levenshtein distance matrix ==")
+    report["levenshtein"] = bench_levenshtein(args.smoke)
+    lv = report["levenshtein"]
+    print(f"  exact ({lv['n_queries']}x{lv['n_corpus']}): "
+          f"{lv['exact_s'] * 1e3:8.2f} ms")
+    for cap, row in lv["caps"].items():
+        print(f"  banded cap={cap}: {row['banded_s'] * 1e3:8.2f} ms  "
+              f"({row['speedup']:.2f}x, {row['pct_within_cap']:.0%} within)")
+
+    print("== NameStatsKNN.distance_matrix ==")
+    report["knn_matrix"] = bench_knn_matrix(args.smoke)
+    k = report["knn_matrix"]
+    print(f"  exact:  {k['exact_s'] * 1e3:8.2f} ms")
+    print(f"  banded (cap={k['name_cap']}): {k['banded_s'] * 1e3:8.2f} ms  "
+          f"({k['speedup']:.2f}x)")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -237,6 +237,109 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _goldens_main(argv: list[str]) -> int:
+    """``repro-bench goldens record|check`` — the golden-prediction gate.
+
+    ``record`` fits every requested model on the canonical corpus and
+    freezes its per-column predictions (plus confusion matrix) into a
+    committed JSON file; ``check`` re-runs the models and fails (exit 1)
+    on drift below the similarity budget — or on *any* drift with
+    ``--strict``.  See :mod:`repro.benchmark.goldens` for how float32
+    drift is triaged via confusion-aware affinity.
+    """
+    from repro.benchmark.goldens import (
+        DEFAULT_MODELS,
+        GoldenMismatchError,
+        check_goldens,
+        default_golden_path,
+        load_goldens,
+        record_goldens,
+        write_goldens,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench goldens",
+        description="Record/check per-column golden predictions on the "
+                    "canonical corpus.",
+    )
+    parser.add_argument("action", choices=["record", "check"])
+    parser.add_argument(
+        "--path", default=None, metavar="FILE",
+        help="golden JSON file (default: "
+             "benchmarks/goldens/corpus-s{scale}-seed{seed}.json)",
+    )
+    parser.add_argument(
+        "--models", default=None, metavar="NAMES",
+        help="comma-separated model names (default: record all of "
+             f"{','.join(DEFAULT_MODELS)}; check whatever was recorded)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=300,
+        help="labeled-corpus size (default 300: the committed CI corpus)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed artifact cache directory (default: "
+             "$REPRO_CACHE_DIR if set, else caching is off)",
+    )
+    parser.add_argument(
+        "--similarity-floor", type=float, default=0.995, metavar="X",
+        help="fail check when a model's confusion-aware similarity drops "
+             "below X (default: 0.995)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail check on any drifted column, regardless of similarity",
+    )
+    parser.add_argument(
+        "--cnn-dtype", choices=["float32", "float64"], default="float64",
+        help="numeric dtype for the CharCNN path (default: float64)",
+    )
+    parser.add_argument(
+        "--knn-name-cap", type=int, default=None, metavar="CAP",
+        help="route the k-NN name distance through the banded kernel "
+             "with this cap (default: exact kernel)",
+    )
+    args = parser.parse_args(argv)
+
+    models = None
+    if args.models:
+        models = tuple(n.strip() for n in args.models.split(",") if n.strip())
+    path = args.path or default_golden_path(args.scale, args.seed)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    context = BenchmarkContext(
+        n_examples=args.scale, seed=args.seed, cache=cache,
+        cnn_dtype=args.cnn_dtype, knn_name_cap=args.knn_name_cap,
+    )
+
+    if args.action == "record":
+        payload = record_goldens(context, models or DEFAULT_MODELS)
+        write_goldens(path, payload)
+        recorded = payload["models"]
+        print(
+            f"recorded goldens for {len(recorded)} model(s) over "
+            f"{len(payload['columns'])} columns -> {path}"
+        )
+        for name in sorted(recorded):
+            print(f"  {name:<8} accuracy {recorded[name]['accuracy']:.4f}")
+        return 0
+
+    try:
+        golden = load_goldens(path)
+        report = check_goldens(
+            context, golden, models=models,
+            similarity_floor=args.similarity_floor, strict=args.strict,
+            path=path,
+        )
+    except GoldenMismatchError as exc:
+        print(f"goldens: ERROR: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _iter_serial(
     names: list[str], context: BenchmarkContext
 ) -> Iterator[dict]:
@@ -281,9 +384,11 @@ def _iter_serial(
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # "cache" is a subcommand namespace, not an experiment.
+    # "cache" and "goldens" are subcommand namespaces, not experiments.
     if argv[:1] == ["cache"]:
         return _cache_main(argv[1:])
+    if argv[:1] == ["goldens"]:
+        return _goldens_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",

@@ -31,14 +31,34 @@ class ModelFormatError(ModelPersistenceError):
     from I/O-level corruption."""
 
 
+def model_dtype(model: TypeInferenceModel) -> str | None:
+    """The numeric dtype a model computes in, or ``None`` if it has no
+    dtype policy (classical models always run float64).
+
+    The CharCNN family exposes ``dtype`` ("float32"/"float64"); artifacts
+    record it so a deployment can tell which numeric contract a model was
+    trained under before loading it (see docs/performance.md, "Kernel
+    frontier").
+    """
+    dtype = getattr(model, "dtype", None)
+    return str(dtype) if dtype is not None else None
+
+
+def _payload(model: TypeInferenceModel) -> dict:
+    """The exact dict both :func:`save_model` and
+    :func:`fingerprint_model` serialize, so on-disk and in-memory
+    fingerprints agree — and both cover the recorded dtype."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "model": model,
+        "dtype": model_dtype(model),
+    }
+
+
 def save_model(model: TypeInferenceModel, path: str | os.PathLike) -> None:
     """Serialize a fitted model to ``path``."""
     buffer = io.BytesIO()
-    pickle.dump(
-        {"format_version": _FORMAT_VERSION, "model": model},
-        buffer,
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+    pickle.dump(_payload(model), buffer, protocol=pickle.HIGHEST_PROTOCOL)
     with open(path, "wb") as handle:
         handle.write(_MAGIC)
         handle.write(buffer.getvalue())
@@ -96,8 +116,5 @@ def fingerprint_model(model: TypeInferenceModel) -> str:
     (never-saved) models report the same identity they would have on disk.
     """
     return hashlib.sha256(
-        pickle.dumps(
-            {"format_version": _FORMAT_VERSION, "model": model},
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        pickle.dumps(_payload(model), protocol=pickle.HIGHEST_PROTOCOL)
     ).hexdigest()

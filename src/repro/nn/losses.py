@@ -1,4 +1,9 @@
-"""Losses for the numpy NN substrate."""
+"""Losses for the numpy NN substrate.
+
+Both functions are dtype-preserving: probabilities and gradients come back
+in the dtype of the logits (float32 training stays float32 end-to-end), and
+the scalar loss is always an exact python float.
+"""
 
 from __future__ import annotations
 
@@ -22,4 +27,5 @@ def softmax_cross_entropy(
     loss = -float(np.mean(np.log(probs[np.arange(n), targets] + eps)))
     grad = probs.copy()
     grad[np.arange(n), targets] -= 1.0
-    return loss, grad / n
+    grad /= n
+    return loss, grad

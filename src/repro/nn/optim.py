@@ -45,6 +45,24 @@ class Adam:
         for grad in self.grads:
             grad[...] = 0.0
 
+    def state_dict(self) -> dict:
+        """Copy of the optimizer moments + step counter (for checkpoints)."""
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments/step saved by :meth:`state_dict` (in place)."""
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError("optimizer state does not match parameter list")
+        for m, saved in zip(self._m, state["m"]):
+            m[...] = saved
+        for v, saved in zip(self._v, state["v"]):
+            v[...] = saved
+        self._t = int(state["t"])
+
 
 class SGD:
     """Plain (optionally momentum) stochastic gradient descent."""

@@ -1,0 +1,191 @@
+"""Tests for the golden-prediction regression gate (repro-bench goldens)."""
+
+import json
+
+import pytest
+
+from repro.benchmark.context import BenchmarkContext
+from repro.benchmark.goldens import (
+    GOLDEN_SCHEMA_VERSION,
+    GoldenMismatchError,
+    check_goldens,
+    class_affinity,
+    default_golden_path,
+    load_goldens,
+    record_goldens,
+    write_goldens,
+)
+from repro.benchmark.runner import main
+
+FAST_MODELS = ("rf", "knn")  # skip the CNN: the gate logic is model-agnostic
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return BenchmarkContext(n_examples=120, seed=3, rf_estimators=10)
+
+
+@pytest.fixture(scope="module")
+def recorded(tiny_context):
+    return record_goldens(tiny_context, FAST_MODELS)
+
+
+class TestRecord:
+    def test_payload_shape(self, recorded):
+        assert recorded["schema_version"] == GOLDEN_SCHEMA_VERSION
+        assert recorded["corpus"] == {"n_examples": 120, "seed": 3}
+        assert set(recorded["models"]) == set(FAST_MODELS)
+        n = len(recorded["columns"])
+        assert n == 120
+        for name in FAST_MODELS:
+            entry = recorded["models"][name]
+            assert len(entry["predictions"]) == n
+            assert 0.0 <= entry["accuracy"] <= 1.0
+            assert sum(
+                sum(row.values()) for row in entry["confusion"].values()
+            ) == n
+
+    def test_columns_carry_truth_and_identity(self, recorded):
+        first = recorded["columns"][0]
+        assert set(first) == {"file", "column", "truth"}
+
+    def test_roundtrip_via_file(self, recorded, tmp_path):
+        path = tmp_path / "g.json"
+        write_goldens(path, recorded)
+        assert load_goldens(path) == recorded
+        # deterministic serialization: a second write is byte-identical
+        blob = path.read_bytes()
+        write_goldens(path, recorded)
+        assert path.read_bytes() == blob
+
+
+class TestCheck:
+    def test_self_check_is_exact(self, tiny_context, recorded):
+        report = check_goldens(tiny_context, recorded, strict=True)
+        assert report.ok
+        for check in report.models:
+            assert check.exact
+            assert check.similarity == 1.0
+            assert check.accuracy_new == check.accuracy_golden
+
+    def test_injected_drift_enumerated(self, tiny_context, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        preds = tampered["models"]["rf"]["predictions"]
+        original = preds[0]
+        preds[0] = "Sentence" if original != "Sentence" else "Numeric"
+        preds[5] = "URL" if preds[5] != "URL" else "List"
+        report = check_goldens(tiny_context, tampered, models=("rf",))
+        (check,) = report.models
+        assert check.n_exact == check.n_columns - 2
+        assert len(check.drifted) == 2
+        assert check.drifted[0].golden != check.drifted[0].new
+        assert check.similarity < 1.0
+
+    def test_strict_fails_on_any_drift(self, tiny_context, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        preds = tampered["models"]["rf"]["predictions"]
+        preds[0] = "Sentence" if preds[0] != "Sentence" else "Numeric"
+        lax = check_goldens(
+            tiny_context, tampered, models=("rf",), similarity_floor=0.5
+        )
+        assert lax.ok  # one flip out of 120 clears a lax floor
+        strict = check_goldens(
+            tiny_context, tampered, models=("rf",),
+            similarity_floor=0.5, strict=True,
+        )
+        assert not strict.ok
+        assert "FAIL" in strict.render()
+
+    def test_similarity_floor_fails_heavy_drift(self, tiny_context, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        preds = tampered["models"]["rf"]["predictions"]
+        for i in range(0, 40):
+            preds[i] = "Sentence" if preds[i] != "Sentence" else "Numeric"
+        report = check_goldens(tiny_context, tampered, models=("rf",))
+        assert not report.ok
+
+    def test_corpus_mismatch_rejected(self, recorded):
+        other = BenchmarkContext(n_examples=100, seed=9)
+        with pytest.raises(GoldenMismatchError, match="corpus"):
+            check_goldens(other, recorded)
+
+    def test_missing_model_rejected(self, tiny_context, recorded):
+        with pytest.raises(GoldenMismatchError, match="no recording"):
+            check_goldens(tiny_context, recorded, models=("svm",))
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(GoldenMismatchError, match="cannot read"):
+            load_goldens(path)
+        path.write_text("{\"schema_version\": 99}")
+        with pytest.raises(GoldenMismatchError, match="schema"):
+            load_goldens(path)
+
+
+class TestAffinity:
+    def test_identical_classes(self):
+        assert class_affinity({}, "Numeric", "Numeric") == 1.0
+
+    def test_never_confused_pair_scores_zero(self):
+        confusion = {"Numeric": {"Numeric": 10}, "URL": {"URL": 5}}
+        assert class_affinity(confusion, "Numeric", "URL") == 0.0
+
+    def test_often_confused_pair_scores_high(self):
+        confusion = {
+            "Numeric": {"Numeric": 6, "Categorical": 4},
+            "Categorical": {"Categorical": 5, "Numeric": 5},
+        }
+        affinity = class_affinity(confusion, "Numeric", "Categorical")
+        assert affinity == pytest.approx(9 / 20)
+        # symmetric by construction
+        assert affinity == class_affinity(confusion, "Categorical", "Numeric")
+
+    def test_unseen_classes_score_zero(self):
+        assert class_affinity({}, "Numeric", "URL") == 0.0
+
+
+class TestCLI:
+    def test_record_then_check(self, tmp_path, capsys):
+        path = tmp_path / "goldens.json"
+        exit_code = main([
+            "goldens", "record", "--scale", "120", "--seed", "3",
+            "--models", "rf,knn", "--path", str(path),
+        ])
+        assert exit_code == 0
+        assert path.exists()
+        exit_code = main([
+            "goldens", "check", "--scale", "120", "--seed", "3",
+            "--path", str(path), "--strict",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "goldens: PASS" in out
+
+    def test_check_fails_on_drift(self, tmp_path, capsys):
+        path = tmp_path / "goldens.json"
+        main([
+            "goldens", "record", "--scale", "120", "--seed", "3",
+            "--models", "rf", "--path", str(path),
+        ])
+        payload = json.loads(path.read_text())
+        preds = payload["models"]["rf"]["predictions"]
+        preds[0] = "Sentence" if preds[0] != "Sentence" else "Numeric"
+        path.write_text(json.dumps(payload))
+        exit_code = main([
+            "goldens", "check", "--scale", "120", "--seed", "3",
+            "--path", str(path), "--strict",
+        ])
+        assert exit_code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_missing_file_is_error(self, tmp_path, capsys):
+        exit_code = main([
+            "goldens", "check", "--scale", "120", "--seed", "3",
+            "--path", str(tmp_path / "missing.json"),
+        ])
+        assert exit_code == 2
+
+    def test_default_path_shape(self):
+        assert default_golden_path(300, 1).endswith(
+            "benchmarks/goldens/corpus-s300-seed1.json"
+        )

@@ -129,6 +129,131 @@ class TestLayers:
             Dropout(1.0, rng)
 
 
+def einsum_conv_reference(weight, bias, x, grad_out):
+    """The retired strided-einsum Conv1D forward/backward, kept as the
+    reference the im2col GEMM kernel must reproduce."""
+    kernel_size = weight.shape[0]
+    if x.shape[1] < kernel_size:
+        pad = kernel_size - x.shape[1]
+        x = np.pad(x, ((0, 0), (0, pad), (0, 0)))
+    batch, seq, channels = x.shape
+    out_seq = seq - kernel_size + 1
+    stride_b, stride_s, stride_c = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x, shape=(batch, out_seq, kernel_size, channels),
+        strides=(stride_b, stride_s, stride_s, stride_c), writeable=False,
+    )
+    out = np.einsum("bokc,kcf->bof", windows, weight, optimize=True) + bias
+    grad_w = np.einsum("bokc,bof->kcf", windows, grad_out, optimize=True)
+    grad_b = grad_out.sum(axis=(0, 1))
+    grad_x = np.zeros_like(x)
+    contribution = np.einsum(
+        "bof,kcf->bokc", grad_out, weight, optimize=True
+    )
+    for k in range(kernel_size):
+        grad_x[:, k : k + out_seq, :] += contribution[:, :, k, :]
+    return out, grad_w, grad_b, grad_x
+
+
+class TestConvIm2col:
+    """The im2col GEMM kernel against the einsum reference."""
+
+    @pytest.mark.parametrize(
+        "batch,seq,channels,filters,kernel",
+        [
+            (1, 1, 1, 1, 1),
+            (2, 10, 4, 7, 3),
+            (3, 5, 2, 4, 5),   # seq == kernel
+            (2, 3, 4, 7, 5),   # seq < kernel: padded path
+            (5, 24, 16, 32, 2),
+            (1, 7, 3, 2, 4),
+        ],
+    )
+    def test_matches_einsum_reference(
+        self, rng, batch, seq, channels, filters, kernel
+    ):
+        conv = Conv1D(channels, filters, kernel, rng)
+        x = rng.normal(size=(batch, seq, channels))
+        out_seq = max(seq, kernel) - kernel + 1
+        g = rng.normal(size=(batch, out_seq, filters))
+        out = conv.forward(x, training=True)
+        grad_x = conv.backward(g)
+        ref_out, ref_gw, ref_gb, ref_gx = einsum_conv_reference(
+            conv.weight, conv.bias, x, g
+        )
+        # einsum may pick a different contraction order on small shapes, so
+        # allow float64 roundoff; the results are numerically identical.
+        assert np.allclose(out, ref_out, rtol=1e-12, atol=1e-12)
+        assert np.allclose(conv.grads[0], ref_gw, rtol=1e-12, atol=1e-12)
+        assert np.allclose(conv.grads[1], ref_gb, rtol=1e-12, atol=1e-12)
+        assert np.allclose(grad_x, ref_gx, rtol=1e-12, atol=1e-12)
+
+    def test_randomized_shapes(self, rng):
+        for _ in range(20):
+            batch = int(rng.integers(1, 6))
+            seq = int(rng.integers(1, 16))
+            channels = int(rng.integers(1, 8))
+            filters = int(rng.integers(1, 8))
+            kernel = int(rng.integers(1, 6))
+            conv = Conv1D(channels, filters, kernel, rng)
+            x = rng.normal(size=(batch, seq, channels))
+            out_seq = max(seq, kernel) - kernel + 1
+            g = rng.normal(size=(batch, out_seq, filters))
+            out = conv.forward(x, training=True)
+            grad_x = conv.backward(g)
+            ref = einsum_conv_reference(conv.weight, conv.bias, x, g)
+            assert np.allclose(out, ref[0], rtol=1e-12, atol=1e-12)
+            assert np.allclose(conv.grads[0], ref[1], rtol=1e-12, atol=1e-12)
+            assert np.allclose(conv.grads[1], ref[2], rtol=1e-12, atol=1e-12)
+            assert np.allclose(grad_x, ref[3], rtol=1e-12, atol=1e-12)
+
+    def test_float32_dtype_threads_through(self, rng):
+        conv = Conv1D(4, 7, 3, rng, dtype=np.float32)
+        assert conv.weight.dtype == np.float32
+        x = rng.normal(size=(2, 10, 4)).astype(np.float32)
+        out = conv.forward(x, training=True)
+        assert out.dtype == np.float32
+        grad_x = conv.backward(out)
+        assert grad_x.dtype == np.float32
+        assert conv.grads[0].dtype == np.float32
+
+    def test_backward_buffer_reuse_is_correct(self, rng):
+        """Consecutive backward calls reuse the gradient buffer; the second
+        result must not be polluted by the first."""
+        conv = Conv1D(3, 5, 2, rng)
+        x1 = rng.normal(size=(2, 8, 3))
+        g1 = rng.normal(size=(2, 7, 5))
+        conv.forward(x1, training=True)
+        first = conv.backward(g1).copy()
+        conv.zero_grad()
+        conv.forward(x1, training=True)
+        again = conv.backward(g1)
+        assert np.array_equal(first, again)
+        # different shape: a fresh buffer must be allocated
+        x2 = rng.normal(size=(4, 6, 3))
+        g2 = rng.normal(size=(4, 5, 5))
+        conv.zero_grad()
+        conv.forward(x2, training=True)
+        assert conv.backward(g2).shape == x2.shape
+
+    def test_pool_buffer_reuse_is_correct(self, rng):
+        pool = GlobalMaxPool1D()
+        x = rng.normal(size=(3, 6, 4))
+        pool.forward(x)
+        g = rng.normal(size=(3, 4))
+        first = pool.backward(g).copy()
+        pool.forward(x)
+        again = pool.backward(g)
+        assert np.array_equal(first, again)
+        # stale entries from the previous call must be zeroed
+        assert np.count_nonzero(again) == g.size
+
+    def test_embedding_backward_returns_none(self, rng):
+        emb = Embedding(5, 3, rng)
+        emb.forward(np.array([[1, 2]]), training=True)
+        assert emb.backward(np.ones((1, 2, 3))) is None
+
+
 class TestLossesAndOptim:
     def test_softmax_rows(self, rng):
         probs = softmax(rng.normal(size=(5, 3)))
