@@ -16,6 +16,11 @@ Stages (all at tiny scale, two experiments):
 4. **Verify** — every experiment's checkpointed output is byte-identical
    to the reference, and the poisoned cache quarantined at least one
    entry.
+5. **Streamed ingestion** — ``repro-infer --stream`` over a CSV whose
+   quoted fields span chunk boundaries: a ``csv.read_chunk`` fault plan
+   must surface as a clean exit-2 ``CSVReadError`` (never a traceback),
+   and the fault-free streamed rerun must print byte-identical output to
+   the buffered path.
 
 Run locally::
 
@@ -38,13 +43,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def run_bench(args: list[str], expect_rc: int | None = 0) -> subprocess.CompletedProcess:
+def run_module(
+    module: str, args: list[str], expect_rc: int | None = 0
+) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     env.pop("REPRO_FAULT_PLAN", None)  # each stage passes --fault-plan explicitly
-    command = [sys.executable, "-m", "repro.benchmark.runner", *args]
+    command = [sys.executable, "-m", module, *args]
     print(f"+ {' '.join(command)}", flush=True)
     proc = subprocess.run(
         command, env=env, cwd=REPO_ROOT, capture_output=True, text=True,
@@ -57,6 +64,53 @@ def run_bench(args: list[str], expect_rc: int | None = 0) -> subprocess.Complete
             f"FAIL: expected exit code {expect_rc}, got {proc.returncode}"
         )
     return proc
+
+
+def run_bench(args: list[str], expect_rc: int | None = 0) -> subprocess.CompletedProcess:
+    return run_module("repro.benchmark.runner", args, expect_rc=expect_rc)
+
+
+def stream_stage(workdir: Path) -> None:
+    """Stage 5: streamed ingestion under ``csv.read_chunk`` chaos."""
+    csv_path = workdir / "stream.csv"
+    csv_path.write_bytes(
+        b"id,comment,amount\n"
+        + b"".join(
+            b'%d,"line one\nline ""two"" of row %d",%d.5\n' % (i, i, i)
+            for i in range(50)
+        )
+    )
+    model_path = workdir / "tiny.model"
+    base = [str(csv_path), "--model", str(model_path), "--json",
+            "--trees", "5", "--train-examples", "80"]
+    # Train once (buffered) and keep the artifact + reference output.
+    reference = run_module("repro.cli", [*base, "--save", str(model_path)])
+
+    plan_path = workdir / "stream-plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 0,
+        "rules": [
+            {"point": "csv.read_chunk", "mode": "error", "on_call": 1},
+        ],
+    }, indent=2))
+    faulted = run_module(
+        "repro.cli",
+        [*base, "--stream", "--chunk-rows", "7",
+         "--fault-plan", str(plan_path)],
+        expect_rc=2,
+    )
+    if "Traceback" in faulted.stderr:
+        raise SystemExit("FAIL: csv.read_chunk fault leaked a traceback")
+    if "repro-infer:" not in faulted.stderr:
+        raise SystemExit("FAIL: csv.read_chunk fault printed no typed error")
+
+    streamed = run_module(
+        "repro.cli", [*base, "--stream", "--chunk-rows", "7"]
+    )
+    if streamed.stdout != reference.stdout:
+        raise SystemExit(
+            "FAIL: streamed predictions differ from the buffered path"
+        )
 
 
 def checkpoint_outputs(run_dir: Path) -> dict[str, str]:
@@ -149,6 +203,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in experiments:
         if f"######## {name} (" not in resume.stdout:
             raise SystemExit(f"FAIL: resume run stdout missing {name!r}")
+
+    print("=== stage 5: streamed ingestion under csv.read_chunk chaos ===",
+          flush=True)
+    stream_stage(workdir)
 
     print(f"chaos smoke OK: {len(experiments)} experiments recovered, "
           f"{len(quarantined)} cache entr{'y' if len(quarantined) == 1 else 'ies'} "

@@ -6,11 +6,18 @@ Usage:
     repro-infer data.csv --save rf.model    # persist the trained model
     repro-infer data.csv --json             # machine-readable output
     repro-infer data.csv --server URL       # delegate to a repro-serve node
+    repro-infer big.csv --stream            # bounded-memory streaming profile
 
 The first run trains the benchmark's Random Forest on a synthetic labeled
 corpus (~a minute); save the artifact once and reuse it for instant startup —
 or point ``--server`` at a running ``repro-serve`` instance, which keeps the
 model resident and batches concurrent invocations (see docs/serving.md).
+
+``--stream`` profiles the CSV through :mod:`repro.sketch` instead of
+materializing it, so memory stays bounded by the chunk size and the
+distinct-value cap regardless of file size (see docs/performance.md for the
+memory model and the stats-parity contract).  With ``--server`` it streams
+the upload from disk instead of buffering it.
 """
 
 from __future__ import annotations
@@ -80,22 +87,36 @@ def _render(predictions: list[dict], as_json: bool) -> str:
 def _infer_via_server(args, observing: bool) -> int:
     from repro.serve.client import ServeClient, ServeClientError
 
-    try:
-        with open(args.csv, "rb") as handle:
-            text = decode_csv_bytes(handle.read())
-    except (OSError, CSVReadError) as exc:
-        print(f"repro-infer: cannot read {args.csv!r}: {exc}", file=sys.stderr)
-        return 2
     client = ServeClient(args.server)
     table = os.path.splitext(os.path.basename(args.csv))[0]
+    if not args.stream:
+        try:
+            with open(args.csv, "rb") as handle:
+                text = decode_csv_bytes(handle.read())
+        except (OSError, CSVReadError) as exc:
+            print(
+                f"repro-infer: cannot read {args.csv!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     try:
         # The client mints the request's traceparent inside its own
         # "client.request" span; that span (exported via --trace-out) is
         # the root the server's spans hang off.
         with telemetry.span("infer.server", table=table, server=args.server):
-            response = client.infer_csv_text(
-                text, table=table, deadline_ms=args.deadline_ms
-            )
+            if args.stream:
+                # Stream the upload from disk; the server profiles it
+                # chunk by chunk instead of materializing the table.
+                response = client.infer_csv_file(
+                    args.csv, table=table, deadline_ms=args.deadline_ms
+                )
+            else:
+                response = client.infer_csv_text(
+                    text, table=table, deadline_ms=args.deadline_ms
+                )
+    except OSError as exc:
+        print(f"repro-infer: cannot read {args.csv!r}: {exc}", file=sys.stderr)
+        return 2
     except ServeClientError as exc:
         print(f"repro-infer: {exc}", file=sys.stderr)
         return 3
@@ -141,6 +162,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--train-examples", type=int, default=DEFAULT_TRAIN_EXAMPLES
     )
+    streaming = parser.add_argument_group("streaming")
+    streaming.add_argument(
+        "--stream", action="store_true",
+        help="profile the CSV in one bounded-memory pass (repro.sketch) "
+             "instead of materializing it; with --server, stream the upload "
+             "from disk",
+    )
+    streaming.add_argument(
+        "--chunk-rows", type=int, default=None, metavar="N",
+        help="rows per streamed chunk (default 16384; implies --stream)",
+    )
+    streaming.add_argument(
+        "--distinct-cap", type=int, default=None, metavar="N",
+        help="distinct values tracked per column before the sketch spills "
+             "(default 65536; implies --stream)",
+    )
     server = parser.add_argument_group("server mode")
     server.add_argument(
         "--server", default=None, metavar="URL",
@@ -157,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if not os.path.exists(args.csv):
         parser.error(f"no such file: {args.csv}")
+    if args.chunk_rows is not None or args.distinct_cap is not None:
+        args.stream = True
 
     observing = configure_telemetry(args)
     configure_faults(args)
@@ -171,9 +210,29 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.train_examples,
     )
 
+    # --stream profiles the file in one bounded pass; the default path
+    # materializes the table.  Either way the model trains/loads *after*
+    # ingestion, so an unreadable file never costs a model fit.
+    profiles = None
+    table = None
     try:
-        table = load_csv_table(args.csv)
-    except CSVReadError as exc:
+        if args.stream:
+            from repro.sketch import profile_csv_stream
+            from repro.sketch.column import SketchConfig
+
+            config = SketchConfig(
+                distinct_cap=args.distinct_cap
+                if args.distinct_cap is not None
+                else SketchConfig().distinct_cap
+            )
+            kwargs = {"config": config}
+            if args.chunk_rows is not None:
+                kwargs["chunk_rows"] = args.chunk_rows
+            with telemetry.span("infer.stream_profile", path=args.csv):
+                profiles = profile_csv_stream(args.csv, **kwargs)
+        else:
+            table = load_csv_table(args.csv)
+    except (CSVReadError, ProfileError) as exc:
         print(f"repro-infer: {exc}", file=sys.stderr)
         return 2
 
@@ -183,7 +242,10 @@ def main(argv: list[str] | None = None) -> int:
 
     pipeline = TypeInferencePipeline(model)
     try:
-        predictions = pipeline.predict_table(table)
+        if profiles is not None:
+            predictions = pipeline.predict_profiles(profiles)
+        else:
+            predictions = pipeline.predict_table(table)
     except ProfileError as exc:
         print(f"repro-infer: {exc}", file=sys.stderr)
         return 2

@@ -45,21 +45,34 @@ class DeadlineExceededError(RuntimeError):
 
 
 class InferenceRequest:
-    """One submitted table, its deadline, and (eventually) its result."""
+    """One submitted table (or pre-built profile list), its deadline, and
+    (eventually) its result.
+
+    Streamed uploads are profiled on the HTTP handler thread (the only
+    place the request body exists); what reaches the batcher is the list of
+    :class:`~repro.core.featurize.ColumnProfile` objects, so ``table`` is
+    ``None`` and ``profiles`` is set.  Exactly one of the two is non-None.
+    """
 
     __slots__ = (
-        "table", "deadline", "enqueued_at", "started_at", "finished_at",
-        "predictions", "model", "degraded", "error", "batch_requests",
-        "batch_columns", "trace", "_done",
+        "table", "profiles", "table_name", "deadline", "enqueued_at",
+        "started_at", "finished_at", "predictions", "model", "degraded",
+        "error", "batch_requests", "batch_columns", "trace", "_done",
     )
 
     def __init__(
         self,
-        table: Table,
+        table: Table | None,
         deadline: float | None,
         trace: TraceContext | None = None,
+        profiles: list | None = None,
+        table_name: str = "",
     ):
+        if (table is None) == (profiles is None):
+            raise ValueError("exactly one of table/profiles must be given")
         self.table = table
+        self.profiles = profiles
+        self.table_name = table.name if table is not None else table_name
         self.deadline = deadline  # time.monotonic() instant, or None
         self.trace = trace  # submitting request's span; batch spans adopt it
         self.enqueued_at = time.monotonic()
@@ -75,7 +88,9 @@ class InferenceRequest:
 
     @property
     def n_columns(self) -> int:
-        return len(self.table.column_names)
+        if self.table is not None:
+            return len(self.table.column_names)
+        return len(self.profiles)
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -182,12 +197,18 @@ class MicroBatcher:
     # -- submission ----------------------------------------------------------
     def submit(
         self,
-        table: Table,
+        table: Table | None,
         deadline: float | None = None,
         trace: TraceContext | None = None,
+        profiles: list | None = None,
+        table_name: str = "",
     ) -> InferenceRequest:
-        """Enqueue one table; the caller then ``wait()``s on the request."""
-        request = InferenceRequest(table, deadline, trace=trace)
+        """Enqueue one table (or pre-built profile list); the caller then
+        ``wait()``s on the request."""
+        request = InferenceRequest(
+            table, deadline, trace=trace, profiles=profiles,
+            table_name=table_name,
+        )
         with self._cv:
             if self._closed:
                 raise ServiceClosedError("service is draining")
@@ -235,7 +256,7 @@ class MicroBatcher:
                         wall_s=wait_s,
                         trace_id=request.trace.trace_id,
                         parent_span_id=request.trace.span_id,
-                        table=request.table.name,
+                        table=request.table_name,
                     )
             try:
                 self.runner(live)

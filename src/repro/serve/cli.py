@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=30000.0, metavar="MS",
         help="default per-request deadline (clients override per call)",
     )
+    batching.add_argument(
+        "--scan-cache-max-values", type=int, default=200_000, metavar="N",
+        help="distinct cell values retained in the cross-request stats scan "
+             "cache (and per streamed upload) before it is recycled; lower "
+             "bounds resident memory tighter at the cost of re-scanning "
+             "repeated values",
+    )
     add_fault_flags(parser)
     add_observability_flags(parser)
     return parser
@@ -106,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         max_wait_s=args.max_wait_ms / 1000.0,
         queue_limit=args.queue_limit,
         default_deadline_s=args.deadline_ms / 1000.0,
+        scan_cache_max_values=args.scan_cache_max_values,
     )
     try:
         server = make_server(args.host, args.port, service)

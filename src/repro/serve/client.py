@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import random
 import time
 import urllib.error
@@ -112,6 +113,35 @@ class ServeClient:
             deadline_ms=deadline_ms,
         )
 
+    def infer_csv_file(
+        self,
+        path,
+        table: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Stream a CSV file to ``/v1/infer?stream=1`` without buffering it.
+
+        The body is the file object itself (with an explicit
+        ``Content-Length`` from its size), so client memory stays flat no
+        matter how large the upload; the ``stream=1`` query asks the server
+        to profile it chunk by chunk through ``repro.sketch`` instead of
+        materializing the table.  Retries re-open the file, so the retry
+        policy works unchanged.  ``OSError`` propagates for an unreadable
+        path (same as ``open``).
+        """
+        path = os.fspath(path)
+        if table is None:
+            table = os.path.splitext(os.path.basename(path))[0]
+
+        def body():
+            handle = open(path, "rb")
+            return handle, os.fstat(handle.fileno()).st_size
+
+        return self._post_infer(
+            body, "text/csv", table=table, deadline_ms=deadline_ms,
+            stream=True,
+        )
+
     def infer_columns(
         self,
         columns: list[dict],
@@ -126,16 +156,19 @@ class ServeClient:
 
     def _post_infer(
         self,
-        body: bytes,
+        body,
         content_type: str,
         table: str | None = None,
         deadline_ms: float | None = None,
+        stream: bool = False,
     ) -> dict:
         query = []
         if table:
             query.append(f"table={urllib.parse.quote(table)}")
         if deadline_ms is not None:
             query.append(f"deadline_ms={deadline_ms:g}")
+        if stream:
+            query.append("stream=1")
         path = "/v1/infer" + ("?" + "&".join(query) if query else "")
         return self._request("POST", path, body, content_type)
 
@@ -262,7 +295,7 @@ class ServeClient:
         self,
         method: str,
         path: str,
-        body: bytes | None = None,
+        body=None,
         content_type: str | None = None,
         context: TraceContext | None = None,
     ) -> dict:
@@ -275,9 +308,20 @@ class ServeClient:
                 f"{method} {path} -> injected fault: {exc}",
                 status=0, transport=True,
             ) from exc
+        # A callable body yields a fresh (file object, length) per attempt
+        # (the streaming-upload path); urllib streams the file as-is once
+        # Content-Length is set explicitly.
+        opened = None
+        if callable(body):
+            opened, length = body()
+            data = opened
+        else:
+            data = body
         request = urllib.request.Request(
-            self.base_url + path, data=body, method=method
+            self.base_url + path, data=data, method=method
         )
+        if opened is not None:
+            request.add_header("Content-Length", str(length))
         if content_type:
             request.add_header("Content-Type", content_type)
         if context is not None:
@@ -318,3 +362,6 @@ class ServeClient:
                 f"{method} {path} -> unparseable response body: {exc}",
                 status=0, transport=True,
             ) from exc
+        finally:
+            if opened is not None:
+                opened.close()

@@ -10,6 +10,13 @@ Stdlib-only (``http.server.ThreadingHTTPServer`` + ``json``).  Endpoints:
     malformed body, 429 + ``Retry-After`` when the queue sheds, 503 while
     draining, 504 past the deadline.
 
+    ``?stream=1`` — or any CSV body larger than ``STREAM_BODY_BYTES`` —
+    profiles the upload incrementally on the handler thread through
+    :mod:`repro.sketch`: the body is read in bounded pieces straight into
+    per-column sketches, so handler memory stays flat no matter how large
+    the (still ``MAX_BODY_BYTES``-capped) upload is.  Only CSV bodies
+    stream; ``stream=1`` with a JSON body is a 400.
+
 ``GET /healthz``
     Service + model state (including the model artifact fingerprint).
 
@@ -42,11 +49,20 @@ from repro.obs import (
 )
 from repro.serve.batching import QueueFullError, ServiceClosedError
 from repro.serve.service import InferenceService
+from repro.sketch import StreamingProfiler
 from repro.tabular.column import Column
-from repro.tabular.csv_io import CSVReadError, read_csv_text
+from repro.tabular.csv_io import CSVReadError, iter_csv_chunks, read_csv_text
 from repro.tabular.table import Table
 
 MAX_BODY_BYTES = 64 * 1024 * 1024  # one upload, not a data lake
+
+#: CSV bodies at/above this size stream through the sketch profiler even
+#: without ``?stream=1`` — buffering them whole would multiply the body
+#: size by the decoded-text + split-rows overhead per concurrent handler.
+STREAM_BODY_BYTES = 8 * 1024 * 1024
+
+#: Bytes per ``rfile.read`` on the streamed path.
+STREAM_READ_BYTES = 1 << 16
 
 
 class BadRequestError(ValueError):
@@ -173,26 +189,109 @@ class ServeHandler(BaseHTTPRequestHandler):
                 {"error": f"Content-Length must be in (0, {MAX_BODY_BYTES}]"},
             )
             return
-        body = self.rfile.read(length)
+        name = self._query_value(parsed, "table") or "upload"
+        kind = (
+            (self.headers.get("Content-Type") or "text/csv")
+            .split(";")[0].strip().lower()
+        )
         try:
-            table = parse_table(
-                self.headers.get("Content-Type", ""), body,
-                name=self._query_value(parsed, "table") or "upload",
-            )
             deadline_s = self._deadline_s(parsed)
+            stream = self._stream_requested(parsed)
+            if stream and kind == "application/json":
+                raise BadRequestError("stream=1 requires a CSV body")
         except BadRequestError as exc:
             telemetry.count("serve.bad_request")
             self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             return
+        if stream or (kind != "application/json" and length >= STREAM_BODY_BYTES):
+            self._handle_streamed_infer(name, length, deadline_s, trace_id)
+            return
+        body = self.rfile.read(length)
+        try:
+            table = parse_table(
+                self.headers.get("Content-Type", ""), body, name=name
+            )
+        except BadRequestError as exc:
+            telemetry.count("serve.bad_request")
+            self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
+            return
+        request = self._submit_infer(
+            table.name, deadline_s, trace_id, table=table
+        )
+        if request is not None:
+            self._finish_infer(request, table.name, deadline_s, trace_id)
+
+    def _handle_streamed_infer(
+        self,
+        name: str,
+        length: int,
+        deadline_s: float | None,
+        trace_id: str | None,
+    ) -> None:
+        """Profile a CSV body incrementally, then enqueue the profiles.
+
+        The body is read in ``STREAM_READ_BYTES`` pieces straight into
+        :class:`~repro.sketch.StreamingProfiler` on this handler thread —
+        nowhere does the raw upload (or the materialized table) exist in
+        one piece.
+        """
+        telemetry.count("serve.stream_request")
+        profiler = StreamingProfiler(
+            source_file=name,
+            scan_cache_max_values=self.service.scan_cache_max_values,
+        )
+
+        def pieces():
+            remaining = length
+            while remaining > 0:
+                piece = self.rfile.read(min(STREAM_READ_BYTES, remaining))
+                if not piece:
+                    raise CSVReadError(
+                        f"connection closed mid-upload "
+                        f"({length - remaining} of {length} bytes)"
+                    )
+                remaining -= len(piece)
+                yield piece
 
         try:
-            request = self.service.infer(table, deadline_s=deadline_s)
+            with telemetry.span("serve.stream_profile", table=name):
+                for chunk in iter_csv_chunks(pieces(), name=name):
+                    profiler.consume(chunk)
+                profiles = profiler.profiles()
+        except (CSVReadError, ProfileError) as exc:
+            # The socket may still hold unread body bytes; a keep-alive
+            # reuse would read them as the next request line.
+            self.close_connection = True
+            telemetry.count("serve.bad_request")
+            self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
+            return
+        request = self._submit_infer(
+            name, deadline_s, trace_id, profiles=profiles
+        )
+        if request is not None:
+            self._finish_infer(request, name, deadline_s, trace_id)
+
+    def _submit_infer(
+        self,
+        name: str,
+        deadline_s: float | None,
+        trace_id: str | None,
+        table: Table | None = None,
+        profiles: list | None = None,
+    ):
+        """Submit to the service; on shed/drain, answer and return None."""
+        try:
+            if table is not None:
+                return self.service.infer(table, deadline_s=deadline_s)
+            return self.service.infer_profiles(
+                profiles, table_name=name, deadline_s=deadline_s
+            )
         except QueueFullError as exc:
             # A shed request without an incoming traceparent still has the
             # server-minted trace id (carried on the exception).
             trace_id = trace_id or getattr(exc, "trace_id", None)
             telemetry.warning(
-                "serve.shed_request", table=table.name, trace_id=trace_id,
+                "serve.shed_request", table=name, trace_id=trace_id,
                 queue_depth=exc.depth, queue_limit=exc.limit,
             )
             self._send_json(
@@ -201,13 +300,17 @@ class ServeHandler(BaseHTTPRequestHandler):
                 headers={"Retry-After": str(max(1, round(exc.retry_after_s)))},
                 trace_id=trace_id,
             )
-            return
+            return None
         except ServiceClosedError:
             self._send_json(
                 503, {"error": "server is draining"}, trace_id=trace_id
             )
-            return
+            return None
 
+    def _finish_infer(
+        self, request, name: str, deadline_s: float | None,
+        trace_id: str | None,
+    ) -> None:
         if trace_id is None and request.trace is not None:
             # No (valid) incoming traceparent: echo the trace the server
             # started for this request instead of dropping correlation.
@@ -215,7 +318,7 @@ class ServeHandler(BaseHTTPRequestHandler):
 
         if request.predictions is None and request.error is None:
             telemetry.warning(
-                "serve.deadline_exceeded", table=table.name,
+                "serve.deadline_exceeded", table=name,
                 trace_id=trace_id,
                 deadline_ms=round(1000.0 * deadline_s, 1)
                 if deadline_s else None,
@@ -247,7 +350,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         self._send_json(
             200,
             {
-                "table": table.name,
+                "table": name,
                 "model": request.model,
                 "degraded": request.degraded,
                 "predictions": [p.as_dict() for p in request.predictions],
@@ -262,6 +365,17 @@ class ServeHandler(BaseHTTPRequestHandler):
         )
 
     # -- plumbing ------------------------------------------------------------
+    def _stream_requested(self, parsed) -> bool:
+        raw = self._query_value(parsed, "stream")
+        if raw is None:
+            return False
+        value = raw.strip().lower()
+        if value in ("1", "true", "yes", "on"):
+            return True
+        if value in ("0", "false", "no", "off", ""):
+            return False
+        raise BadRequestError(f"stream is not a boolean: {raw!r}")
+
     def _deadline_s(self, parsed) -> float | None:
         raw = self._query_value(parsed, "deadline_ms") or self.headers.get(
             "X-Deadline-Ms"

@@ -25,11 +25,14 @@ from repro.core.stats import StatsScanCache
 from repro.obs import span_context, telemetry, use_context
 from repro.serve.batching import InferenceRequest, MicroBatcher, QueueFullError
 from repro.serve.registry import ModelRegistry
+from repro.tabular.column import Column
 from repro.tabular.table import Table
 from repro.tools.rules import RuleBaselineTool
 
-#: Distinct cell values retained in the cross-request scan cache before it
-#: is dropped and restarted — bounds resident memory on long-lived servers.
+#: Default distinct cell values retained in the cross-request scan cache
+#: before it is dropped and restarted — bounds resident memory on
+#: long-lived servers.  Tunable per service via ``scan_cache_max_values``
+#: (``repro-serve --scan-cache-max-values``).
 SCAN_CACHE_MAX_VALUES = 200_000
 
 #: Confidence reported for degraded (rule-based) predictions: exactly the
@@ -48,9 +51,11 @@ class InferenceService:
         max_wait_s: float = 0.01,
         queue_limit: int = 64,
         default_deadline_s: float = 30.0,
+        scan_cache_max_values: int = SCAN_CACHE_MAX_VALUES,
     ):
         self.registry = registry
         self.default_deadline_s = default_deadline_s
+        self.scan_cache_max_values = max(0, int(scan_cache_max_values))
         self.batcher = MicroBatcher(
             self._run_batch,
             max_batch_columns=max_batch_columns,
@@ -84,6 +89,33 @@ class InferenceService:
         time; a request whose deadline passes is returned with
         ``predictions is None`` (the HTTP layer maps that to 504).
         """
+        return self._submit_and_wait(
+            table=table, profiles=None, table_name=table.name,
+            n_columns=len(table.column_names), deadline_s=deadline_s,
+        )
+
+    def infer_profiles(
+        self,
+        profiles: list,
+        table_name: str = "",
+        deadline_s: float | None = None,
+    ) -> InferenceRequest:
+        """Submit pre-built column profiles (the streamed-upload path).
+
+        The HTTP handler profiles a streamed body chunk by chunk through
+        :class:`~repro.sketch.StreamingProfiler` as it arrives; only the
+        finished profiles are enqueued, so batcher memory stays independent
+        of the upload size.  Same blocking/shedding semantics as
+        :meth:`infer`.
+        """
+        return self._submit_and_wait(
+            table=None, profiles=profiles, table_name=table_name,
+            n_columns=len(profiles), deadline_s=deadline_s,
+        )
+
+    def _submit_and_wait(
+        self, table, profiles, table_name, n_columns, deadline_s
+    ) -> InferenceRequest:
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         deadline = (
@@ -91,16 +123,18 @@ class InferenceService:
             else None
         )
         telemetry.count("serve.request")
-        telemetry.count("serve.request_columns", len(table.column_names))
+        telemetry.count("serve.request_columns", n_columns)
         with telemetry.span(
-            "serve.request", table=table.name, n_columns=len(table.column_names)
+            "serve.request", table=table_name, n_columns=n_columns,
+            streamed=table is None,
         ) as span:
             # The request's trace context must ride INTO submit(): the
             # batcher worker may pick the request up before this thread
             # runs another line, so stamping it afterwards would race.
             try:
                 request = self.batcher.submit(
-                    table, deadline=deadline, trace=span_context(span)
+                    table, deadline=deadline, trace=span_context(span),
+                    profiles=profiles, table_name=table_name,
                 )
             except QueueFullError as exc:
                 # No request object survives a shed; carry the trace id on
@@ -141,18 +175,36 @@ class InferenceService:
                 self._run_primary(batch, model)
 
     def _run_primary(self, batch: list[InferenceRequest], model) -> None:
-        if len(self._scan_cache.values) > SCAN_CACHE_MAX_VALUES:
+        if len(self._scan_cache.values) > self.scan_cache_max_values:
             telemetry.count("serve.scan_cache_reset")
             self._scan_cache = StatsScanCache()
-        columns = [column for request in batch for column in request.table]
-        with telemetry.span("serve.profile", n_columns=len(columns)):
-            profiles = profile_columns(columns, scan_cache=self._scan_cache)
-        # Stamp provenance per request (profile_columns took the flat list).
-        offset = 0
+        # Table requests still share one profile_columns scan; streamed
+        # requests arrive pre-profiled and just slot into the prediction.
+        table_requests = [r for r in batch if r.table is not None]
+        columns = [
+            column for request in table_requests for column in request.table
+        ]
+        table_profiles: dict[int, list] = {}
+        if columns:
+            with telemetry.span("serve.profile", n_columns=len(columns)):
+                profiled = profile_columns(columns, scan_cache=self._scan_cache)
+            # Stamp provenance per request (profile_columns took the flat
+            # list).
+            offset = 0
+            for request in table_requests:
+                chunk = profiled[offset:offset + request.n_columns]
+                for profile in chunk:
+                    profile.source_file = request.table.name
+                table_profiles[id(request)] = chunk
+                offset += request.n_columns
+        profiles = []
         for request in batch:
-            for profile in profiles[offset:offset + request.n_columns]:
-                profile.source_file = request.table.name
-            offset += request.n_columns
+            if request.table is not None:
+                profiles.extend(table_profiles[id(request)])
+            else:
+                for profile in request.profiles:
+                    profile.source_file = request.table_name
+                profiles.extend(request.profiles)
         pipeline = TypeInferencePipeline(model)
         with telemetry.span("serve.predict", n_columns=len(profiles)):
             predictions = pipeline.predict_profiles(profiles)
@@ -168,13 +220,25 @@ class InferenceService:
     def _run_degraded(self, batch: list[InferenceRequest]) -> None:
         telemetry.count("serve.degraded_batches")
         for request in batch:
+            if request.table is not None:
+                columns = list(request.table)
+            else:
+                # Streamed request during a cold start: the raw cells are
+                # gone, so the rules see each column's five sample values —
+                # a documented approximation of the degraded answer (the
+                # flowchart mostly keys on value syntax, which the samples
+                # carry).
+                columns = [
+                    Column(profile.name, list(profile.samples))
+                    for profile in request.profiles
+                ]
             predictions = [
                 ColumnPrediction(
                     column=column.name,
                     feature_type=self._fallback.infer_column(column),
                     confidence=FALLBACK_CONFIDENCE,
                 )
-                for column in request.table
+                for column in columns
             ]
             request.complete(
                 predictions, model=self._fallback.name, degraded=True
@@ -197,5 +261,6 @@ class InferenceService:
             "queue_limit": self.batcher.queue_limit,
             "max_batch_columns": self.batcher.max_batch_columns,
             "max_wait_ms": round(1000.0 * self.batcher.max_wait_s, 3),
+            "scan_cache_max_values": self.scan_cache_max_values,
             "model": self.registry.describe(),
         }

@@ -1,0 +1,127 @@
+"""Exact, order-independent moment accumulation for float64 values.
+
+``compute_stats_batch`` computes ``numeric.mean()`` / ``numeric.std()``
+with numpy, whose pairwise summation rounds differently depending on
+element *order* — a mergeable sketch cannot reproduce that bit pattern
+without replaying the exact element sequence.  Instead of chasing numpy's
+rounding, :class:`ExactMoments` removes rounding from accumulation
+entirely: every finite float64 is a dyadic rational ``m * 2**e`` with
+``e >= -1074``, so scaling by ``2**1074`` turns each value into an integer
+and Python's big ints carry the *true* sum (and the true sum of squares at
+scale ``2**2148``) with zero error, in any order.  ``mean_std`` rounds the
+exact result once, through :class:`fractions.Fraction`, so the streamed
+mean/std are the correctly-rounded true moments.
+
+The difference to the batch kernel is therefore bounded by numpy's own
+summation error — ulp-level for well-conditioned data.  This is the
+documented float-reassociation delta of ``mean_value``/``std_value``
+(stat indices 5 and 6); every other statistic is integer arithmetic and
+matches the batch kernel bit for bit.  The bound is asserted in
+``tests/test_sketch.py`` and discussed in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+#: The smallest positive float64 (subnormal) is ``2**-1074``: multiplying
+#: any finite float64 by ``2**1074`` therefore yields an exact integer.
+_SCALE_BITS = 1074
+_SQ_SCALE_BITS = 2 * _SCALE_BITS
+_SCALE = 1 << _SCALE_BITS
+_SQ_SCALE = 1 << _SQ_SCALE_BITS
+
+
+def _to_float(fraction: Fraction) -> float:
+    """Correctly-rounded float64 of an exact rational (inf past the range)."""
+    try:
+        return float(fraction)
+    except OverflowError:
+        return math.inf if fraction > 0 else -math.inf
+
+
+class ExactMoments:
+    """Exact streaming sum / sum-of-squares / min / max of float64 values.
+
+    ``add``/``add_weighted`` never round; ``merge`` is plain integer
+    addition, so any partition of the input into sketches merged in any
+    order yields the same state bit for bit.
+    """
+
+    __slots__ = ("count", "_sum", "_sumsq", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self._sum = 0  # true sum of values, scaled by 2**1074
+        self._sumsq = 0  # true sum of squares, scaled by 2**2148
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.add_weighted(value, 1)
+
+    def add_weighted(self, value: float, weight: int) -> None:
+        """Accumulate ``weight`` occurrences of ``value`` exactly.
+
+        Only finite values are meaningful (the scan kernel already filters
+        non-finite parses); non-finite input raises ``ValueError`` rather
+        than silently corrupting the integer state.
+        """
+        if not math.isfinite(value):
+            raise ValueError(f"ExactMoments requires finite values, got {value!r}")
+        numerator, denominator = value.as_integer_ratio()
+        # denominator is 2**k for floats; bit_length() == k + 1.
+        k = denominator.bit_length() - 1
+        self._sum += weight * (numerator << (_SCALE_BITS - k))
+        self._sumsq += weight * ((numerator * numerator) << (_SQ_SCALE_BITS - 2 * k))
+        self.count += weight
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add_many(self, values, weights=None) -> None:
+        """Accumulate a batch (``weights`` aligns with ``values`` when given)."""
+        if weights is None:
+            for value in values:
+                self.add_weighted(value, 1)
+        else:
+            for value, weight in zip(values, weights):
+                self.add_weighted(value, int(weight))
+
+    def merge(self, other: "ExactMoments") -> "ExactMoments":
+        self.count += other.count
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def mean_std(self) -> tuple[float, float]:
+        """Correctly-rounded population mean and standard deviation.
+
+        Variance is the exact ``E[x^2] - E[x]^2`` (never negative: the
+        arithmetic is exact), rounded once before the square root.
+        """
+        if not self.count:
+            return 0.0, 0.0
+        mean_frac = Fraction(self._sum, _SCALE * self.count)
+        var_frac = Fraction(self._sumsq, _SQ_SCALE * self.count) - mean_frac * mean_frac
+        return _to_float(mean_frac), math.sqrt(_to_float(var_frac))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExactMoments):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self._sum == other._sum
+            and self._sumsq == other._sumsq
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExactMoments(count={self.count}, min={self.min}, max={self.max})"

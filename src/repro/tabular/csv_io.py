@@ -17,15 +17,29 @@ untyped crash.
 
 from __future__ import annotations
 
+import codecs
 import csv
 import io
 import os
+from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.faults import FaultInjectedError, faults
 from repro.obs import telemetry
 from repro.tabular.table import Table
 
 _SNIFF_DELIMITERS = ",;\t|"
+
+#: Bytes pulled from the source per read in :func:`iter_csv_chunks`.
+DEFAULT_IO_CHUNK_BYTES = 1 << 20
+
+#: Rows gathered per :class:`CSVChunk`.
+DEFAULT_CHUNK_ROWS = 16_384
+
+#: Decoded characters buffered for delimiter sniffing before giving up on
+#: seeing 20 complete lines (absurdly long first lines).  Below this cap
+#: the sniff sees exactly the lines the whole-text path sees.
+DEFAULT_SNIFF_CHARS = 1 << 20
 
 
 class CSVReadError(ValueError):
@@ -207,3 +221,291 @@ def _write(table: Table, handle) -> None:
     writer.writerow(table.column_names)
     for row in table.rows():
         writer.writerow(["" if cell is None else cell for cell in row])
+
+
+# ---------------------------------------------------------------------------
+# Incremental (chunked) reading
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CSVChunk:
+    """One bounded slice of a CSV stream.
+
+    Every chunk of a stream carries the same deduped ``header``; ``rows``
+    are already padded/truncated to the header width (missing overflow
+    cells are ``None``, exactly as :func:`read_csv_text` repairs them).
+    """
+
+    header: list[str]
+    rows: list[list[str | None]] = field(default_factory=list)
+    index: int = 0
+    delimiter: str = ","
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+
+class _IncrementalDecoder:
+    """Incremental twin of :func:`decode_csv_bytes`: same text, same
+    telemetry, same :class:`CSVReadError` on a lying UTF-16/32 BOM —
+    without ever holding the whole byte stream.
+
+    The first (up to) four bytes are buffered to classify the BOM; UTF-8
+    input decodes strictly until the first bad byte, then switches to a
+    replacement decoder replaying the strict decoder's pending bytes, so
+    the emitted text matches ``data.decode("utf-8", "replace")`` of the
+    whole stream.
+    """
+
+    def __init__(self):
+        self._pending = b""
+        self._decoder = None
+        self._strict_utf8 = False
+        self._replaced = False
+        self._codec = "utf-8"
+        self._check_bom_char = True
+
+    def feed(self, data: bytes, final: bool = False) -> str:
+        if self._decoder is None:
+            self._pending += data
+            if len(self._pending) < 4 and not final:
+                return ""
+            data = self._pending
+            self._pending = b""
+            codec = "utf-8"
+            for bom, candidate in _BOM_CODECS:
+                if data.startswith(bom):
+                    codec = candidate
+                    data = data[len(bom):]
+                    break
+            self._codec = codec
+            self._strict_utf8 = codec == "utf-8"
+            self._decoder = codecs.getincrementaldecoder(codec)("strict")
+        text = self._decode(data, final)
+        if text and self._check_bom_char:
+            # decode_csv_bytes drops one leading U+FEFF from the decoded
+            # text (the UTF-8 BOM, or a doubled BOM after UTF-16/32).
+            self._check_bom_char = False
+            if text[0] == "\ufeff":
+                text = text[1:]
+        if "\x00" in text:
+            telemetry.count("csv.nul_bytes", text.count("\x00"))
+            text = text.replace("\x00", "")
+        return text
+
+    def _decode(self, data: bytes, final: bool) -> str:
+        if self._strict_utf8 and not self._replaced:
+            state = self._decoder.getstate()
+            try:
+                return self._decoder.decode(data, final)
+            except UnicodeDecodeError:
+                telemetry.count("csv.decode_replaced")
+                self._replaced = True
+                # Replay the strict decoder's undecoded tail through a
+                # replacement decoder; all further input goes there too.
+                buffered = state[0]
+                self._decoder = codecs.getincrementaldecoder("utf-8")("replace")
+                return self._decoder.decode(buffered + data, final)
+        try:
+            return self._decoder.decode(data, final)
+        except UnicodeDecodeError as exc:
+            if self._codec != "utf-8":
+                raise CSVReadError(
+                    f"input declares {self._codec} via its BOM but is not "
+                    f"valid {self._codec}: {exc}"
+                ) from exc
+            raise  # pragma: no cover - utf-8 is handled above
+
+
+class _LineAssembler:
+    """Split a decoded character stream into lines exactly like iterating
+    ``io.StringIO(text)``: ``\\n`` is the only terminator (kept on the
+    line); the final line may lack one.  Lone ``\\r`` stays embedded, so
+    the csv module sees the identical character stream — including the
+    same "new-line character seen in unquoted field" errors.
+    """
+
+    def __init__(self):
+        self._buffer = ""
+
+    def feed(self, text: str) -> list[str]:
+        buffered = self._buffer + text
+        if "\n" not in buffered:
+            self._buffer = buffered
+            return []
+        parts = buffered.split("\n")
+        self._buffer = parts.pop()
+        return [part + "\n" for part in parts]
+
+    def flush(self) -> str | None:
+        buffered, self._buffer = self._buffer, ""
+        return buffered if buffered else None
+
+
+def _byte_pieces(source, io_chunk_bytes: int, display: str) -> Iterator[bytes]:
+    """Bounded byte pieces of a path / binary file / bytes iterable.
+
+    Every read passes the ``csv.read_chunk`` fault-injection point; I/O
+    and injected failures both surface as :class:`CSVReadError`, matching
+    :func:`load_csv_table`'s contract for whole-file reads.
+    """
+    handle = None
+    close_handle = False
+    try:
+        if isinstance(source, (str, os.PathLike)):
+            path = os.fspath(source)
+            try:
+                faults.point("csv.read", path=path)
+                handle = open(path, "rb")
+            except OSError as exc:
+                raise CSVReadError(
+                    f"cannot read {path!r}: {exc.strerror or exc}"
+                ) from exc
+            except FaultInjectedError as exc:
+                raise CSVReadError(f"cannot read {path!r}: {exc}") from exc
+            close_handle = True
+        elif hasattr(source, "read"):
+            handle = source
+        if handle is not None:
+            index = 0
+            while True:
+                try:
+                    faults.point("csv.read_chunk", source=display, index=index)
+                    data = handle.read(io_chunk_bytes)
+                except OSError as exc:
+                    raise CSVReadError(
+                        f"cannot read {display!r}: {exc.strerror or exc}"
+                    ) from exc
+                except FaultInjectedError as exc:
+                    raise CSVReadError(
+                        f"cannot read {display!r}: {exc}"
+                    ) from exc
+                if not data:
+                    return
+                yield bytes(data)
+                index += 1
+        else:
+            for index, data in enumerate(source):
+                try:
+                    faults.point("csv.read_chunk", source=display, index=index)
+                except FaultInjectedError as exc:
+                    raise CSVReadError(
+                        f"cannot read {display!r}: {exc}"
+                    ) from exc
+                if not isinstance(data, (bytes, bytearray, memoryview)):
+                    raise CSVReadError(
+                        f"byte source for {display!r} yielded "
+                        f"{type(data).__name__}, expected bytes"
+                    )
+                if data:
+                    yield bytes(data)
+    finally:
+        if close_handle and handle is not None:
+            handle.close()
+
+
+def iter_csv_chunks(
+    source,
+    name: str = "",
+    delimiter: str | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    io_chunk_bytes: int = DEFAULT_IO_CHUNK_BYTES,
+    sniff_chars: int = DEFAULT_SNIFF_CHARS,
+) -> Iterator[CSVChunk]:
+    """Incrementally parse a CSV source into :class:`CSVChunk` slices.
+
+    ``source`` is a filesystem path, a binary file-like object, or an
+    iterable of ``bytes``.  Decoding, delimiter sniffing, header
+    handling, ragged-row repair, and error behavior all match the
+    whole-file path (:func:`load_csv_table` / :func:`read_csv_text`):
+    concatenating every chunk's rows reproduces ``read_csv(path)`` row for
+    row, and inputs the batch reader rejects raise the same typed
+    :class:`CSVReadError` here — just possibly later, once the offending
+    bytes stream in.  Split multi-byte codepoints and quoted fields (or
+    quoted newlines) spanning chunk boundaries are handled by the
+    incremental decoder / the line assembler.
+
+    At least one chunk is always yielded for a non-empty stream, so
+    consumers learn the header even for a header-only file.  Memory is
+    bounded by ``io_chunk_bytes`` + ``chunk_rows`` rows + ``sniff_chars``,
+    independent of the stream length.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be positive")
+    if io_chunk_bytes < 1:
+        raise ValueError("io_chunk_bytes must be positive")
+    display = name or (
+        os.path.splitext(os.path.basename(os.fspath(source)))[0]
+        if isinstance(source, (str, os.PathLike))
+        else "<stream>"
+    )
+    pieces = _byte_pieces(source, io_chunk_bytes, display)
+    decoder = _IncrementalDecoder()
+    exhausted = False
+
+    # Delimiter sniffing needs the first 20 lines; buffer decoded text
+    # until they are complete (21 splitlines entries guarantee 20 full
+    # lines), EOF, or the sniff cap.  The buffered text is then replayed
+    # into the row parser, so nothing is read twice.
+    sniff_text = ""
+    if delimiter is None:
+        while len(sniff_text) < sniff_chars:
+            data = next(pieces, None)
+            if data is None:
+                sniff_text += decoder.feed(b"", final=True)
+                exhausted = True
+                break
+            sniff_text += decoder.feed(data)
+            if len(sniff_text.splitlines()) > 20:
+                break
+        delimiter = sniff_delimiter(sniff_text)
+
+    assembler = _LineAssembler()
+
+    def lines() -> Iterator[str]:
+        yield from assembler.feed(sniff_text)
+        if not exhausted:
+            for data in pieces:
+                text = decoder.feed(data)
+                if text:
+                    yield from assembler.feed(text)
+            tail = decoder.feed(b"", final=True)
+            if tail:
+                yield from assembler.feed(tail)
+        last = assembler.flush()
+        if last is not None:
+            yield last
+
+    reader = csv.reader(lines(), delimiter=delimiter)
+    header: list[str] | None = None
+    width = 0
+    rows: list[list[str | None]] = []
+    index = 0
+    try:
+        for row in reader:
+            if header is None:
+                if not any(cell.strip() for cell in row):
+                    continue
+                header = _dedupe_header([h.strip() for h in row])
+                width = len(header)
+                continue
+            if len(row) != width:
+                telemetry.count("csv.ragged_rows")
+                row = (list(row) + [None] * width)[:width]
+            rows.append(row)
+            if len(rows) >= chunk_rows:
+                yield CSVChunk(
+                    header=header, rows=rows, index=index, delimiter=delimiter
+                )
+                index += 1
+                rows = []
+    except csv.Error as exc:
+        raise CSVReadError(f"malformed CSV: {exc}") from exc
+    if header is None:
+        raise CSVReadError("empty CSV input")
+    if rows or index == 0:
+        yield CSVChunk(
+            header=header, rows=rows, index=index, delimiter=delimiter
+        )

@@ -560,3 +560,105 @@ class TestCachePrune:
         assert parse_size("1k") == 1024
         assert parse_size("2M") == 2 * 1024**2
         assert parse_size("0.5G") == 512 * 1024**2
+
+
+class TestStreamedIngestion:
+    """``POST /v1/infer?stream=1``: profile the CSV body incrementally."""
+
+    def test_streamed_predictions_match_buffered(self, served_model, tmp_path):
+        path = tmp_path / "sample.csv"
+        path.write_text(CSV_TEXT)
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            buffered = client.infer_csv_text(CSV_TEXT, table="sample")
+            streamed = client.infer_csv_file(path, table="sample")
+        assert streamed["degraded"] is False
+        assert streamed["predictions"] == buffered["predictions"]
+        assert telemetry.metrics.counter("serve.stream_request").value == 1
+
+    def test_streamed_degraded_fallback(self, served_model, tmp_path):
+        path = tmp_path / "sample.csv"
+        path.write_text(CSV_TEXT)
+        registry = ModelRegistry()  # never loads: stays degraded
+        with running_server(registry, start_batcher=False, max_wait_s=0.0) as (
+            client,
+            service,
+        ):
+            service.batcher.start()
+            response = client.infer_csv_file(path, table="cold")
+        assert response["degraded"] is True
+        assert {p["column"] for p in response["predictions"]} == {
+            "id", "salary", "state",
+        }
+
+    def test_stream_flag_with_json_body_is_400(self, served_model):
+        import urllib.error
+        import urllib.request
+
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            request = urllib.request.Request(
+                f"{client.base_url}/v1/infer?stream=1",
+                data=json.dumps({"table": "t", "columns": []}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(request, timeout=5)
+            assert exc_info.value.code == 400
+            body = json.loads(exc_info.value.read())
+            assert "CSV body" in body["error"]
+
+    def test_streamed_unreadable_body_is_400(self, served_model):
+        import urllib.error
+        import urllib.request
+
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            # A lying UTF-16 BOM with garbage payload: the incremental
+            # decoder rejects it mid-stream; the server must answer a
+            # clean 400, not drop the request.
+            request = urllib.request.Request(
+                f"{client.base_url}/v1/infer?stream=1",
+                data=b"\xff\xfe" + os.urandom(31),
+                headers={"Content-Type": "text/csv"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(request, timeout=5)
+            assert exc_info.value.code == 400
+        assert telemetry.metrics.counter("serve.bad_request").value == 1
+
+
+class TestScanCacheKnob:
+    """The stats-scan recycle threshold is a serve-time knob."""
+
+    def test_cli_flag_parses(self):
+        from repro.serve.cli import build_parser
+
+        args = build_parser().parse_args(["--scan-cache-max-values", "123"])
+        assert args.scan_cache_max_values == 123
+        assert build_parser().parse_args([]).scan_cache_max_values == 200_000
+
+    def test_health_reports_threshold(self, served_model):
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(
+            registry, max_wait_s=0.0, scan_cache_max_values=500
+        ) as (client, service):
+            assert service.scan_cache_max_values == 500
+            assert client.healthz()["scan_cache_max_values"] == 500
+
+    def test_tiny_threshold_recycles_but_answers_identically(
+        self, served_model, tmp_path
+    ):
+        path = tmp_path / "sample.csv"
+        path.write_text(CSV_TEXT)
+        registry = ModelRegistry.preloaded(served_model)
+        with running_server(registry, max_wait_s=0.0) as (client, _):
+            reference = client.infer_csv_text(CSV_TEXT, table="sample")
+        telemetry.reset()
+        with running_server(
+            registry, max_wait_s=0.0, scan_cache_max_values=5
+        ) as (client, _):
+            tight = client.infer_csv_file(path, table="sample")
+            resets = telemetry.metrics.counter("sketch.scan_cache_reset").value
+        assert resets >= 1
+        assert tight["predictions"] == reference["predictions"]
