@@ -21,6 +21,13 @@ Stages (all at tiny scale, two experiments):
    must surface as a clean exit-2 ``CSVReadError`` (never a traceback),
    and the fault-free streamed rerun must print byte-identical output to
    the buffered path.
+6. **Distributed queue** — two concurrent ``repro-bench work`` processes
+   pull-claim the same experiments from a fresh shared run dir; a fault
+   plan SIGKILLs whichever worker runs the first experiment at attempt 0.
+   The survivor must steal the stale lease, and ``repro-bench merge``
+   must exit 0 with outputs byte-identical to the stage-1 reference.
+   (The CI ``queue-smoke`` job runs the bigger three-worker, sharded
+   version: ``scripts/queue_smoke.py``.)
 
 Run locally::
 
@@ -43,14 +50,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def run_module(
-    module: str, args: list[str], expect_rc: int | None = 0
-) -> subprocess.CompletedProcess:
+def bench_env() -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     env.pop("REPRO_FAULT_PLAN", None)  # each stage passes --fault-plan explicitly
+    return env
+
+
+def run_module(
+    module: str, args: list[str], expect_rc: int | None = 0
+) -> subprocess.CompletedProcess:
+    env = bench_env()
     command = [sys.executable, "-m", module, *args]
     print(f"+ {' '.join(command)}", flush=True)
     proc = subprocess.run(
@@ -111,6 +123,77 @@ def stream_stage(workdir: Path) -> None:
         raise SystemExit(
             "FAIL: streamed predictions differ from the buffered path"
         )
+
+
+def queue_stage(
+    workdir: Path, experiments: list[str], reference: dict[str, str],
+    cache_dir: Path, scale: int, seed: int,
+) -> None:
+    """Stage 6: two pull-claim workers, one SIGKILLed, merge == reference.
+
+    The attempt-0 match makes the chaos deterministic with a shared plan:
+    exactly one process runs the target at attempt 0 (O_EXCL claim), and
+    the steal reruns it at attempt 1, which no rule matches.
+    """
+    import time
+
+    run_queue = workdir / "run-queue"
+    kill_target = experiments[0]
+    plan_path = workdir / "queue-plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 0,
+        "rules": [
+            {"point": "worker.run", "mode": "kill",
+             "match": {"experiment": kill_target, "attempt": 0}},
+        ],
+    }, indent=2))
+    queue_flags = [
+        "--run-dir", str(run_queue), "--cache-dir", str(cache_dir),
+        "--experiments", ",".join(experiments),
+        "--scale", str(scale), "--seed", str(seed),
+        "--stale-after", "4", "--heartbeat", "0.5", "--poll", "0.2",
+    ]
+
+    procs = []
+    for index in range(2):
+        command = [
+            sys.executable, "-m", "repro.benchmark.runner", "work",
+            *queue_flags, "--owner", f"chaos-worker-{index}",
+            "--fault-plan", str(plan_path),
+        ]
+        print(f"+ {' '.join(command)} &", flush=True)
+        procs.append(subprocess.Popen(
+            command, env=bench_env(), cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        ))
+        time.sleep(0.2)  # let the first worker publish the run spec
+    exit_codes = []
+    for proc in procs:
+        out, _ = proc.communicate(timeout=1800)
+        sys.stdout.write(out)
+        exit_codes.append(proc.returncode)
+    if sorted(exit_codes) != [-9, 0]:
+        raise SystemExit(
+            f"FAIL: expected one SIGKILLed and one clean worker, "
+            f"exit codes {exit_codes}"
+        )
+
+    manifest_path = workdir / "queue-merge-manifest.json"
+    merge = run_module("repro.benchmark.runner", [
+        "merge", *queue_flags, "--timeout", "600",
+        "--manifest", str(manifest_path),
+    ])
+    merged = checkpoint_outputs(run_queue)
+    for name in experiments:
+        if merged.get(name) != reference[name]:
+            raise SystemExit(
+                f"FAIL: merged {name!r} output differs from the reference"
+            )
+        if f"######## {name} (" not in merge.stdout:
+            raise SystemExit(f"FAIL: merge stdout missing {name!r}")
+    report = json.loads(manifest_path.read_text())["queue"]
+    if report["steals"] < 1:
+        raise SystemExit(f"FAIL: no steal-on-stale recorded: {report}")
 
 
 def checkpoint_outputs(run_dir: Path) -> dict[str, str]:
@@ -207,6 +290,11 @@ def main(argv: list[str] | None = None) -> int:
     print("=== stage 5: streamed ingestion under csv.read_chunk chaos ===",
           flush=True)
     stream_stage(workdir)
+
+    print("=== stage 6: distributed queue workers under SIGKILL chaos ===",
+          flush=True)
+    queue_stage(workdir, experiments, reference, cache_ref,
+                args.scale, args.seed)
 
     print(f"chaos smoke OK: {len(experiments)} experiments recovered, "
           f"{len(quarantined)} cache entr{'y' if len(quarantined) == 1 else 'ies'} "

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Queue smoke: three crash-prone workers must merge byte-identical to serial.
+
+Stages (tiny scale, one sharded + one monolithic experiment):
+
+1. **Reference** — a fault-free serial ``repro-bench`` run with
+   ``--run-dir`` checkpointing.  Its per-experiment outputs are the ground
+   truth, and the run leaves the artifact cache warm so the fleet below
+   measures coordination, not cache luck.
+2. **Fleet** — three concurrent ``repro-bench work`` processes pull-claim
+   tasks from a fresh shared ``--run-dir``.  Every worker carries the
+   *same* fault plan: SIGKILL on one specific shard at attempt 0.  Exactly
+   one worker dies (whichever claims that shard first); the stealer reruns
+   it as attempt 1, which no rule matches, so the fleet recovers on its
+   own — no supervisor, no restart logic.
+3. **Merge** — ``repro-bench merge`` waits for the queue to drain, folds
+   shard records through the registered merges, and must exit 0.
+4. **Verify** — merged outputs are byte-identical to the reference,
+   exactly one worker was SIGKILLed, and the merge manifest records at
+   least one steal-on-stale.
+
+Run locally::
+
+    python scripts/queue_smoke.py
+
+Exit code 0 means the distributed story held together end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_FAULT_PLAN", None)  # stages pass --fault-plan explicitly
+    return env
+
+
+def run_bench(args: list[str], expect_rc: int | None = 0) -> subprocess.CompletedProcess:
+    command = [sys.executable, "-m", "repro.benchmark.runner", *args]
+    print(f"+ {' '.join(command)}", flush=True)
+    proc = subprocess.run(
+        command, env=bench_env(), cwd=REPO_ROOT, capture_output=True,
+        text=True, timeout=1800,
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if expect_rc is not None and proc.returncode != expect_rc:
+        raise SystemExit(
+            f"FAIL: expected exit code {expect_rc}, got {proc.returncode}"
+        )
+    return proc
+
+
+def checkpoint_outputs(run_dir: Path) -> dict[str, str]:
+    out = {}
+    for path in sorted((run_dir / "experiments").glob("*.json")):
+        record = json.loads(path.read_text())
+        out[record["name"]] = record["output"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--experiments", default="table15,labeling",
+        help="comma-separated; the first must be sharded (its shard named "
+             "by --kill-shard is the SIGKILL target)",
+    )
+    parser.add_argument(
+        "--kill-shard", default="Supreme",
+        help="shard id of the first experiment whose attempt-0 worker dies",
+    )
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument(
+        "--stale-after", type=float, default=4.0,
+        help="lease staleness window for the fleet (short: fast steals)",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="working directory (default: a fresh temp dir, removed on success)",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = args.experiments.split(",")
+    kill_experiment = experiments[0]
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="queue-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    run_ref, run_queue = workdir / "run-ref", workdir / "run-queue"
+    cache = workdir / "cache"
+
+    # Every worker gets this plan.  The attempt-0 match is the fence that
+    # makes the chaos deterministic: exactly one process ever runs
+    # (kill_experiment, kill_shard) at attempt 0, and the steal reruns it
+    # at attempt 1, which matches nothing.
+    plan_path = workdir / "plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 0,
+        "rules": [
+            {"point": "worker.run", "mode": "kill",
+             "match": {"experiment": kill_experiment,
+                       "shard": args.kill_shard,
+                       "attempt": 0}},
+        ],
+    }, indent=2))
+
+    scale_seed = ["--scale", str(args.scale), "--seed", str(args.seed)]
+
+    print("=== stage 1: fault-free serial reference run ===", flush=True)
+    run_bench([args.experiments, *scale_seed,
+               "--run-dir", str(run_ref), "--cache-dir", str(cache)])
+    reference = checkpoint_outputs(run_ref)
+    if sorted(reference) != sorted(experiments):
+        raise SystemExit(f"FAIL: reference checkpointed {sorted(reference)}")
+
+    print(f"=== stage 2: {args.workers} pull-claim workers, one SIGKILLed "
+          f"on {kill_experiment}/{args.kill_shard} ===", flush=True)
+    queue_flags = [
+        "--run-dir", str(run_queue), "--cache-dir", str(cache),
+        "--experiments", args.experiments, *scale_seed,
+        "--stale-after", str(args.stale_after), "--heartbeat", "0.5",
+        "--poll", "0.2",
+    ]
+    procs = []
+    for index in range(args.workers):
+        command = [
+            sys.executable, "-m", "repro.benchmark.runner", "work",
+            *queue_flags, "--owner", f"smoke-worker-{index}",
+            "--fault-plan", str(plan_path),
+        ]
+        print(f"+ {' '.join(command)} &", flush=True)
+        procs.append(subprocess.Popen(
+            command, env=bench_env(), cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        ))
+        time.sleep(0.2)  # stagger startup so the spec publish settles first
+    exit_codes = []
+    for index, proc in enumerate(procs):
+        out, _ = proc.communicate(timeout=1800)
+        sys.stdout.write(out)
+        exit_codes.append(proc.returncode)
+        print(f"worker {index} exited {proc.returncode}", flush=True)
+    killed = [rc for rc in exit_codes if rc == -9]
+    survived = [rc for rc in exit_codes if rc == 0]
+    if len(killed) != 1:
+        raise SystemExit(f"FAIL: expected exactly one SIGKILLed worker, "
+                         f"exit codes {exit_codes}")
+    if len(survived) != args.workers - 1:
+        raise SystemExit(f"FAIL: surviving workers should exit 0, "
+                         f"exit codes {exit_codes}")
+
+    print("=== stage 3: merge ===", flush=True)
+    manifest_path = workdir / "merge-manifest.json"
+    merge = run_bench([
+        "merge", *queue_flags, "--timeout", "600",
+        "--manifest", str(manifest_path),
+    ])
+
+    print("=== stage 4: verify ===", flush=True)
+    merged = checkpoint_outputs(run_queue)
+    for name in experiments:
+        if merged.get(name) != reference[name]:
+            raise SystemExit(
+                f"FAIL: merged {name!r} output differs from the serial "
+                f"reference"
+            )
+        if f"######## {name} (" not in merge.stdout:
+            raise SystemExit(f"FAIL: merge stdout missing {name!r}")
+    report = json.loads(manifest_path.read_text())["queue"]
+    if report["steals"] < 1:
+        raise SystemExit(f"FAIL: no steal-on-stale recorded: {report}")
+    if report["failed"]:
+        raise SystemExit(f"FAIL: queue report counts failures: {report}")
+
+    print(f"queue smoke OK: {len(experiments)} experiments byte-identical "
+          f"to serial across {args.workers} workers "
+          f"({report['steals']} steal(s), {report['completed']} tasks)")
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,15 @@ directory it was found in — a record that disagrees (hand-moved files,
 colliding sanitized names) is discarded with a
 ``checkpoint.shard_misattributed`` warning rather than letting one
 experiment resume from another's payloads.
+
+Distributed runs (:mod:`repro.benchmark.queue`) add **attempt fencing**:
+both writers accept an optional ``fence`` callable, evaluated immediately
+before the atomic write.  A writer whose lease was stolen while it was
+busy — a zombie — fails its fence, the write is skipped, and the event is
+counted as ``checkpoint.stale_attempt``; the stealer's record (same bytes,
+higher attempt) is the one that lands.  Writers also stamp the owning
+worker id into the record so the merged run's provenance names who
+produced each shard.
 """
 
 from __future__ import annotations
@@ -75,12 +84,15 @@ class RunCheckpoint:
             / f"{_safe_component(shard_id)}.json"
         )
 
-    def record(self, rec: dict) -> None:
+    def record(self, rec: dict, *, fence=None) -> bool:
         """Durably mark one experiment complete (atomic write).
 
         ``rec`` is the engine's result record; the stored subset is what
         resume needs to replay the run: the rendered output plus timing
-        provenance.
+        provenance.  When ``fence`` is given it is consulted immediately
+        before the write; a False verdict (the writer's lease was stolen)
+        skips the write, counts ``checkpoint.stale_attempt``, and returns
+        False.
         """
         stored = {
             "schema": SCHEMA,
@@ -93,10 +105,20 @@ class RunCheckpoint:
             # Provenance link into the run's trace (additive; schema stays
             # unchanged — older readers ignore unknown keys).
             "trace_id": rec.get("trace_id"),
+            "owner": rec.get("owner"),
         }
+        if fence is not None and not fence():
+            telemetry.count("checkpoint.stale_attempt")
+            telemetry.warning(
+                "checkpoint.stale_attempt",
+                name=rec["name"], attempt=rec.get("attempt", 0),
+                owner=rec.get("owner"),
+            )
+            return False
         self.experiments_dir.mkdir(parents=True, exist_ok=True)
         write_json(str(self.path(rec["name"])), stored)
         telemetry.count("checkpoint.recorded")
+        return True
 
     def completed(self) -> dict[str, dict]:
         """name → stored record for every valid completion record on disk.
@@ -124,13 +146,15 @@ class RunCheckpoint:
         return out
 
     def record_shard(self, experiment: str, shard_id: str, payload,
-                     meta: dict | None = None) -> None:
+                     meta: dict | None = None, *, fence=None) -> bool:
         """Durably mark one sub-task complete (atomic write).
 
         The payload (an arbitrary picklable object) is stored pickled +
         base64 with a sha256 checksum, tagged with the *parent experiment
         name* so resume can detect records that landed under the wrong
-        experiment's directory.
+        experiment's directory.  ``fence`` behaves as in :meth:`record`:
+        a stolen-lease writer's late record is skipped (returns False)
+        and counted as ``checkpoint.stale_attempt``.
         """
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         stored = {
@@ -142,10 +166,23 @@ class RunCheckpoint:
         }
         if meta:
             stored.update(meta)
+        if fence is not None and not fence():
+            telemetry.count("checkpoint.stale_attempt")
+            telemetry.warning(
+                "checkpoint.stale_attempt",
+                experiment=experiment, shard=shard_id,
+                attempt=stored.get("attempt"), owner=stored.get("owner"),
+            )
+            return False
         path = self.shard_path(experiment, shard_id)
         path.parent.mkdir(parents=True, exist_ok=True)
         write_json(str(path), stored)
         telemetry.count("checkpoint.shard_recorded")
+        return True
+
+    _SHARD_META_KEYS = (
+        "wall_s", "cpu_s", "pid", "attempt", "owner", "trace_id"
+    )
 
     def completed_shards(self, experiment: str) -> dict[str, object]:
         """shard id → payload for the experiment's durable sub-tasks.
@@ -157,7 +194,20 @@ class RunCheckpoint:
         ``checkpoint.shard_misattributed`` — replaying them would graft one
         experiment's payloads onto another.
         """
-        out: dict[str, object] = {}
+        return {
+            shard_id: rec["payload"]
+            for shard_id, rec in self.completed_shard_records(experiment).items()
+        }
+
+    def completed_shard_records(self, experiment: str) -> dict[str, dict]:
+        """shard id → ``{"payload": obj, "meta": {...}}`` with validation.
+
+        Same checksum/parent-attribution gauntlet as
+        :meth:`completed_shards`, but also surfaces each record's timing
+        and ownership metadata so a merging coordinator can aggregate
+        wall/cpu time and attempt provenance across workers.
+        """
+        out: dict[str, dict] = {}
         shard_dir = self.shards_dir / _safe_component(experiment)
         if not shard_dir.is_dir():
             return out
@@ -185,5 +235,10 @@ class RunCheckpoint:
                     found=stored.get("experiment"),
                 )
                 continue
-            out[stored["shard"]] = pickle.loads(blob)
+            out[stored["shard"]] = {
+                "payload": pickle.loads(blob),
+                "meta": {
+                    key: stored.get(key) for key in self._SHARD_META_KEYS
+                },
+            }
         return out

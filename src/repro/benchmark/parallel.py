@@ -38,6 +38,17 @@ instead of recomputing them — only the missing cells rerun.
 Output determinism: results are yielded in the canonical experiment order
 regardless of completion order, so the rendered experiment text is
 byte-identical to a serial run.
+
+Cooperative mode: a resumed checkpointed run (``--run-dir D --resume``)
+speaks the :mod:`repro.benchmark.queue` claim protocol — each task is
+claimed with an O_EXCL lease before its worker forks (the lease file
+doubles as the worker's heartbeat file), tasks a peer process holds are
+*deferred* and adopted from the peer's checkpoint records when they land,
+and stale peer leases are stolen.  Any mix of ``repro-bench all --jobs N
+--run-dir D --resume`` engines and ``repro-bench work --run-dir D``
+pull-workers therefore drains one queue together without duplicating
+work.  A non-resume run asserts exclusive ownership of its run dir and
+skips the protocol.
 """
 
 from __future__ import annotations
@@ -85,6 +96,45 @@ class _TaskSpec(NamedTuple):
         stem = re.sub(r"[^A-Za-z0-9._-]", "_", self.key)
         digest = hashlib.sha1(self.key.encode("utf-8")).hexdigest()[:6]
         return f"{stem}.{digest}"
+
+
+def _clean_stale_heartbeat_dirs(max_age_s: float = 3600.0) -> int:
+    """Remove ``repro-bench-hb-*`` tempdirs orphaned by crashed runs.
+
+    A live run touches its heartbeat files every second, so any such dir
+    whose newest entry is over ``max_age_s`` old belongs to a run that is
+    long gone.  (New runs with a ``--run-dir`` keep heartbeats *inside*
+    the run dir instead, so these tempdirs only appear for dir-less runs.)
+    """
+    root = tempfile.gettempdir()
+    removed = 0
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return 0
+    now = time.time()
+    for name in entries:
+        if not name.startswith("repro-bench-hb-"):
+            continue
+        path = os.path.join(root, name)
+        try:
+            newest = os.stat(path).st_mtime
+            for child in os.listdir(path):
+                try:
+                    newest = max(
+                        newest, os.stat(os.path.join(path, child)).st_mtime
+                    )
+                except OSError:
+                    pass
+        except OSError:
+            continue
+        if now - newest > max_age_s:
+            shutil.rmtree(path, ignore_errors=True)
+            removed += 1
+    if removed:
+        telemetry.info("parallel.stale_heartbeat_dirs_removed", n=removed)
+        telemetry.count("parallel.stale_heartbeat_dirs_removed", removed)
+    return removed
 
 
 def warm_up(context: BenchmarkContext) -> None:
@@ -199,7 +249,9 @@ def _worker_main(
     """
     stop = threading.Event()
     try:
-        open(heartbeat_path, "wb").close()
+        # Create-without-truncate: in cooperative (queue) mode the heartbeat
+        # path is the task's *lease file*, whose JSON body must survive.
+        open(heartbeat_path, "ab").close()
     except OSError:
         pass
     else:
@@ -344,9 +396,9 @@ class _Task:
     """One in-flight worker: its process, result pipe, and liveness state."""
 
     __slots__ = ("spec", "attempt", "process", "conn", "heartbeat",
-                 "started", "record", "eof")
+                 "started", "record", "eof", "lease")
 
-    def __init__(self, spec, attempt, process, conn, heartbeat):
+    def __init__(self, spec, attempt, process, conn, heartbeat, lease=None):
         self.spec = spec
         self.attempt = attempt
         self.process = process
@@ -355,6 +407,10 @@ class _Task:
         self.started = time.monotonic()
         self.record = None
         self.eof = False
+        # In cooperative (queue) mode: the held claim on this task.  The
+        # lease file *is* the heartbeat file — the forked worker's beat
+        # thread refreshes its mtime, so peers see this task as live.
+        self.lease = lease
 
     def heartbeat_stale(self, stale_after: float) -> bool:
         try:
@@ -426,6 +482,10 @@ def run_parallel(
         yield from _run_forked(
             names, specs, assemblies, jobs, max_restarts, worker_timeout_s,
             heartbeat_s, checkpoint, trace_dir,
+            # The claim protocol rides the resume contract: a resumed run
+            # cooperates with peer processes on the same run dir; a fresh
+            # (non-resume) run owns its dir outright and recomputes.
+            use_queue=checkpoint is not None and resume,
         )
     finally:
         _CONTEXT = None
@@ -441,16 +501,38 @@ def _run_forked(
     heartbeat_s: float,
     checkpoint,
     trace_dir: str | None = None,
+    use_queue: bool = False,
 ) -> Iterator[dict]:
     ctx = mp.get_context("fork")
     stale_after = max(_MIN_STALE_S, _STALE_INTERVALS * heartbeat_s)
-    heartbeat_dir = tempfile.mkdtemp(prefix="repro-bench-hb-")
+    _clean_stale_heartbeat_dirs()
+    if checkpoint is not None:
+        # Heartbeats live inside the run dir: a crashed run leaves them
+        # where the next resume (or an operator) can see them, instead of
+        # leaking anonymous tempdirs.
+        heartbeat_dir = str(checkpoint.run_dir / "heartbeats")
+        os.makedirs(heartbeat_dir, exist_ok=True)
+        owns_heartbeat_dir = False
+    else:
+        heartbeat_dir = tempfile.mkdtemp(prefix="repro-bench-hb-")
+        owns_heartbeat_dir = True
+    queue = None
+    if use_queue:
+        from repro.benchmark.queue import WorkQueue
+
+        queue = WorkQueue(
+            checkpoint.run_dir,
+            stale_after_s=stale_after, heartbeat_s=heartbeat_s,
+        )
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
     # pop() from the end → tasks start in canonical order.
     pending: list[tuple[_TaskSpec, int]] = [
         (spec, 0) for spec in reversed(specs)
     ]
+    # Tasks a peer process currently holds: re-checked each poll, adopted
+    # from the peer's durable records when they land, stolen when stale.
+    deferred: list[tuple[_TaskSpec, int]] = []
     active: dict[object, _Task] = {}  # parent pipe end → task
     results: dict[str, dict] = {}  # experiment name → final record
     next_index = 0
@@ -464,10 +546,24 @@ def _run_forked(
             finish_assembly(assembly)
 
     def spawn(spec: _TaskSpec, attempt: int) -> None:
+        lease = None
+        if queue is not None:
+            from repro.benchmark.queue import QueueTask
+
+            lease = queue.try_claim(
+                QueueTask(spec.key, spec.experiment, spec.shard)
+            )
+            if lease is None:
+                # Completed/failed/held elsewhere — a peer owns this task's
+                # fate for now; adopt or steal from the deferred sweep.
+                deferred.append((spec, attempt))
+                return
+            heartbeat = str(lease.path)
+        else:
+            heartbeat = os.path.join(
+                heartbeat_dir, f"{spec.safe_stem()}.{attempt}.hb"
+            )
         parent_conn, child_conn = ctx.Pipe(duplex=False)
-        heartbeat = os.path.join(
-            heartbeat_dir, f"{spec.safe_stem()}.{attempt}.hb"
-        )
         trace_path = (
             os.path.join(trace_dir, f"{spec.safe_stem()}.{attempt}.jsonl")
             if trace_dir is not None else None
@@ -480,7 +576,14 @@ def _run_forked(
         )
         process.start()
         child_conn.close()
-        active[parent_conn] = _Task(spec, attempt, process, parent_conn, heartbeat)
+        active[parent_conn] = _Task(
+            spec, attempt, process, parent_conn, heartbeat, lease
+        )
+
+    def release_lease(task: _Task, completed: bool) -> None:
+        if task.lease is not None:
+            queue.release(task.lease, completed=completed)
+            task.lease = None
 
     def reap(task: _Task, grace_s: float = 10.0) -> None:
         task.process.join(timeout=grace_s)
@@ -488,10 +591,11 @@ def _run_forked(
             task.process.kill()
             task.process.join(timeout=5.0)
         task.conn.close()
-        try:
-            os.unlink(task.heartbeat)
-        except OSError:
-            pass
+        if task.lease is None:
+            try:
+                os.unlink(task.heartbeat)
+            except OSError:
+                pass
 
     def fail_experiment(
         spec: _TaskSpec, error: str, tb: str, attempts: int
@@ -529,17 +633,25 @@ def _run_forked(
             telemetry.tracer.ingest(
                 [SpanRecord.from_dict(r) for r in trace_records]
             )
+        fence = task.lease.is_current if task.lease is not None else None
         if spec.shard is None:
             results[spec.experiment] = record
+            if task.lease is not None and not record.get("failed"):
+                # Record durably *before* releasing the lease, so peers
+                # never observe this task as unclaimed-and-unrecorded.
+                checkpoint.record(record, fence=fence)
+            release_lease(task, completed=True)
             return
         if record.get("failed"):
             # Deterministic failure inside a shard: fails the experiment.
+            release_lease(task, completed=True)
             fail_experiment(
                 spec, record["error"], record.get("traceback", ""),
                 task.attempt + 1,
             )
             return
         if spec.experiment in results:
+            release_lease(task, completed=True)
             return  # experiment already failed; drop the stray payload
         assembly = assemblies[spec.experiment]
         assembly.add(spec.shard, record)
@@ -554,7 +666,9 @@ def _run_forked(
                         "pid": record.get("pid"),
                         "attempt": record.get("attempt", 0),
                         "trace_id": record.get("trace_id"),
+                        "owner": queue.owner if queue is not None else None,
                     },
+                    fence=fence,
                 )
             except OSError as exc:
                 telemetry.warning(
@@ -562,6 +676,7 @@ def _run_forked(
                     experiment=spec.experiment, shard=spec.shard,
                     error=str(exc),
                 )
+        release_lease(task, completed=True)
         if assembly.ready:
             finish_assembly(assembly)
 
@@ -584,11 +699,87 @@ def _run_forked(
                 task.attempt + 1,
             )
 
+    def check_deferred() -> None:
+        """Re-examine tasks a peer held: adopt, fail, or steal-and-run."""
+        from repro.benchmark.queue import QueueTask
+
+        still: list[tuple[_TaskSpec, int]] = []
+        for spec, attempt in deferred:
+            if spec.experiment in results:
+                continue  # experiment already resolved; drop
+            qtask = QueueTask(spec.key, spec.experiment, spec.shard)
+            if queue.is_completed(qtask):
+                _adopt(spec)
+            elif queue.is_failed(qtask):
+                stored = next(
+                    (f for f in queue.failures() if f.get("task") == spec.key),
+                    None,
+                ) or {}
+                fail_experiment(
+                    spec,
+                    stored.get("error", "failed in a peer worker"),
+                    stored.get("traceback", ""),
+                    stored.get("attempt", 0) + 1,
+                )
+            elif len(active) < jobs:
+                lease = queue.try_claim(qtask)
+                if lease is not None:
+                    _spawn_claimed(spec, attempt, lease)
+                    continue
+                still.append((spec, attempt))
+            else:
+                still.append((spec, attempt))
+        deferred[:] = still
+
+    def _adopt(spec: _TaskSpec) -> None:
+        """A peer durably completed this task: fold in its record."""
+        if spec.shard is None:
+            stored = checkpoint.completed().get(spec.experiment)
+            if stored is None:
+                return  # torn/invalid record: re-check next sweep
+            results[spec.experiment] = {**stored, "resumed": True}
+            telemetry.count("parallel.tasks_adopted")
+            return
+        recs = checkpoint.completed_shard_records(spec.experiment)
+        rec = recs.get(spec.shard)
+        if rec is None:
+            return
+        assembly = assemblies[spec.experiment]
+        assembly.add(spec.shard, {"payload": rec["payload"], **rec["meta"]})
+        telemetry.count("parallel.tasks_adopted")
+        if assembly.ready:
+            finish_assembly(assembly)
+
+    def _spawn_claimed(spec: _TaskSpec, attempt: int, lease) -> None:
+        """Start a worker on a lease already held (a successful steal)."""
+        heartbeat = str(lease.path)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        trace_path = (
+            os.path.join(trace_dir, f"{spec.safe_stem()}.{attempt}.jsonl")
+            if trace_dir is not None else None
+        )
+        process = ctx.Process(
+            target=_worker_main,
+            args=(spec.experiment, spec.shard, attempt, child_conn,
+                  heartbeat, heartbeat_s, trace_path),
+            name=f"repro-bench-{spec.key}",
+        )
+        process.start()
+        child_conn.close()
+        active[parent_conn] = _Task(
+            spec, attempt, process, parent_conn, heartbeat, lease
+        )
+
     try:
-        while pending or active:
+        while pending or active or deferred:
             while pending and len(active) < jobs:
                 spawn(*pending.pop())
-            _conn_wait(list(active), timeout=_POLL_S)
+            if deferred and queue is not None:
+                check_deferred()
+            if active:
+                _conn_wait(list(active), timeout=_POLL_S)
+            elif pending or deferred:
+                time.sleep(_POLL_S)
             now = time.monotonic()
             for conn, task in list(active.items()):
                 # Drain here (not in the wait loop): a worker can send its
@@ -607,6 +798,7 @@ def _run_forked(
                 elif task.eof or not task.process.is_alive():
                     del active[conn]
                     reap(task, grace_s=5.0)
+                    release_lease(task, completed=False)
                     exitcode = task.process.exitcode
                     telemetry.warning(
                         "worker.died", experiment=task.spec.experiment,
@@ -635,6 +827,7 @@ def _run_forked(
                         del active[conn]
                         task.process.kill()
                         reap(task, grace_s=5.0)
+                        release_lease(task, completed=False)
                         telemetry.warning(
                             "worker.hung", experiment=task.spec.experiment,
                             shard=task.spec.shard, attempt=task.attempt,
@@ -655,4 +848,15 @@ def _run_forked(
         for task in active.values():
             task.process.join(timeout=5.0)
             task.conn.close()
-        shutil.rmtree(heartbeat_dir, ignore_errors=True)
+            if task.lease is not None:
+                queue.release(task.lease, completed=False)
+        if owns_heartbeat_dir:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
+        else:
+            # Our own *.hb files are reaped per-task; clear any stragglers
+            # (a generator abandoned mid-run) but leave peers' files alone.
+            for task in active.values():
+                try:
+                    os.unlink(task.heartbeat)
+                except OSError:
+                    pass

@@ -348,6 +348,312 @@ def _goldens_main(argv: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _add_queue_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``work`` and ``merge`` queue subcommands."""
+    parser.add_argument(
+        "--run-dir", required=True, metavar="DIR",
+        help="shared coordination directory (the work queue): leases, "
+             "checkpoints, and the published run spec all live here",
+    )
+    parser.add_argument(
+        "--experiments", default="all", metavar="NAMES",
+        help="experiment name, comma-separated list, or 'all' (default). "
+             "The first worker publishes this as the run spec; later "
+             "workers must agree or they exit with status 2",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="labeled-corpus size (default 2400; must match across workers)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed artifact cache directory (default: "
+             "$REPRO_CACHE_DIR if set, else caching is off); point all "
+             "workers at one cache to share warm artifacts",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache even if --cache-dir/"
+             "$REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--stale-after", type=float, default=None, metavar="SECONDS",
+        help="steal a lease whose heartbeat is older than SECONDS "
+             "(default: 30; raise it on slow shared filesystems)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease heartbeat refresh interval (default: 1)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=None, metavar="SECONDS",
+        help="queue re-scan interval while waiting (default: 0.5)",
+    )
+
+
+def _make_queue(args) -> "object":
+    from repro.benchmark import queue as q
+
+    kwargs = {}
+    if args.stale_after is not None:
+        kwargs["stale_after_s"] = args.stale_after
+    if args.heartbeat is not None:
+        kwargs["heartbeat_s"] = args.heartbeat
+    if getattr(args, "owner", None):
+        kwargs["owner"] = args.owner
+    return q.WorkQueue(args.run_dir, **kwargs)
+
+
+def _queue_context(args, spec: dict) -> BenchmarkContext:
+    """Build the benchmark context from the *published* spec, so every
+    worker and the coordinator compute over identical parameters."""
+    kwargs = {"seed": spec.get("seed", 0)}
+    if spec.get("scale") is not None:
+        kwargs["n_examples"] = spec["scale"]
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    return BenchmarkContext(**kwargs, cache=cache)
+
+
+def _resolve_names(parser: argparse.ArgumentParser, text: str) -> list[str]:
+    if text == "all":
+        return list(EXPERIMENTS)
+    names = [n.strip() for n in text.split(",") if n.strip()]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown or not names:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown) or text!r}; "
+            f"available: {', '.join([*EXPERIMENTS, 'all'])}"
+        )
+    return names
+
+
+def _work_main(argv: list[str]) -> int:
+    """``repro-bench work --run-dir DIR`` — one unsupervised queue worker.
+
+    Start any number of these (on one host or many sharing a filesystem);
+    they claim tasks with O_EXCL leases, heartbeat while running, steal
+    from dead peers, and drain the queue together.  See
+    :mod:`repro.benchmark.queue` and docs/robustness.md.
+    """
+    from repro.benchmark import queue as q
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench work",
+        description="Pull-claim worker loop over a shared --run-dir queue.",
+    )
+    _add_queue_flags(parser)
+    parser.add_argument(
+        "--owner", default=None, metavar="ID",
+        help="worker identity recorded in leases and summaries "
+             "(default: host:pid:random — always unique)",
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after completing N tasks instead of draining the queue",
+    )
+    robust = parser.add_argument_group("robustness")
+    add_fault_flags(robust)
+    add_observability_flags(parser)
+    args = parser.parse_args(argv)
+    names = _resolve_names(parser, args.experiments)
+
+    observing = configure_telemetry(args)
+    fault_plan = configure_faults(args)
+    run_context = None
+    inherited = None
+    if observing:
+        inherited = TraceContext.from_traceparent(
+            os.environ.get(TRACEPARENT_ENV)
+        )
+        run_context = set_process_context(inherited or TraceContext.generate())
+
+    queue = _make_queue(args)
+    try:
+        spec = queue.publish_spec({
+            "experiments": names,
+            "scale": args.scale,
+            "seed": args.seed,
+        })
+    except q.QueueError as exc:
+        print(f"work: ERROR: {exc}", file=sys.stderr)
+        return 2
+    context = _queue_context(args, spec)
+
+    manifest = RunManifest(
+        command="repro-bench work",
+        argv=list(argv),
+        seed=spec.get("seed", 0),
+        scale=spec.get("scale"),
+        jobs=1,
+        cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
+    )
+    if run_context is not None:
+        manifest.trace_id = run_context.trace_id
+    if fault_plan is not None:
+        manifest.extra["fault_plan"] = fault_plan.source
+
+    telemetry.info(
+        "queue.worker_start", run_dir=args.run_dir, owner=queue.owner,
+        experiments=len(names),
+    )
+    worker = q.QueueWorker(
+        queue, context,
+        poll_s=args.poll if args.poll is not None else q.DEFAULT_POLL_S,
+        max_tasks=args.max_tasks,
+    )
+    status = worker.run()
+    summary = worker.summary
+    print(
+        f"worker {queue.owner}: {summary['completed']} task(s) completed "
+        f"({summary['steals']} stolen), {summary['failed']} failed, "
+        f"{summary['wall_s']:.1f}s task time"
+    )
+
+    if observing:
+        manifest.extra["queue_worker"] = {
+            k: summary[k] for k in (
+                "owner", "claims", "steals", "completed", "failed",
+                "stale_writes_rejected", "wall_s",
+            )
+        }
+        if args.metrics_out:
+            write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.trace_out:
+            write_spans_jsonl(args.trace_out, telemetry.spans)
+        if args.manifest:
+            manifest.finalize(telemetry)
+            manifest.write(args.manifest)
+    if run_context is not None and inherited is None:
+        set_process_context(None)
+    return status
+
+
+def _merge_main(argv: list[str]) -> int:
+    """``repro-bench merge --run-dir DIR`` — the merging coordinator.
+
+    Waits for the queue to drain (every task durably completed or
+    terminally failed), folds shard records through the registered merges
+    with the existing checksum/parent validation, and prints the run in
+    canonical order — byte-identical to a serial ``repro-bench``.
+    """
+    from repro.benchmark import queue as q
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench merge",
+        description="Wait for a --run-dir work queue to drain, then merge "
+                    "and print results byte-identical to a serial run.",
+    )
+    _add_queue_flags(parser)
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit 3) when tasks remain incomplete after SECONDS "
+             "(default: wait forever)",
+    )
+    add_observability_flags(parser)
+    args = parser.parse_args(argv)
+
+    observing = configure_telemetry(args)
+    run_context = None
+    inherited = None
+    if observing:
+        inherited = TraceContext.from_traceparent(
+            os.environ.get(TRACEPARENT_ENV)
+        )
+        run_context = set_process_context(inherited or TraceContext.generate())
+
+    queue = _make_queue(args)
+    try:
+        if args.experiments != "all" or args.scale is not None:
+            # Explicit parameters: validate them against the published spec
+            # (same split-brain rejection workers get).
+            spec = queue.publish_spec({
+                "experiments": _resolve_names(parser, args.experiments),
+                "scale": args.scale,
+                "seed": args.seed,
+            })
+        else:
+            spec = queue.load_spec()
+    except q.QueueError as exc:
+        print(f"merge: ERROR: {exc}", file=sys.stderr)
+        return 2
+    names = spec["experiments"]
+    context = _queue_context(args, spec)
+    tasks = q.expand_tasks(names, context)
+
+    manifest = RunManifest(
+        command="repro-bench merge",
+        argv=list(argv),
+        seed=spec.get("seed", 0),
+        scale=spec.get("scale"),
+        jobs=1,
+        cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
+    )
+    if run_context is not None:
+        manifest.trace_id = run_context.trace_id
+
+    telemetry.info(
+        "queue.merge_start", run_dir=args.run_dir, tasks=len(tasks),
+    )
+    try:
+        q.wait_for_completion(
+            queue, tasks, timeout_s=args.timeout,
+            poll_s=args.poll if args.poll is not None else q.DEFAULT_POLL_S,
+        )
+    except q.MergeTimeout as exc:
+        print(f"merge: ERROR: {exc}", file=sys.stderr)
+        return 3
+
+    failures: list[dict] = []
+    for record in q.merge_results(queue, context, names):
+        name = record["name"]
+        if record.get("failed"):
+            print(f"\n######## {name} FAILED ########")
+            print(record["error"])
+            failures.append(record)
+            manifest.add_experiment(
+                name, wall_s=0.0, error=record["error"],
+                attempts=record.get("attempts", 1),
+            )
+            continue
+        print(f"\n######## {name} ({record['wall_s']:.1f}s) ########")
+        print(record["output"])
+        manifest.add_experiment(
+            name, wall_s=record["wall_s"], cpu_s=record.get("cpu_s"),
+            resumed=bool(record.get("resumed")),
+        )
+
+    report = q.queue_report(queue)
+    print(file=sys.stderr)
+    print(q.render_queue_report(report), file=sys.stderr)
+    manifest.extra["queue"] = report
+    if failures:
+        print(
+            f"\n{len(failures)} of {len(names)} experiment(s) failed:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure['name']}: {failure['error']}", file=sys.stderr)
+        manifest.extra["failures"] = [
+            {k: v for k, v in f.items() if k != "traceback"} for f in failures
+        ]
+
+    if observing:
+        if args.metrics_out:
+            write_json(args.metrics_out, telemetry.metrics.snapshot())
+        if args.trace_out:
+            write_spans_jsonl(args.trace_out, telemetry.spans)
+        if args.manifest:
+            manifest.finalize(telemetry)
+            manifest.write(args.manifest)
+    if run_context is not None and inherited is None:
+        set_process_context(None)
+    return 1 if failures else 0
+
+
 def _iter_serial(
     names: list[str], context: BenchmarkContext
 ) -> Iterator[dict]:
@@ -392,11 +698,16 @@ def _iter_serial(
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # "cache" and "goldens" are subcommand namespaces, not experiments.
+    # "cache", "goldens", "work", and "merge" are subcommand namespaces,
+    # not experiments.
     if argv[:1] == ["cache"]:
         return _cache_main(argv[1:])
     if argv[:1] == ["goldens"]:
         return _goldens_main(argv[1:])
+    if argv[:1] == ["work"]:
+        return _work_main(argv[1:])
+    if argv[:1] == ["merge"]:
+        return _merge_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",

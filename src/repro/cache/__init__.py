@@ -8,10 +8,13 @@ from repro.cache.artifacts import (
     code_digest,
     set_active_cache,
 )
+from repro.cache.lock import FileLock, LockTimeout
 
 __all__ = [
     "ArtifactCache",
     "ArtifactCacheError",
+    "FileLock",
+    "LockTimeout",
     "active_cache",
     "artifact_key",
     "code_digest",

@@ -270,7 +270,7 @@ class ArtifactCache:
         """Total bytes of all cache entries currently on disk."""
         return sum(entry[2] for entry in self._entries())
 
-    def prune(self, max_bytes: int) -> dict:
+    def prune(self, max_bytes: int, *, lock_timeout_s: float = 60.0) -> dict:
         """Evict least-recently-used entries until the cache fits
         ``max_bytes``.
 
@@ -279,7 +279,21 @@ class ArtifactCache:
         periodically — and ``repro-bench cache prune`` from cron — to keep
         the artifact dir bounded.  Returns a report dict (entry/byte counts
         before and after, entries removed).
+
+        Pruning takes an advisory cross-process lock (``<root>/prune.lock``,
+        stealable when its holder dies — see :mod:`repro.cache.lock`), so
+        sibling workers sharing one cache cannot interleave scans and
+        deletions into an over-eviction.  Writers don't take it: a ``put``
+        racing a prune at worst lands an entry the next prune evicts.
         """
+        from repro.cache.lock import FileLock
+
+        with FileLock(
+            self.root / "prune.lock", timeout_s=lock_timeout_s
+        ):
+            return self._prune_locked(max_bytes)
+
+    def _prune_locked(self, max_bytes: int) -> dict:
         entries = sorted(self._entries(), key=lambda e: (e[1], str(e[0])))
         total = sum(size for _, _, size in entries)
         report = {

@@ -1,0 +1,145 @@
+"""Advisory cross-process file lock: O_EXCL create + heartbeat + stale-steal.
+
+The same three-primitive protocol the benchmark work queue uses for task
+leases (:mod:`repro.benchmark.queue`), packaged as a tiny context manager
+for mutating cache maintenance — ``ArtifactCache.prune`` must not race a
+sibling worker's prune when N ``repro-bench work`` processes (or N
+``repro-serve`` nodes) share one artifact directory.
+
+Acquisition is one atomic ``O_EXCL`` create of ``<name>.lock``; the holder
+refreshes the file's mtime from a daemon thread, and a contender may break
+a lock whose mtime is older than the stale window (the holder crashed
+without unlinking).  Breaking is unlink-then-retry: the racing contenders
+then fight over one ``O_EXCL`` create again, so exactly one wins.
+
+This is *advisory*: only callers that take the lock are excluded.  Reads
+(:meth:`ArtifactCache.get`) stay lock-free — entry checksums already make
+torn reads safe, and a reader racing a prune just sees a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import telemetry
+
+DEFAULT_STALE_S = 30.0
+DEFAULT_HEARTBEAT_S = 1.0
+_RETRY_S = 0.1
+
+
+class LockTimeout(RuntimeError):
+    """The lock could not be acquired within the caller's deadline."""
+
+
+class FileLock:
+    """Advisory exclusive lock at ``path``, stealable when stale.
+
+    Usage::
+
+        with FileLock(cache.root / "prune.lock"):
+            ...  # exclusive among cooperating processes
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        stale_after_s: float = DEFAULT_STALE_S,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        timeout_s: float | None = None,
+    ):
+        self.path = Path(path)
+        self.stale_after_s = stale_after_s
+        self.heartbeat_s = heartbeat_s
+        self.timeout_s = timeout_s
+        self._stop: threading.Event | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._stop is not None
+
+    def acquire(self) -> "FileLock":
+        deadline = (
+            None if self.timeout_s is None
+            else time.monotonic() + self.timeout_s
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if self._break_if_stale():
+                    continue  # stolen: retry the O_EXCL create immediately
+                if deadline is not None and time.monotonic() > deadline:
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout_s:.0f}s (held by a live process)"
+                    )
+                time.sleep(_RETRY_S)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "acquired_at": time.time(),
+                }, handle)
+            self._start_heartbeat()
+            telemetry.count("lock.acquired")
+            return self
+
+    def _break_if_stale(self) -> bool:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return True  # holder released between create and stat: retry
+        if age <= self.stale_after_s:
+            return False
+        # The holder has not heartbeated for the whole stale window: it is
+        # dead.  Unlink and let every contender race one O_EXCL create.
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        telemetry.count("lock.stolen")
+        telemetry.warning(
+            "lock.stale_broken", path=str(self.path), stale_s=round(age, 1)
+        )
+        return True
+
+    def _start_heartbeat(self) -> None:
+        stop = threading.Event()
+        self._stop = stop
+
+        def beat() -> None:
+            while not stop.wait(self.heartbeat_s):
+                try:
+                    os.utime(self.path)
+                except OSError:
+                    return
+
+        threading.Thread(target=beat, daemon=True, name="filelock-hb")\
+            .start()
+
+    def release(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+            self._stop = None
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        telemetry.count("lock.released")
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -28,6 +28,12 @@ Registered points (see ``docs/robustness.md``):
 ``model.load``    :func:`core.persistence.load_model`
 ``worker.run``    benchmark worker, before its experiment (ctx:
                   ``experiment``, ``attempt``, ``pid``)
+``queue.claim``   work queue, before the O_EXCL lease create (ctx:
+                  ``task``, ``attempt``, ``owner``)
+``queue.steal``   work queue, before stealing a stale lease (ctx:
+                  ``task``, ``attempt``, ``owner``)
+``queue.release`` work queue, before a lease is released (ctx: ``task``,
+                  ``attempt``, ``completed``, ``owner``)
 ``serve.accept``  HTTP POST handler (an injected error answers 503)
 ``serve.respond`` HTTP response writer (an injected error drops the
                   connection mid-response)
