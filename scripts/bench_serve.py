@@ -24,11 +24,29 @@ metrics), microbenchmarks the span machinery itself, and compares
 columns/sec against a committed baseline file (``BENCH_pr3.json``) with a
 5% regression bar.
 
+Fleet mode (``--fleet``, evidence for ``BENCH_pr10.json``) measures the
+client-side balancer over N serve processes sharing one artifact:
+
+1. columns/sec at each process count in ``--processes`` (the near-linear
+   scaling assertion only applies when the host has at least that many
+   CPUs — the result records ``cpus`` either way);
+2. a hot-swap soak: sustained load through a 2-process fleet while every
+   backend's default model is swapped to a second artifact mid-run —
+   zero lost requests, every response fingerprinted to one of the two
+   artifacts, and byte-identical to the offline pipeline of whichever
+   artifact answered;
+3. keep-alive pipelining vs sequential requests on one connection.
+
+The CI ``serve-fleet-smoke`` job runs this mode small (2 backends); the
+swap/parity gates fail the job, the scaling gate is advisory on shared
+runners.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_serve.py --out BENCH_pr3.json
     PYTHONPATH=src python scripts/bench_serve.py --smoke --server http://127.0.0.1:8123
     PYTHONPATH=src python scripts/bench_serve.py --trace-overhead --out BENCH_pr6.json
+    PYTHONPATH=src python scripts/bench_serve.py --fleet --out BENCH_pr10.json
 """
 
 from __future__ import annotations
@@ -424,6 +442,281 @@ def run_trace_overhead(args) -> int:
     return 0
 
 
+def _offline_truth(model_path: Path, csvs: list[Path]) -> dict:
+    """``table name -> predictions json`` from the offline pipeline."""
+    from repro.core.persistence import load_model
+    from repro.core.pipeline import TypeInferencePipeline
+
+    pipeline = TypeInferencePipeline(load_model(model_path))
+    return {
+        p.stem: json.dumps(
+            [pred.as_dict() for pred in pipeline.predict_csv(p)]
+        )
+        for p in csvs
+    }
+
+
+def _start_fleet(model_path: Path, n: int, max_wait_ms: float) -> list:
+    return [
+        ManagedServer(
+            ["--model", str(model_path),
+             "--max-wait-ms", str(max_wait_ms), "--wait-ready"]
+        )
+        for _ in range(n)
+    ]
+
+
+def _fire_fleet(fleet, jobs: list, concurrency: int) -> dict:
+    """Fire (name, text) jobs through a FleetClient; keep every response."""
+    latencies: list[float] = []
+    responses: list = []
+    errors: list[str] = []
+
+    def fire(job):
+        name, text = job
+        start = time.monotonic()
+        try:
+            response = fleet.infer_csv_text(text, table=name)
+        except ServeClientError as exc:
+            errors.append(f"{name}: {exc}")
+            return
+        latencies.append(time.monotonic() - start)
+        responses.append((name, response))
+
+    start = time.monotonic()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(fire, jobs))
+    wall = time.monotonic() - start
+    n_columns = sum(len(r["predictions"]) for _, r in responses)
+    ordered = sorted(latencies)
+    return {
+        "requests": len(jobs),
+        "ok": len(responses),
+        "errors": errors,
+        "columns": n_columns,
+        "wall_s": round(wall, 3),
+        "columns_per_s": round(n_columns / wall, 2) if wall else None,
+        "latency_s": {
+            "p50": round(percentile(ordered, 50), 4) if ordered else None,
+            "p99": round(percentile(ordered, 99), 4) if ordered else None,
+        },
+        "responses": responses,
+    }
+
+
+def _fleet_parity(responses: list, truth_by_fp: dict) -> dict:
+    """Every response must match the offline truth of the artifact whose
+    fingerprint it carries."""
+    mismatches = []
+    unknown_fps = set()
+    for name, response in responses:
+        truth = truth_by_fp.get(response.get("fingerprint"))
+        if truth is None:
+            unknown_fps.add(response.get("fingerprint"))
+            continue
+        if json.dumps(response["predictions"]) != truth[name]:
+            mismatches.append(name)
+    return {
+        "responses_checked": len(responses),
+        "byte_identical": not mismatches and not unknown_fps,
+        "mismatches": mismatches[:5],
+        "unknown_fingerprints": sorted(
+            str(fp) for fp in unknown_fps
+        ),
+    }
+
+
+def run_fleet(args) -> int:
+    """Balancer scaling + mid-run hot swap + pipelining (BENCH_pr10.json)."""
+    from repro.core.persistence import model_fingerprint
+    from repro.serve.balance import FleetClient
+
+    process_counts = sorted(
+        {int(x) for x in str(args.processes).split(",") if x.strip()}
+    )
+    cpus = os.cpu_count() or 1
+    out: dict = {
+        "benchmark": "client-side balancer over N repro-serve processes",
+        "python": sys.version.split()[0],
+        "cpus": cpus,
+        "knobs": {
+            "processes": process_counts,
+            "tables": args.tables, "rows": args.rows,
+            "concurrency": args.concurrency, "passes": args.passes,
+            "train_examples": args.train_examples, "trees": args.trees,
+            "max_wait_ms": args.max_wait_ms,
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        root = Path(tmp)
+        model_a = root / "fleet.model"
+        model_b = root / "fleet-swap.model"
+        print(f"training artifacts ({args.train_examples} examples) ...",
+              flush=True)
+        train_artifact(model_a, args.train_examples, args.trees, args.seed)
+        train_artifact(
+            model_b, args.train_examples, args.trees + 2, args.seed + 1
+        )
+        fp_a = model_fingerprint(model_a)
+        fp_b = model_fingerprint(model_b)
+        csvs = make_workload(root / "tables", args.tables, args.rows, args.seed)
+        texts = [(p.stem, p.read_text(encoding="utf-8")) for p in csvs]
+        truth_by_fp = {
+            fp_a: _offline_truth(model_a, csvs),
+            fp_b: _offline_truth(model_b, csvs),
+        }
+        jobs = texts * args.passes
+
+        # -- 1. scaling: columns/sec at each process count -------------------
+        scaling: dict = {}
+        all_clean = True
+        for n in process_counts:
+            print(f"fleet of {n} process(es) ...", flush=True)
+            servers = _start_fleet(model_a, n, args.max_wait_ms)
+            try:
+                fleet = FleetClient(
+                    [s.url for s in servers], timeout_s=120
+                )
+                fleet.wait_ready(timeout_s=120)
+                result = _fire_fleet(fleet, jobs, args.concurrency)
+                fleet.close()
+            finally:
+                codes = [s.stop() for s in servers]
+            result.pop("responses")
+            result["clean_shutdown"] = all(c == 0 for c in codes)
+            all_clean = all_clean and result["clean_shutdown"]
+            scaling[str(n)] = result
+            print(f"  {result['columns_per_s']} columns/s", flush=True)
+        out["scaling"] = scaling
+        low, high = str(process_counts[0]), str(process_counts[-1])
+        speedup = None
+        if scaling[low]["columns_per_s"]:
+            speedup = round(
+                scaling[high]["columns_per_s"] / scaling[low]["columns_per_s"],
+                2,
+            )
+        # Near-linear needs a core per process; on smaller hosts the number
+        # is recorded but not gated (the servers just time-share one CPU).
+        applicable = cpus >= process_counts[-1]
+        out["scaling_gate"] = {
+            "processes": [process_counts[0], process_counts[-1]],
+            "speedup": speedup,
+            "cpus": cpus,
+            "applicable": applicable,
+            "near_linear": (
+                bool(speedup and speedup >= 0.6 * process_counts[-1])
+                if applicable else None
+            ),
+        }
+
+        # -- 2. hot-swap soak on a 2-process fleet ---------------------------
+        print("hot-swap soak (2 processes, swap mid-run) ...", flush=True)
+        servers = _start_fleet(model_a, 2, args.max_wait_ms)
+        swap_result: dict = {}
+        try:
+            fleet = FleetClient([s.url for s in servers], timeout_s=120)
+            fleet.wait_ready(timeout_s=120)
+            soak_jobs = texts * max(2, args.passes)
+            swap_responses: dict = {}
+
+            def swap_mid_run():
+                time.sleep(0.5)
+                swap_responses.update(fleet.swap_model(
+                    model_a.stem, model_b, wait="drained", timeout_s=120
+                ))
+
+            swapper = ThreadPoolExecutor(max_workers=1)
+            swap_future = swapper.submit(swap_mid_run)
+            load = _fire_fleet(fleet, soak_jobs, args.concurrency)
+            swap_future.result(timeout=180)
+            swapper.shutdown()
+            # One post-swap round so the new artifact provably answers even
+            # when the soak finished before the swap landed.
+            post = _fire_fleet(fleet, texts, args.concurrency)
+            for key in ("requests", "ok", "columns"):
+                load[key] += post[key]
+            load["errors"] += post["errors"]
+            load["responses"] += post["responses"]
+            fleet.close()
+        finally:
+            codes = [s.stop() for s in servers]
+        responses = load.pop("responses")
+        fingerprints = {r.get("fingerprint") for _, r in responses}
+        swap_result = {
+            **load,
+            "clean_shutdown": all(c == 0 for c in codes),
+            "requests_lost": load["requests"] - load["ok"],
+            "fingerprints_seen": sorted(str(fp) for fp in fingerprints),
+            "old_fingerprint": fp_a,
+            "new_fingerprint": fp_b,
+            "swapped_backends": len(swap_responses),
+            "parity": _fleet_parity(responses, truth_by_fp),
+        }
+        all_clean = all_clean and swap_result["clean_shutdown"]
+        out["hot_swap"] = swap_result
+        print(f"  {load['ok']}/{load['requests']} ok, "
+              f"fingerprints {len(fingerprints)}", flush=True)
+
+        # -- 3. pipelining vs sequential on one connection -------------------
+        print("pipelining vs sequential (1 process) ...", flush=True)
+        servers = _start_fleet(model_a, 1, args.max_wait_ms)
+        try:
+            client = ServeClient(servers[0].url, timeout_s=120)
+            client.wait_ready(timeout_s=120)
+            start = time.monotonic()
+            seq_columns = 0
+            for name, text in jobs:
+                seq_columns += len(
+                    client.infer_csv_text(text, table=name)["predictions"]
+                )
+            seq_wall = time.monotonic() - start
+            start = time.monotonic()
+            piped = client.infer_pipelined(jobs, depth=8)
+            pipe_wall = time.monotonic() - start
+            pipe_columns = sum(len(r["predictions"]) for r in piped)
+            client.close()
+        finally:
+            for s in servers:
+                s.stop()
+        out["pipelining"] = {
+            "requests": len(jobs),
+            "sequential_columns_per_s": round(seq_columns / seq_wall, 2),
+            "pipelined_columns_per_s": round(pipe_columns / pipe_wall, 2),
+            "speedup": round(seq_wall / pipe_wall, 2) if pipe_wall else None,
+        }
+        print(f"  sequential {out['pipelining']['sequential_columns_per_s']} "
+              f"vs pipelined {out['pipelining']['pipelined_columns_per_s']} "
+              "columns/s", flush=True)
+
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for n, result in scaling.items():
+        if result["errors"]:
+            failures.append(f"{len(result['errors'])} errors at {n} processes")
+    if swap_result["requests_lost"]:
+        failures.append(f"{swap_result['requests_lost']} requests lost "
+                        "during the hot swap")
+    if not swap_result["parity"]["byte_identical"]:
+        failures.append("hot-swap responses diverge from the offline truth")
+    if not fingerprints <= {fp_a, fp_b}:
+        failures.append(f"unexpected fingerprints served: {fingerprints}")
+    if fp_b not in fingerprints:
+        failures.append("no response carried the swapped-in artifact")
+    if not all_clean:
+        failures.append("a server exited uncleanly")
+    gate = out["scaling_gate"]
+    if gate["applicable"] and not gate["near_linear"]:
+        failures.append(
+            f"scaling {gate['speedup']}x over {gate['processes']} processes "
+            f"is below the near-linear bar on a {cpus}-cpu host"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def run_smoke(args) -> int:
     owned: ManagedServer | None = None
     if args.server:
@@ -505,11 +798,24 @@ def main(argv: list[str] | None = None) -> int:
         help="committed benchmark file whose server.columns_per_s is the "
              "no-tracing reference",
     )
+    fleet = parser.add_argument_group("fleet mode")
+    fleet.add_argument(
+        "--fleet", action="store_true",
+        help="measure the client-side balancer over N serve processes, a "
+             "mid-run hot swap, and pipelining (evidence for "
+             "BENCH_pr10.json)",
+    )
+    fleet.add_argument(
+        "--processes", default="1,2,4", metavar="N,N,...",
+        help="fleet sizes to measure (default 1,2,4)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke(args)
     if args.trace_overhead:
         return run_trace_overhead(args)
+    if args.fleet:
+        return run_fleet(args)
     return run_full(args)
 
 

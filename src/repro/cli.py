@@ -88,6 +88,7 @@ def _infer_via_server(args, observing: bool) -> int:
     from repro.serve.client import ServeClient, ServeClientError
 
     client = ServeClient(args.server)
+    server_model = getattr(args, "server_model", None)
     table = os.path.splitext(os.path.basename(args.csv))[0]
     if not args.stream:
         try:
@@ -108,11 +109,13 @@ def _infer_via_server(args, observing: bool) -> int:
                 # Stream the upload from disk; the server profiles it
                 # chunk by chunk instead of materializing the table.
                 response = client.infer_csv_file(
-                    args.csv, table=table, deadline_ms=args.deadline_ms
+                    args.csv, table=table, deadline_ms=args.deadline_ms,
+                    model=server_model,
                 )
             else:
                 response = client.infer_csv_text(
-                    text, table=table, deadline_ms=args.deadline_ms
+                    text, table=table, deadline_ms=args.deadline_ms,
+                    model=server_model,
                 )
     except OSError as exc:
         print(f"repro-infer: cannot read {args.csv!r}: {exc}", file=sys.stderr)
@@ -187,6 +190,11 @@ def main(argv: list[str] | None = None) -> int:
     server.add_argument(
         "--deadline-ms", type=float, default=None, metavar="MS",
         help="per-request deadline when using --server",
+    )
+    server.add_argument(
+        "--server-model", default=None, metavar="NAME",
+        help="route to one registered model on the server (X-Repro-Model "
+             "header; default: the server's default route)",
     )
     add_fault_flags(parser)
     add_observability_flags(parser)

@@ -50,6 +50,31 @@ def model_assignments(
     return {p.name: pred for p, pred in zip(profiles, predictions)}
 
 
+def served_assignments(
+    dataset: DownstreamDataset, client, model: str | None = None
+) -> TypeAssignment:
+    """Types inferred by a live ``repro-serve`` instance.
+
+    ``client`` is a :class:`~repro.serve.client.ServeClient` (or
+    :class:`~repro.serve.balance.FleetClient`); ``model`` optionally routes
+    to one registered model.  This closes the ROADMAP's "Table 5 against a
+    live server" gap: the downstream harness consumes served predictions
+    exactly like offline ones, so offline-vs-served score parity is a
+    one-line comparison (see ``tests/test_serve_fleet.py``).
+    """
+    columns = [
+        {"name": column.name, "cells": list(column)}
+        for column in dataset.table
+    ]
+    response = client.infer_columns(
+        columns, table=dataset.name, model=model
+    )
+    return {
+        p["column"]: FeatureType(p["feature_type"])
+        for p in response["predictions"]
+    }
+
+
 @dataclass(frozen=True)
 class InferenceAccuracy:
     """Table 4(A) row: column coverage and accuracy given coverage."""

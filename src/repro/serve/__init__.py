@@ -1,13 +1,18 @@
 """repro.serve — long-lived batched feature-type inference service.
 
 The serving layer the ROADMAP calls for: load fitted models once through a
-:class:`~repro.serve.registry.ModelRegistry`, micro-batch concurrent column
-uploads through :class:`~repro.serve.batching.MicroBatcher` (amortizing
+multi-model :class:`~repro.serve.registry.ModelRegistry` (named,
+fingerprinted artifacts with per-request routing and zero-downtime hot
+swap), micro-batch concurrent column uploads through
+:class:`~repro.serve.batching.MicroBatcher` (amortizing
 ``compute_stats_batch`` + ``predict_proba`` across requests), and expose it
-all over stdlib HTTP (``POST /v1/infer``, ``GET /healthz``,
-``GET /metrics``).  See ``docs/serving.md``.
+all over stdlib HTTP (``POST /v1/infer``, ``POST /v1/models/<name>/infer``,
+``GET /healthz``, ``GET /metrics``).  Horizontal scale-out is client-side:
+:class:`~repro.serve.balance.FleetClient` balances over N serve processes
+sharing one artifact cache.  See ``docs/serving.md``.
 """
 
+from repro.serve.balance import FleetClient, NoBackendError
 from repro.serve.batching import (
     DeadlineExceededError,
     InferenceRequest,
@@ -15,19 +20,31 @@ from repro.serve.batching import (
     QueueFullError,
     ServiceClosedError,
 )
-from repro.serve.client import ServeClient, ServeClientError
-from repro.serve.registry import ModelRegistry, TrainConfig
+from repro.serve.client import RetryPolicy, ServeClient, ServeClientError
+from repro.serve.registry import (
+    ModelRegistry,
+    SwapHandle,
+    SwapInProgressError,
+    TrainConfig,
+    UnknownModelError,
+)
 from repro.serve.service import InferenceService
 
 __all__ = [
     "DeadlineExceededError",
+    "FleetClient",
     "InferenceRequest",
     "InferenceService",
     "MicroBatcher",
     "ModelRegistry",
+    "NoBackendError",
     "QueueFullError",
+    "RetryPolicy",
     "ServeClient",
     "ServeClientError",
     "ServiceClosedError",
+    "SwapHandle",
+    "SwapInProgressError",
     "TrainConfig",
+    "UnknownModelError",
 ]

@@ -55,9 +55,10 @@ class InferenceRequest:
     """
 
     __slots__ = (
-        "table", "profiles", "table_name", "deadline", "enqueued_at",
-        "started_at", "finished_at", "predictions", "model", "degraded",
-        "error", "batch_requests", "batch_columns", "trace", "_done",
+        "table", "profiles", "table_name", "model_name", "deadline",
+        "enqueued_at", "started_at", "finished_at", "predictions", "model",
+        "fingerprint", "generation", "degraded", "error", "batch_requests",
+        "batch_columns", "trace", "_done",
     )
 
     def __init__(
@@ -67,12 +68,14 @@ class InferenceRequest:
         trace: TraceContext | None = None,
         profiles: list | None = None,
         table_name: str = "",
+        model_name: str | None = None,
     ):
         if (table is None) == (profiles is None):
             raise ValueError("exactly one of table/profiles must be given")
         self.table = table
         self.profiles = profiles
         self.table_name = table.name if table is not None else table_name
+        self.model_name = model_name  # registry route; None → default model
         self.deadline = deadline  # time.monotonic() instant, or None
         self.trace = trace  # submitting request's span; batch spans adopt it
         self.enqueued_at = time.monotonic()
@@ -80,6 +83,8 @@ class InferenceRequest:
         self.finished_at: float | None = None
         self.predictions = None  # list[ColumnPrediction] on success
         self.model: str | None = None
+        self.fingerprint: str | None = None
+        self.generation: int | None = None
         self.degraded = False
         self.error: BaseException | None = None
         self.batch_requests = 0
@@ -97,9 +102,18 @@ class InferenceRequest:
             return False
         return (now if now is not None else time.monotonic()) >= self.deadline
 
-    def complete(self, predictions, model: str, degraded: bool) -> None:
+    def complete(
+        self,
+        predictions,
+        model: str,
+        degraded: bool,
+        fingerprint: str | None = None,
+        generation: int | None = None,
+    ) -> None:
         self.predictions = predictions
         self.model = model
+        self.fingerprint = fingerprint
+        self.generation = generation
         self.degraded = degraded
         self.finished_at = time.monotonic()
         self._done.set()
@@ -202,12 +216,13 @@ class MicroBatcher:
         trace: TraceContext | None = None,
         profiles: list | None = None,
         table_name: str = "",
+        model_name: str | None = None,
     ) -> InferenceRequest:
         """Enqueue one table (or pre-built profile list); the caller then
         ``wait()``s on the request."""
         request = InferenceRequest(
             table, deadline, trace=trace, profiles=profiles,
-            table_name=table_name,
+            table_name=table_name, model_name=model_name,
         )
         with self._cv:
             if self._closed:

@@ -45,8 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     model = parser.add_argument_group("model")
     model.add_argument(
-        "--model", default=None, metavar="PATH",
-        help="saved model artifact to serve (default: train at startup)",
+        "--model", dest="models", action="append", default=None,
+        metavar="[NAME=]PATH",
+        help="saved model artifact to serve; repeatable — NAME=PATH "
+             "registers it under NAME (default name: the file stem). "
+             "Without any --model, a default model is trained at startup.",
+    )
+    model.add_argument(
+        "--default-model", default=None, metavar="NAME",
+        help="which registered model answers un-routed requests "
+             "(default: the first --model)",
     )
     model.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -90,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_model_specs(specs: list[str] | None) -> list[tuple[str, str]]:
+    """``[NAME=]PATH`` flags → ``[(name, path)]`` (name defaults to stem)."""
+    out: list[tuple[str, str]] = []
+    for spec in specs or []:
+        name, sep, path = spec.partition("=")
+        if sep and name and os.sep not in name:
+            out.append((name, path))
+        else:
+            out.append((os.path.splitext(os.path.basename(spec))[0], spec))
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -98,15 +118,35 @@ def main(argv: list[str] | None = None) -> int:
     telemetry.enable(log_level=args.log_level or "info")
     configure_faults(args)
 
+    specs = _parse_model_specs(args.models)
+    names = [name for name, _ in specs]
+    if len(set(names)) != len(names):
+        print(f"repro-serve: duplicate model names in --model: {names}",
+              file=sys.stderr)
+        return 1
+    default_name = args.default_model
+    if default_name is not None and specs and default_name not in names:
+        print(f"repro-serve: --default-model {default_name!r} is not among "
+              f"--model names {names}", file=sys.stderr)
+        return 1
+
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
-    cache = ArtifactCache(cache_dir) if cache_dir and not args.model else None
-    registry = ModelRegistry(
-        model_path=args.model,
-        cache=cache,
-        train=TrainConfig(
-            n_examples=args.train_examples, trees=args.trees, seed=args.seed
-        ),
+    cache = ArtifactCache(cache_dir) if cache_dir and not specs else None
+    train = TrainConfig(
+        n_examples=args.train_examples, trees=args.trees, seed=args.seed
     )
+    if specs:
+        if default_name is None:
+            default_name = names[0]
+        default_path = dict(specs)[default_name]
+        registry = ModelRegistry(
+            model_path=default_path, train=train, default_name=default_name
+        )
+        for name, path in specs:
+            if name != default_name:
+                registry.register(name, model_path=path)
+    else:
+        registry = ModelRegistry(cache=cache, train=train)
     service = InferenceService(
         registry,
         max_batch_columns=args.max_batch_columns,
@@ -122,25 +162,35 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     service.start(load_in_background=not args.wait_ready)
-    if args.wait_ready and not registry.ready:
-        print(f"repro-serve: model load failed: {registry.error}",
-              file=sys.stderr)
-        return 1
+    if args.wait_ready:
+        failed = [
+            (name, entry["error"])
+            for name, entry in registry.describe_all().items()
+            if entry["state"] == "failed"
+        ]
+        if failed:
+            for name, error in failed:
+                print(f"repro-serve: model {name!r} load failed: {error}",
+                      file=sys.stderr)
+            return 1
 
     manifest = RunManifest(
         command="repro-serve",
         argv=list(argv) if argv is not None else sys.argv[1:],
         seed=args.seed,
         scale=args.train_examples,
-        model_path=args.model,
+        model_path=",".join(path for _, path in specs) or None,
         cache_dir=str(cache_dir) if cache_dir else None,
     )
 
     # The startup line is machine-readable on purpose: tests and
     # bench_serve.py parse the URL (--port 0 binds an ephemeral port).
+    described = (
+        "artifacts " + ",".join(names) if specs else "training"
+    )
     print(
         f"repro-serve listening on http://{args.host}:{server.server_port} "
-        f"(model: {'artifact ' + args.model if args.model else 'training'})",
+        f"(model: {described})",
         flush=True,
     )
 
@@ -158,9 +208,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         server.serve_forever(poll_interval=0.1)
     finally:
-        # Drain: refuse new work (503), finish queued requests, then join
-        # handler threads so every accepted request gets its response.
+        # Drain: refuse new work (503), finish queued requests, half-close
+        # idle keep-alive connections, then join handler threads so every
+        # accepted request gets its response.
         service.drain()
+        server.shutdown_idle()
         server.server_close()
         if args.metrics_out:
             write_json(args.metrics_out, telemetry.metrics.snapshot())
@@ -171,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.manifest:
             manifest.extra["model_fingerprint"] = registry.fingerprint
             manifest.extra["model_state"] = registry.state
+            manifest.extra["models"] = registry.describe_all()
             manifest.finalize(telemetry)
             manifest.write(args.manifest)
         print("repro-serve: drained, bye", flush=True)

@@ -6,9 +6,11 @@ Stdlib-only (``http.server.ThreadingHTTPServer`` + ``json``).  Endpoints:
     Body is either CSV text (``Content-Type: text/csv``, the raw upload) or
     a JSON payload ``{"table": name, "columns": [{"name": ..., "cells":
     [...]}]}``.  Optional ``?deadline_ms=N`` (or ``X-Deadline-Ms`` header)
-    bounds end-to-end latency.  Responses: 200 with predictions, 400 on a
-    malformed body, 429 + ``Retry-After`` when the queue sheds, 503 while
-    draining, 504 past the deadline.
+    bounds end-to-end latency; an ``X-Repro-Model`` header routes the
+    request to one registered model (absent → the default route).
+    Responses: 200 with predictions, 400 on a malformed body, 404 for an
+    unregistered model, 429 + ``Retry-After`` when the queue sheds, 503
+    while draining, 504 past the deadline.
 
     ``?stream=1`` — or any CSV body larger than ``STREAM_BODY_BYTES`` —
     profiles the upload incrementally on the handler thread through
@@ -17,8 +19,28 @@ Stdlib-only (``http.server.ThreadingHTTPServer`` + ``json``).  Endpoints:
     the (still ``MAX_BODY_BYTES``-capped) upload is.  Only CSV bodies
     stream; ``stream=1`` with a JSON body is a 400.
 
+``POST /v1/models/<name>/infer``
+    Same as ``/v1/infer`` with the model route in the path (the path wins
+    over ``X-Repro-Model``).
+
+``POST /v1/models/<name>/swap``
+    Zero-downtime hot swap of one registered model.  JSON body
+    ``{"path": <artifact>, "wait": "flipped"|"drained"|"none",
+    "timeout_s": N}``; the default ``wait: "flipped"`` blocks until the
+    route atomically points at the new artifact (200 with the new
+    fingerprint/generation), ``"drained"`` additionally waits for every
+    in-flight batch against the old artifact, ``"none"`` returns 202
+    immediately.  409 while another swap of the same model is loading;
+    500 when the replacement artifact fails to load (the old model keeps
+    serving).
+
+``GET /v1/models``
+    Every registered model with name, state (loading/ready/draining),
+    fingerprint, and swap generation — the fleet routing table.
+
 ``GET /healthz``
-    Service + model state (including the model artifact fingerprint).
+    Service + model state, including every registered model's fingerprint,
+    state, and swap generation (``models``).
 
 ``GET /metrics``
     Prometheus text exposition of the ``repro.obs`` metrics registry
@@ -35,9 +57,11 @@ the response body (``trace_id``) and the ``X-Trace-Id`` header.
 from __future__ import annotations
 
 import json
+import re
 import socket
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlparse
+from urllib.parse import parse_qs, unquote, urlparse
 
 from repro.core.featurize import ProfileError
 from repro.faults import FaultInjectedError, faults
@@ -48,6 +72,7 @@ from repro.obs import (
     use_context,
 )
 from repro.serve.batching import QueueFullError, ServiceClosedError
+from repro.serve.registry import SwapInProgressError, UnknownModelError
 from repro.serve.service import InferenceService
 from repro.sketch import StreamingProfiler
 from repro.tabular.column import Column
@@ -63,6 +88,9 @@ STREAM_BODY_BYTES = 8 * 1024 * 1024
 
 #: Bytes per ``rfile.read`` on the streamed path.
 STREAM_READ_BYTES = 1 << 16
+
+#: ``POST /v1/models/<name>/(infer|swap)`` — the model route in the path.
+_MODEL_PATH = re.compile(r"^/v1/models/([^/]+)/(infer|swap)$")
 
 
 class BadRequestError(ValueError):
@@ -132,6 +160,12 @@ class ServeHandler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path
         if path == "/healthz":
             self._send_json(200, self.service.health())
+        elif path == "/v1/models":
+            registry = self.service.registry
+            self._send_json(200, {
+                "default": registry.default_name,
+                "models": registry.describe_all(),
+            })
         elif path == "/metrics.json":
             self._send_json(200, telemetry.metrics.snapshot())
         elif path == "/metrics":
@@ -158,7 +192,14 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _handle_post(self, context: TraceContext | None) -> None:
         trace_id = context.trace_id if context is not None else None
         parsed = urlparse(self.path)
-        if parsed.path != "/v1/infer":
+        model_name = self.headers.get("X-Repro-Model") or None
+        match = _MODEL_PATH.match(parsed.path)
+        if match is not None:
+            model_name = unquote(match.group(1))  # the path wins
+            if match.group(2) == "swap":
+                self._handle_swap(model_name, trace_id)
+                return
+        elif parsed.path != "/v1/infer":
             self._send_json(404, {"error": f"no such endpoint: {parsed.path}"})
             return
         try:
@@ -204,7 +245,9 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             return
         if stream or (kind != "application/json" and length >= STREAM_BODY_BYTES):
-            self._handle_streamed_infer(name, length, deadline_s, trace_id)
+            self._handle_streamed_infer(
+                name, length, deadline_s, trace_id, model_name
+            )
             return
         body = self.rfile.read(length)
         try:
@@ -216,10 +259,102 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             return
         request = self._submit_infer(
-            table.name, deadline_s, trace_id, table=table
+            table.name, deadline_s, trace_id, table=table,
+            model_name=model_name,
         )
         if request is not None:
             self._finish_infer(request, table.name, deadline_s, trace_id)
+
+    def _handle_swap(self, model_name: str, trace_id: str | None) -> None:
+        """``POST /v1/models/<name>/swap``: hot-swap one model's artifact."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400, {"error": "swap needs a JSON body with a model path"},
+                trace_id=trace_id,
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(
+                400, {"error": f"invalid JSON body: {exc}"}, trace_id=trace_id
+            )
+            return
+        path = payload.get("path") if isinstance(payload, dict) else None
+        wait = (
+            payload.get("wait", "flipped") if isinstance(payload, dict)
+            else "flipped"
+        )
+        timeout_s = (
+            payload.get("timeout_s", 120.0) if isinstance(payload, dict)
+            else 120.0
+        )
+        if not isinstance(path, str) or not path:
+            self._send_json(
+                400, {"error": 'swap body needs a "path" string'},
+                trace_id=trace_id,
+            )
+            return
+        if wait not in ("flipped", "drained", "none"):
+            self._send_json(
+                400,
+                {"error": 'wait must be "flipped", "drained", or "none"'},
+                trace_id=trace_id,
+            )
+            return
+        try:
+            handle = self.service.registry.swap(model_name, model_path=path)
+        except UnknownModelError as exc:
+            self._send_json(
+                404, {"error": str(exc), "models": exc.known},
+                trace_id=trace_id,
+            )
+            return
+        except SwapInProgressError as exc:
+            self._send_json(409, {"error": str(exc)}, trace_id=trace_id)
+            return
+        if wait == "none":
+            self._send_json(
+                202,
+                {
+                    "model": model_name,
+                    "target_generation": handle.target_generation,
+                    "state": "loading",
+                },
+                trace_id=trace_id,
+            )
+            return
+        done = (
+            handle.wait_drained(timeout=timeout_s) if wait == "drained"
+            else handle.wait_flipped(timeout=timeout_s)
+        )
+        if handle.failed:
+            self._send_json(
+                500,
+                {"error": f"swap failed: {handle.error}", "model": model_name},
+                trace_id=trace_id,
+            )
+            return
+        if not done:
+            self._send_json(
+                504,
+                {
+                    "error": f"swap not {wait} within {timeout_s}s",
+                    "model": model_name,
+                },
+                trace_id=trace_id,
+            )
+            return
+        entry = self.service.registry.resolve(model_name).describe()
+        self._send_json(
+            200,
+            {"model": model_name, "swapped": wait, **entry},
+            trace_id=trace_id,
+        )
 
     def _handle_streamed_infer(
         self,
@@ -227,6 +362,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         length: int,
         deadline_s: float | None,
         trace_id: str | None,
+        model_name: str | None = None,
     ) -> None:
         """Profile a CSV body incrementally, then enqueue the profiles.
 
@@ -266,7 +402,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             return
         request = self._submit_infer(
-            name, deadline_s, trace_id, profiles=profiles
+            name, deadline_s, trace_id, profiles=profiles,
+            model_name=model_name,
         )
         if request is not None:
             self._finish_infer(request, name, deadline_s, trace_id)
@@ -278,14 +415,25 @@ class ServeHandler(BaseHTTPRequestHandler):
         trace_id: str | None,
         table: Table | None = None,
         profiles: list | None = None,
+        model_name: str | None = None,
     ):
-        """Submit to the service; on shed/drain, answer and return None."""
+        """Submit to the service; on shed/drain/404, answer and return None."""
         try:
             if table is not None:
-                return self.service.infer(table, deadline_s=deadline_s)
+                return self.service.infer(
+                    table, deadline_s=deadline_s, model_name=model_name
+                )
             return self.service.infer_profiles(
-                profiles, table_name=name, deadline_s=deadline_s
+                profiles, table_name=name, deadline_s=deadline_s,
+                model_name=model_name,
             )
+        except UnknownModelError as exc:
+            telemetry.count("serve.unknown_model")
+            self._send_json(
+                404, {"error": str(exc), "models": exc.known},
+                trace_id=trace_id,
+            )
+            return None
         except QueueFullError as exc:
             # A shed request without an incoming traceparent still has the
             # server-minted trace id (carried on the exception).
@@ -352,6 +500,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             {
                 "table": name,
                 "model": request.model,
+                "fingerprint": request.fingerprint,
+                "generation": request.generation,
                 "degraded": request.degraded,
                 "predictions": [p.as_dict() for p in request.predictions],
                 "timing": {
@@ -455,7 +605,13 @@ class ServeHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that owns an :class:`InferenceService`.
 
     Handler threads are non-daemon and joined on close so a drain never
-    cuts off an in-flight response mid-write.
+    cuts off an in-flight response mid-write.  Keep-alive makes each
+    connection long-lived, so the server tracks every accepted socket:
+    :meth:`shutdown_idle` half-closes them (read side only) after the
+    service drain, turning each handler's next ``readline`` into EOF —
+    idle persistent connections end immediately instead of holding the
+    join for their 30 s keep-alive timeout, while in-flight responses
+    still write out in full.
     """
 
     daemon_threads = False
@@ -465,6 +621,29 @@ class ServeHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], service: InferenceService):
         super().__init__(address, ServeHandler)
         self.service = service
+        self._conn_lock = threading.Lock()
+        self._connections: set = set()
+
+    def get_request(self):
+        request, address = super().get_request()
+        with self._conn_lock:
+            self._connections.add(request)
+        return request, address
+
+    def shutdown_request(self, request) -> None:  # type: ignore[override]
+        with self._conn_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def shutdown_idle(self) -> None:
+        """Half-close every open connection so keep-alive handlers exit."""
+        with self._conn_lock:
+            connections = list(self._connections)
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already closing
 
 
 def make_server(

@@ -17,6 +17,7 @@ queueing uploads behind a minute-long model fit.
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 from repro.core.pipeline import ColumnPrediction, TypeInferencePipeline
@@ -24,7 +25,7 @@ from repro.core.featurize import profile_columns
 from repro.core.stats import StatsScanCache
 from repro.obs import span_context, telemetry, use_context
 from repro.serve.batching import InferenceRequest, MicroBatcher, QueueFullError
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, UnknownModelError
 from repro.tabular.column import Column
 from repro.tabular.table import Table
 from repro.tools.rules import RuleBaselineTool
@@ -80,11 +81,18 @@ class InferenceService:
 
     # -- request path --------------------------------------------------------
     def infer(
-        self, table: Table, deadline_s: float | None = None
+        self,
+        table: Table,
+        deadline_s: float | None = None,
+        model_name: str | None = None,
     ) -> InferenceRequest:
         """Submit a table and block until result or deadline.
 
-        Raises :class:`~repro.serve.batching.QueueFullError` /
+        ``model_name`` routes the request to one registry entry (None → the
+        default model); an unregistered name raises
+        :class:`~repro.serve.registry.UnknownModelError` at submission time
+        (the HTTP layer maps that to 404).  Raises
+        :class:`~repro.serve.batching.QueueFullError` /
         :class:`~repro.serve.batching.ServiceClosedError` at submission
         time; a request whose deadline passes is returned with
         ``predictions is None`` (the HTTP layer maps that to 504).
@@ -92,6 +100,7 @@ class InferenceService:
         return self._submit_and_wait(
             table=table, profiles=None, table_name=table.name,
             n_columns=len(table.column_names), deadline_s=deadline_s,
+            model_name=model_name,
         )
 
     def infer_profiles(
@@ -99,23 +108,29 @@ class InferenceService:
         profiles: list,
         table_name: str = "",
         deadline_s: float | None = None,
+        model_name: str | None = None,
     ) -> InferenceRequest:
         """Submit pre-built column profiles (the streamed-upload path).
 
         The HTTP handler profiles a streamed body chunk by chunk through
         :class:`~repro.sketch.StreamingProfiler` as it arrives; only the
         finished profiles are enqueued, so batcher memory stays independent
-        of the upload size.  Same blocking/shedding semantics as
+        of the upload size.  Same blocking/shedding/routing semantics as
         :meth:`infer`.
         """
         return self._submit_and_wait(
             table=None, profiles=profiles, table_name=table_name,
             n_columns=len(profiles), deadline_s=deadline_s,
+            model_name=model_name,
         )
 
     def _submit_and_wait(
-        self, table, profiles, table_name, n_columns, deadline_s
+        self, table, profiles, table_name, n_columns, deadline_s,
+        model_name=None,
     ) -> InferenceRequest:
+        # Route validation happens before enqueue so an unknown model is a
+        # synchronous 404, not a failed batch.
+        self.registry.resolve(model_name)
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         deadline = (
@@ -126,7 +141,7 @@ class InferenceService:
         telemetry.count("serve.request_columns", n_columns)
         with telemetry.span(
             "serve.request", table=table_name, n_columns=n_columns,
-            streamed=table is None,
+            streamed=table is None, model=model_name or "",
         ) as span:
             # The request's trace context must ride INTO submit(): the
             # batcher worker may pick the request up before this thread
@@ -135,6 +150,7 @@ class InferenceService:
                 request = self.batcher.submit(
                     table, deadline=deadline, trace=span_context(span),
                     profiles=profiles, table_name=table_name,
+                    model_name=model_name,
                 )
             except QueueFullError as exc:
                 # No request object survives a shed; carry the trace id on
@@ -152,39 +168,85 @@ class InferenceService:
 
     # -- batch runner (worker thread) ----------------------------------------
     def _run_batch(self, batch: list[InferenceRequest]) -> None:
-        model = self.registry.current()
-        n_columns = sum(r.n_columns for r in batch)
+        # Group by routed registry entry.  Submission already validated the
+        # route, so resolve() failing here means the registry changed under
+        # us — fail just that request, keep serving the rest.
+        groups: dict[str, tuple] = {}
+        for request in batch:
+            try:
+                entry = self.registry.resolve(request.model_name)
+            except UnknownModelError as exc:
+                request.fail(exc)
+                continue
+            groups.setdefault(entry.name, (entry, []))[1].append(request)
+        if not groups:
+            return
+        live = [r for _, members in groups.values() for r in members]
+        n_columns = sum(r.n_columns for r in live)
         # The batch span runs on the batcher worker thread, where the span
         # stack is empty — adopt the first member's trace so the tree is
         # request → queue_wait / batch → profile/predict.  A multi-request
         # batch has one parent slot; the other members' trace ids are kept
         # as an attribute so nothing is unattributable.
-        trace = next((r.trace for r in batch if r.trace is not None), None)
+        trace = next((r.trace for r in live if r.trace is not None), None)
         extra = {}
-        if len(batch) > 1:
+        if len(live) > 1:
             extra["member_trace_ids"] = sorted(
-                {r.trace.trace_id for r in batch if r.trace is not None}
+                {r.trace.trace_id for r in live if r.trace is not None}
             )
-        with use_context(trace), telemetry.span(
-            "serve.batch", n_requests=len(batch), n_columns=n_columns,
-            degraded=model is None, **extra,
-        ):
-            if model is None:
-                self._run_degraded(batch)
-            else:
-                self._run_primary(batch, model)
+        # Leases pin each group's (model, fingerprint, generation) for the
+        # whole batch, so a concurrent hot swap cannot flip a model under a
+        # running batch — the swap's drain waits for these to release.
+        with contextlib.ExitStack() as stack:
+            leases = {
+                name: stack.enter_context(entry.lease())
+                for name, (entry, _) in groups.items()
+            }
+            degraded_groups = [
+                name for name, lease in leases.items() if lease.model is None
+            ]
+            with use_context(trace), telemetry.span(
+                "serve.batch", n_requests=len(live), n_columns=n_columns,
+                models=sorted(groups), degraded=bool(degraded_groups),
+                **extra,
+            ):
+                primary = [
+                    request
+                    for name, (_, members) in groups.items()
+                    if leases[name].model is not None
+                    for request in members
+                ]
+                profiles_by_request = self._profile_requests(primary)
+                for name, (_, members) in groups.items():
+                    lease = leases[name]
+                    if lease.model is None:
+                        self._run_degraded(members)
+                    else:
+                        self._run_primary(
+                            members, lease, profiles_by_request
+                        )
 
-    def _run_primary(self, batch: list[InferenceRequest], model) -> None:
+    def _profile_requests(
+        self, batch: list[InferenceRequest]
+    ) -> dict[int, list]:
+        """One shared ``profile_columns`` scan across every model group.
+
+        Profiles are model-agnostic, so a mixed-model batch still amortizes
+        a single character scan; only the ``predict_proba`` call is per
+        model.  Returns ``id(request) → its profiles``.
+        """
+        if not batch:
+            return {}
         if len(self._scan_cache.values) > self.scan_cache_max_values:
             telemetry.count("serve.scan_cache_reset")
             self._scan_cache = StatsScanCache()
-        # Table requests still share one profile_columns scan; streamed
-        # requests arrive pre-profiled and just slot into the prediction.
+        # Table requests share one profile_columns scan; streamed requests
+        # arrive pre-profiled and just slot into the prediction.
         table_requests = [r for r in batch if r.table is not None]
         columns = [
             column for request in table_requests for column in request.table
         ]
-        table_profiles: dict[int, list] = {}
+        profiles_by_request: dict[int, list] = {}
         if columns:
             with telemetry.span("serve.profile", n_columns=len(columns)):
                 profiled = profile_columns(columns, scan_cache=self._scan_cache)
@@ -195,25 +257,37 @@ class InferenceService:
                 chunk = profiled[offset:offset + request.n_columns]
                 for profile in chunk:
                     profile.source_file = request.table.name
-                table_profiles[id(request)] = chunk
+                profiles_by_request[id(request)] = chunk
                 offset += request.n_columns
-        profiles = []
         for request in batch:
-            if request.table is not None:
-                profiles.extend(table_profiles[id(request)])
-            else:
+            if request.table is None:
                 for profile in request.profiles:
                     profile.source_file = request.table_name
-                profiles.extend(request.profiles)
+                profiles_by_request[id(request)] = request.profiles
+        return profiles_by_request
+
+    def _run_primary(
+        self,
+        batch: list[InferenceRequest],
+        lease,
+        profiles_by_request: dict[int, list],
+    ) -> None:
+        model = lease.model
+        profiles = []
+        for request in batch:
+            profiles.extend(profiles_by_request[id(request)])
         pipeline = TypeInferencePipeline(model)
-        with telemetry.span("serve.predict", n_columns=len(profiles)):
+        label = getattr(model, "name", type(model).__name__)
+        with telemetry.span(
+            "serve.predict", n_columns=len(profiles), model=label
+        ):
             predictions = pipeline.predict_profiles(profiles)
         offset = 0
-        label = getattr(model, "name", type(model).__name__)
         for request in batch:
             request.complete(
                 predictions[offset:offset + request.n_columns],
                 model=label, degraded=False,
+                fingerprint=lease.fingerprint, generation=lease.generation,
             )
             offset += request.n_columns
 
@@ -263,4 +337,6 @@ class InferenceService:
             "max_wait_ms": round(1000.0 * self.batcher.max_wait_s, 3),
             "scan_cache_max_values": self.scan_cache_max_values,
             "model": self.registry.describe(),
+            "default_model": self.registry.default_name,
+            "models": self.registry.describe_all(),
         }

@@ -70,11 +70,14 @@ def running_server(registry, start_batcher=True, **service_knobs):
     thread.start()
     if start_batcher:
         service.start()
+    client = ServeClient(f"http://127.0.0.1:{server.server_port}")
     try:
-        yield ServeClient(f"http://127.0.0.1:{server.server_port}"), service
+        yield client, service
     finally:
+        client.close()  # keep-alive sockets would stall the handler join
         server.shutdown()
         service.drain(timeout=5)
+        server.shutdown_idle()
         server.server_close()
         thread.join(timeout=5)
 
